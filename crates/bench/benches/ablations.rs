@@ -1,0 +1,106 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//! Goto parameter presets, SDMM batch-width sensitivity, and BWQS block
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlr_core::prelude::*;
+use dlr_dense::gemm::blocked::{gemm_with, GemmWorkspace, GotoParams};
+use dlr_dense::Matrix;
+use dlr_sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
+use std::hint::black_box;
+
+fn bench_goto_params(c: &mut Criterion) {
+    let (m, k, n) = (400usize, 136usize, 256usize);
+    let a = Matrix::random(m, k, 1.0, 1);
+    let b = Matrix::random(k, n, 1.0, 2);
+    let mut cbuf = vec![0.0f32; m * n];
+    let mut ws = GemmWorkspace::default();
+    let mut group = c.benchmark_group("goto_params_400x136x256");
+    for (name, params) in [
+        ("default", GotoParams::default()),
+        ("onednn_avx2", GotoParams::onednn_avx2()),
+        (
+            "tiny_blocks",
+            GotoParams {
+                mc: 16,
+                nc: 64,
+                kc: 32,
+            },
+        ),
+    ] {
+        group.bench_function(name, |bch| {
+            bch.iter(|| {
+                gemm_with(
+                    m,
+                    k,
+                    n,
+                    black_box(a.as_slice()),
+                    b.as_slice(),
+                    &mut cbuf,
+                    params,
+                    &mut ws,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sdmm_batch_width(c: &mut Criterion) {
+    // Eq. 5 assumes B stays cache-resident; the paper observed the
+    // assumption break for N >= 128.
+    let (m, k) = (400usize, 136usize);
+    let mut dense = Matrix::random(m, k, 1.0, 3);
+    for (i, v) in dense.as_mut_slice().iter_mut().enumerate() {
+        if i % 50 != 0 {
+            *v = 0.0;
+        }
+    }
+    let a = CsrMatrix::from_dense(&dense, 0.0);
+    let mut group = c.benchmark_group("sdmm_batch_width");
+    for &n in &[16usize, 64, 256] {
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32).collect();
+        let packed = PackedB::pack(&b, k, n);
+        let mut ws = SpmmWorkspace::default();
+        let mut cbuf = vec![0.0f32; m * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| spmm_xsmm_packed(black_box(&a), &packed, &mut cbuf, &mut ws))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bwqs_block_size(c: &mut Criterion) {
+    let mut cfg = SyntheticConfig::msn30k_like(30);
+    cfg.docs_per_query = 40;
+    let data = cfg.generate();
+    let params = LambdaMartParams {
+        num_trees: 100,
+        growth: GrowthParams {
+            max_leaves: 64,
+            ..Default::default()
+        },
+        early_stopping_rounds: 0,
+        ..Default::default()
+    };
+    let (e, _) = LambdaMartTrainer::new(params).fit(&data, None);
+    let docs = data.features()[..136 * 512].to_vec();
+    let mut out = vec![0.0f32; 512];
+    let mut group = c.benchmark_group("bwqs_block_size_100trees");
+    group.sample_size(20);
+    for &block in &[10usize, 25, 50, 100] {
+        let mut bw = QuickScorerScorer::compile_blockwise(&e, block, "bwqs");
+        group.bench_with_input(BenchmarkId::from_parameter(block), &block, |b, _| {
+            b.iter(|| bw.score_batch(black_box(&docs), &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_goto_params,
+    bench_sdmm_batch_width,
+    bench_bwqs_block_size
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Neural forward pass: dense vs hybrid (sparse first layer) inference,
+//! the Table 8 kernel comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlr_nn::hybrid::HybridWorkspace;
+use dlr_nn::{HybridMlp, LayerMasks, Mlp, MlpWorkspace};
+use dlr_prune::level_mask;
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let input_dim = 136;
+    let arch = [400usize, 200, 200, 100];
+    let batch = 64;
+    let rows: Vec<f32> = (0..batch * input_dim)
+        .map(|i| (i % 17) as f32 / 8.0 - 1.0)
+        .collect();
+    let mut out = vec![0.0f32; batch];
+
+    let mut group = c.benchmark_group("forward_400x200x200x100_n64");
+    for &sparsity in &[0.95f64, 0.987] {
+        let mut mlp = Mlp::from_hidden(input_dim, &arch, 5);
+        let mask = level_mask(mlp.layers()[0].weights.as_slice(), sparsity);
+        let mut masks = LayerMasks::none(mlp.layers().len());
+        masks.set(0, mask);
+        masks.apply(&mut mlp);
+        let hybrid = HybridMlp::from_mlp(&mlp, 0.0);
+        let mut mws = MlpWorkspace::default();
+        let mut hws = HybridWorkspace::default();
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{sparsity}")),
+            &sparsity,
+            |b, _| b.iter(|| mlp.score_batch_with(black_box(&rows), &mut out, &mut mws)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", format!("{sparsity}")),
+            &sparsity,
+            |b, _| b.iter(|| hybrid.score_batch_with(black_box(&rows), &mut out, &mut hws)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Dense GEMM: Goto-blocked kernel vs the naive triple loop, across the
+//! layer shapes the paper's networks actually multiply.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlr_dense::gemm::blocked::{gemm_with, GemmWorkspace, GotoParams};
+use dlr_dense::gemm::naive::naive_gemm_into;
+use dlr_dense::Matrix;
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    // (m, k, n): first layers and hidden layers at batch 64 and 1000.
+    for &(m, k, n) in &[
+        (400usize, 136usize, 64usize),
+        (200, 200, 64),
+        (400, 136, 1000),
+        (500, 500, 256),
+    ] {
+        let a = Matrix::random(m, k, 1.0, 1);
+        let b = Matrix::random(k, n, 1.0, 2);
+        let mut cbuf = vec![0.0f32; m * n];
+        let mut ws = GemmWorkspace::default();
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| {
+                bch.iter(|| {
+                    gemm_with(
+                        m,
+                        k,
+                        n,
+                        black_box(a.as_slice()),
+                        black_box(b.as_slice()),
+                        &mut cbuf,
+                        GotoParams::default(),
+                        &mut ws,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{m}x{k}x{n}")),
+            &(m, k, n),
+            |bch, _| {
+                bch.iter(|| {
+                    naive_gemm_into(
+                        m,
+                        k,
+                        n,
+                        black_box(a.as_slice()),
+                        black_box(b.as_slice()),
+                        &mut cbuf,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Tree-ensemble traversal: QuickScorer (plain / blockwise / vectorized)
+//! vs classic root-to-leaf traversal, by forest size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlr_core::prelude::*;
+use std::hint::black_box;
+
+fn setup(trees: usize, leaves: usize) -> (Ensemble, Vec<f32>, usize) {
+    let mut cfg = SyntheticConfig::msn30k_like(30);
+    cfg.docs_per_query = 40;
+    let data = cfg.generate();
+    let params = LambdaMartParams {
+        num_trees: trees,
+        growth: GrowthParams {
+            max_leaves: leaves,
+            ..Default::default()
+        },
+        early_stopping_rounds: 0,
+        ..Default::default()
+    };
+    let (e, _) = LambdaMartTrainer::new(params).fit(&data, None);
+    let docs = data.features()[..136 * 512].to_vec();
+    (e, docs, 136)
+}
+
+fn bench_quickscorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal_512docs");
+    group.sample_size(20);
+    for &trees in &[50usize, 200] {
+        let (e, docs, nf) = setup(trees, 64);
+        let n = docs.len() / nf;
+        let mut out = vec![0.0f32; n];
+        let mut naive = EnsembleScorer::new(e.clone(), "naive");
+        let mut qs = QuickScorerScorer::compile(&e, "qs");
+        let mut vqs = QuickScorerScorer::compile_vectorized(&e, "vqs");
+        let mut bw = QuickScorerScorer::compile_blockwise(&e, 32, "bwqs");
+        group.bench_with_input(BenchmarkId::new("naive", trees), &trees, |b, _| {
+            b.iter(|| naive.score_batch(black_box(&docs), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("quickscorer", trees), &trees, |b, _| {
+            b.iter(|| qs.score_batch(black_box(&docs), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("vectorized", trees), &trees, |b, _| {
+            b.iter(|| vqs.score_batch(black_box(&docs), &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("blockwise", trees), &trees, |b, _| {
+            b.iter(|| bw.score_batch(black_box(&docs), &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quickscorer);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Sparse-dense multiplication: LIBXSMM-style kernel vs naive CSR loop,
+//! sweeping the sparsity range that pruning produces (Table 3 shapes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlr_dense::Matrix;
+use dlr_sparse::{spmm_naive, spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sparse(m: usize, k: usize, sparsity: f64, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dense = Matrix::zeros(m, k);
+    let nnz = ((m * k) as f64 * (1.0 - sparsity)).round().max(1.0) as usize;
+    let mut placed = 0;
+    while placed < nnz {
+        let i = rng.random_range(0..m);
+        let j = rng.random_range(0..k);
+        if dense.get(i, j) == 0.0 {
+            dense.set(i, j, rng.random_range(0.1..1.0f32));
+            placed += 1;
+        }
+    }
+    CsrMatrix::from_dense(&dense, 0.0)
+}
+
+fn bench_sdmm(c: &mut Criterion) {
+    let (m, k, n) = (400usize, 136usize, 64usize);
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 13) as f32 / 6.0 - 1.0).collect();
+    let mut group = c.benchmark_group("sdmm_400x136_n64");
+    for &sparsity in &[0.90f64, 0.95, 0.98, 0.99] {
+        let a = sparse(m, k, sparsity, 7);
+        let packed = PackedB::pack(&b, k, n);
+        let mut ws = SpmmWorkspace::default();
+        let mut cbuf = vec![0.0f32; m * n];
+        group.bench_with_input(
+            BenchmarkId::new("xsmm", format!("{sparsity}")),
+            &sparsity,
+            |bch, _| bch.iter(|| spmm_xsmm_packed(black_box(&a), &packed, &mut cbuf, &mut ws)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{sparsity}")),
+            &sparsity,
+            |bch, _| bch.iter(|| spmm_naive(black_box(&a), &b, n, &mut cbuf)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sdmm);
+criterion_main!(benches);

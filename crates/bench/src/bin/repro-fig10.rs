@@ -1,0 +1,56 @@
+//! Figure 10: static vs dynamic sensitivity analysis of a
+//! 400×200×200×100 student on MSN30K-like data.
+//!
+//! The paper prunes each layer in isolation at growing sparsities and
+//! evaluates validation NDCG@10, without re-training (static) and with
+//! re-training (dynamic). Claims under test: static sensitivity degrades
+//! with sparsity (first layers worst); dynamic re-training recovers most
+//! of the loss, and the first layer tolerates extreme sparsity — the
+//! observation the whole §5.2 pruning strategy rests on.
+
+use dlr_bench::{f, teacher_forest, Corpus, Scale, Table};
+use dlr_core::prelude::*;
+use dlr_distill::DistillConfig;
+use dlr_prune::{dynamic_sensitivity, static_sensitivity};
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Figure 10 — static and dynamic sensitivity (400x200x200x100)");
+
+    let split = Corpus::Msn30k.split(scale);
+    eprintln!("training 256-leaf teacher...");
+    let teacher = teacher_forest(&split.train, &split.valid, scale.trees(600), 256);
+    let cfg = DistillConfig {
+        hyper: Corpus::Msn30k.hyper(scale),
+        batch_size: 256,
+        ..Default::default()
+    };
+    let session = DistillSession::new(&teacher, &split.train, cfg);
+    eprintln!("distilling the student...");
+    let model = session.train_student(&[400, 200, 200, 100]);
+
+    let levels = [0.5, 0.7, 0.8, 0.9, 0.95, 0.98];
+    eprintln!("running static sensitivity...");
+    let stat = static_sensitivity(&model.mlp, session.normalizer(), &split.valid, &levels);
+    let retrain = (Corpus::Msn30k.hyper(scale).train_epochs / 4).max(1);
+    eprintln!("running dynamic sensitivity ({retrain} retrain epochs per probe)...");
+    let dynamic = dynamic_sensitivity(&session, &model.mlp, &split.valid, &levels, retrain);
+
+    for (title, curves) in [("STATIC", &stat), ("DYNAMIC", &dynamic)] {
+        println!("\n{title} sensitivity — validation NDCG@10 per layer and sparsity:");
+        let mut headers: Vec<String> = vec!["Layer".into()];
+        headers.extend(levels.iter().map(|l| format!("{:.0}%", l * 100.0)));
+        let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&refs);
+        for c in curves {
+            let mut row = vec![format!("fc{}", c.layer + 1)];
+            row.extend(c.points.iter().map(|&(_, n)| f(n, 4)));
+            table.row(&row);
+        }
+        table.print();
+    }
+
+    println!("\npaper shape: static curves fall with sparsity (early layers worst);");
+    println!("dynamic curves stay flat, with the first layer tolerating 95%+ sparsity");
+    println!("and sometimes *beating* the dense model (pruning as regularizer).");
+}

@@ -1,0 +1,40 @@
+//! Figure 11: predicted SDMM speedup over dense as a function of
+//! sparsity, for first-layer shapes (worst-case active rows/columns).
+//!
+//! The paper uses these curves to pick the first-layer sparsity target:
+//! beyond ~95% the sparse multiply is an order of magnitude faster than
+//! its dense counterpart, making the layer's cost negligible.
+
+use dlr_bench::{f, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Figure 11 — predicted sparse speedup vs sparsity");
+
+    let sparse = SparsePredictor::paper_like();
+    let dense = DensePredictor::paper_i9_9900k();
+    let shapes = [(400usize, 136usize), (300, 136), (200, 136), (100, 136)];
+    let sparsities = [0.80, 0.85, 0.90, 0.95, 0.97, 0.99];
+    let n = 64;
+
+    let mut headers: Vec<String> = vec!["Shape".into()];
+    headers.extend(sparsities.iter().map(|s| format!("{:.0}%", s * 100.0)));
+    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&refs);
+    for (m, k) in shapes {
+        let mut row = vec![format!("{m}x{k}")];
+        for &s in &sparsities {
+            let speedup = sparse.speedup_vs_dense(m, k, n, s, dense.gflops_for(k));
+            row.push(format!("{}x", f(speedup, 1)));
+        }
+        table.row(&row);
+    }
+    table.print();
+    println!("\nexpected shape: speedup grows super-linearly towards full sparsity");
+    println!("(paper: ~10x at 95% for 400x136, ~25x at 98.7%).");
+
+    let at95 = sparse.speedup_vs_dense(400, 136, n, 0.95, dense.gflops_for(136));
+    let at987 = sparse.speedup_vs_dense(400, 136, n, 0.987, dense.gflops_for(136));
+    println!("\n400x136: {at95:.1}x at 95% sparsity, {at987:.1}x at 98.7% (paper: ~10x, ~25x)");
+}

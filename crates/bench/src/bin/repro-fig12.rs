@@ -1,0 +1,119 @@
+//! Figure 12: effectiveness-efficiency comparison in the *high-quality
+//! retrieval* scenario.
+//!
+//! Forests of growing size form the tree-based Pareto frontier; the
+//! paper's designed, distilled and pruned nets (Table 10 architectures)
+//! form the neural one. Claim under test: the neural frontier lies on or
+//! below the tree-based frontier over most of the admissible region
+//! (models within 99% of the best forest's NDCG@10).
+//!
+//! `DLR_DATASET=istella` switches to the Istella-S-like corpus.
+
+use dlr_bench::{f, forest_exact, pipeline, teacher_forest, Corpus, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let corpus = match std::env::var("DLR_DATASET").as_deref() {
+        Ok("istella") => Corpus::IstellaS,
+        _ => Corpus::Msn30k,
+    };
+    scale.banner(&format!(
+        "Figure 12 — high-quality retrieval Pareto ({})",
+        corpus.name()
+    ));
+
+    let split = corpus.split(scale);
+    let ne = pipeline(corpus, scale);
+
+    // Tree-based competitors.
+    let forest_sizes = [300usize, 500, 878];
+    let mut tree_points = Vec::new();
+    for paper_trees in forest_sizes {
+        let trees = scale.trees(paper_trees);
+        eprintln!("training forest {paper_trees} (-> {trees} trees x 64 leaves)...");
+        let forest = forest_exact(&split.train, trees, 64);
+        let mut qs = QuickScorerScorer::compile(&forest, format!("QS {paper_trees}x64"));
+        let (pt, _) = ne.evaluate(&mut qs, &split.test);
+        tree_points.push(pt);
+    }
+
+    // Teacher + neural candidates (the Table 10 architectures).
+    eprintln!("training 256-leaf teacher...");
+    let teacher = teacher_forest(&split.train, &split.valid, scale.trees(600), 256);
+    let archs: Vec<&[usize]> = match corpus {
+        Corpus::Msn30k => vec![&[300, 200, 100], &[200, 100, 100, 50], &[200, 50, 50, 25]],
+        Corpus::IstellaS => {
+            vec![
+                &[800, 400, 400, 200],
+                &[800, 200, 200, 100],
+                &[300, 200, 100],
+            ]
+        }
+    };
+    let mut net_points = Vec::new();
+    for arch in archs {
+        let name = arch
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        eprintln!("distilling + pruning {name}...");
+        let student = ne.distill_and_prune(&teacher, &split.train, arch);
+        let mut scorer = HybridScorer::new(
+            student.hybrid,
+            student.dense.normalizer.clone(),
+            format!("NN {name} (sparse L1)"),
+        );
+        let (pt, _) = ne.evaluate(&mut scorer, &split.test);
+        net_points.push(pt);
+    }
+
+    // Admission rule: ≥ 99% of the best tree-based NDCG@10.
+    let best_tree = tree_points
+        .iter()
+        .map(|p| p.ndcg10)
+        .fold(f64::MIN, f64::max);
+    let scenario = Scenario::paper_high_quality();
+
+    let mut table = Table::new(&["Model", "NDCG@10", "us/doc", "Admitted", "On frontier"]);
+    let all: Vec<ParetoPoint> = tree_points
+        .iter()
+        .chain(net_points.iter())
+        .cloned()
+        .collect();
+    let frontier = pareto_frontier(&all);
+    for (i, p) in all.iter().enumerate() {
+        table.row(&[
+            p.name.clone(),
+            f(p.ndcg10, 4),
+            f(p.us_per_doc, 2),
+            if scenario.admits(best_tree, p) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            if frontier.contains(&i) {
+                "yes".into()
+            } else {
+                "".into()
+            },
+        ]);
+    }
+    table.print();
+
+    let tree_frontier: Vec<ParetoPoint> = pareto_frontier(&tree_points)
+        .into_iter()
+        .map(|i| tree_points[i].clone())
+        .collect();
+    let net_frontier: Vec<ParetoPoint> = pareto_frontier(&net_points)
+        .into_iter()
+        .map(|i| net_points[i].clone())
+        .collect();
+    println!(
+        "\nneural frontier dominates tree frontier: {}",
+        frontier_dominates(&net_frontier, &tree_frontier)
+    );
+    println!("paper shape (MSN30K): neural frontier below the tree one everywhere;");
+    println!("(Istella-S): frontiers intersect near the top-quality region.");
+}

@@ -1,0 +1,110 @@
+//! Figure 13: effectiveness-efficiency comparison in the *low-latency
+//! retrieval* scenario (≤ 0.5 µs/doc in the paper).
+//!
+//! Small forests versus the small pruned nets of Table 11. Claim under
+//! test: within the latency budget, the neural models reach equal or
+//! better NDCG@10 than equal-latency forests, and the most effective
+//! admissible model is neural.
+//!
+//! The absolute budget is machine-dependent; `DLR_BUDGET_US` (default
+//! 0.5) sets it, and the report prints admission against that value.
+
+use dlr_bench::{f, forest_exact, pipeline, teacher_forest, Corpus, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let corpus = match std::env::var("DLR_DATASET").as_deref() {
+        Ok("istella") => Corpus::IstellaS,
+        _ => Corpus::Msn30k,
+    };
+    let budget_us: f64 = std::env::var("DLR_BUDGET_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.5);
+    scale.banner(&format!(
+        "Figure 13 — low-latency retrieval Pareto ({}, budget {budget_us} us/doc)",
+        corpus.name()
+    ));
+
+    let split = corpus.split(scale);
+    let ne = pipeline(corpus, scale);
+
+    // Small forests: the latency-budget end of the tree family.
+    let forest_specs = [(100usize, 32usize), (200, 32), (300, 32), (100, 64)];
+    let mut tree_points = Vec::new();
+    for (paper_trees, leaves) in forest_specs {
+        let trees = scale.trees(paper_trees);
+        eprintln!("training forest {paper_trees}x{leaves} (-> {trees} trees)...");
+        let forest = forest_exact(&split.train, trees, leaves);
+        let mut qs = QuickScorerScorer::compile(&forest, format!("QS {paper_trees}x{leaves}"));
+        let (pt, _) = ne.evaluate(&mut qs, &split.test);
+        tree_points.push(pt);
+    }
+
+    eprintln!("training 256-leaf teacher...");
+    let teacher = teacher_forest(&split.train, &split.valid, scale.trees(600), 256);
+    let archs: Vec<&[usize]> = match corpus {
+        Corpus::Msn30k => vec![&[100, 50, 50, 25], &[100, 25, 25, 10], &[50, 25, 25, 10]],
+        Corpus::IstellaS => vec![&[200, 75, 75, 25], &[100, 75, 75, 10], &[100, 50, 50, 10]],
+    };
+    let mut net_points = Vec::new();
+    for arch in archs {
+        let name = arch
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        eprintln!("distilling + pruning {name}...");
+        let student = ne.distill_and_prune(&teacher, &split.train, arch);
+        let mut scorer = HybridScorer::new(
+            student.hybrid,
+            student.dense.normalizer.clone(),
+            format!("NN {name} (sparse L1)"),
+        );
+        let (pt, _) = ne.evaluate(&mut scorer, &split.test);
+        net_points.push(pt);
+    }
+
+    let scenario = Scenario::LowLatency { max_us: budget_us };
+    let all: Vec<ParetoPoint> = tree_points
+        .iter()
+        .chain(net_points.iter())
+        .cloned()
+        .collect();
+    let frontier = pareto_frontier(&all);
+    let mut table = Table::new(&["Model", "NDCG@10", "us/doc", "Admitted", "On frontier"]);
+    for (i, p) in all.iter().enumerate() {
+        table.row(&[
+            p.name.clone(),
+            f(p.ndcg10, 4),
+            f(p.us_per_doc, 2),
+            if scenario.admits(0.0, p) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            if frontier.contains(&i) {
+                "yes".into()
+            } else {
+                "".into()
+            },
+        ]);
+    }
+    table.print();
+
+    let best_admissible = all
+        .iter()
+        .filter(|p| scenario.admits(0.0, p))
+        .max_by(|a, b| a.ndcg10.partial_cmp(&b.ndcg10).expect("finite"));
+    match best_admissible {
+        Some(p) => println!(
+            "\nmost effective model within the budget: {} (NDCG@10 {:.4}, {:.2} us/doc)",
+            p.name, p.ndcg10, p.us_per_doc
+        ),
+        None => {
+            println!("\nno model fits the {budget_us} us budget on this host — raise DLR_BUDGET_US")
+        }
+    }
+    println!("paper shape: the most effective admissible model is a neural network.");
+}

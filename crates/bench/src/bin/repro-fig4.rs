@@ -1,0 +1,29 @@
+//! Figure 4: GEMM throughput as m and k grow, per batch size n.
+//!
+//! The paper sweeps square-ish weight shapes and shows GFLOPS rising with
+//! matrix size even with oneDNN's small-shape refinements. We print one
+//! series per n; the claim under test is monotone-ish growth with m = k
+//! and higher throughput at larger n.
+
+use dlr_bench::{f, Scale, Table};
+use dlr_dense::measure_gemm_gflops;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Figure 4 — GFLOPS as m = k grows, per batch size n");
+
+    let mks = [16usize, 32, 64, 128, 256, 512, 1024];
+    let ns = [64usize, 256, 1000];
+    let reps = scale.timing_reps.max(5);
+
+    let mut table = Table::new(&["m=k", "n=64", "n=256", "n=1000"]);
+    for &mk in &mks {
+        let mut row = vec![mk.to_string()];
+        for &n in &ns {
+            row.push(f(measure_gemm_gflops(mk, mk, n, 1, reps), 1));
+        }
+        table.row(&row);
+    }
+    table.print();
+    println!("\nexpected shape: GFLOPS grow with m=k and with n (paper Figure 4).");
+}

@@ -1,0 +1,38 @@
+//! Figure 5: GEMM throughput at constant m·k, varying the aspect ratio.
+//!
+//! The paper fixes the weight-matrix area (m·k = const) and slides the
+//! shape from tall-narrow to short-wide: small k with large m degrades
+//! badly, while small m with large k stays fast. This is the asymmetry
+//! that makes k (not m) the axis of the predictor's GFLOPS zones.
+
+use dlr_bench::{f, Scale, Table};
+use dlr_dense::measure_gemm_gflops;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Figure 5 — GFLOPS at constant m*k, varying aspect ratio");
+
+    const AREA: usize = 1 << 16; // 65536 weights, a mid-size layer
+    let ms = [16usize, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+    let n = 256;
+    let reps = scale.timing_reps.max(5);
+
+    let mut table = Table::new(&["m", "k", "m*k", "GFLOPS"]);
+    let mut first = None;
+    let mut last = None;
+    for &m in &ms {
+        let k = AREA / m;
+        let g = measure_gemm_gflops(m, k, n, 1, reps);
+        if first.is_none() {
+            first = Some(g);
+        }
+        last = Some(g);
+        table.row(&[m.to_string(), k.to_string(), AREA.to_string(), f(g, 1)]);
+    }
+    table.print();
+    let (first, last) = (first.unwrap_or(0.0), last.unwrap_or(0.0));
+    println!("\nsmall-m/large-k GFLOPS: {first:.1}  vs  large-m/small-k GFLOPS: {last:.1}");
+    println!(
+        "expected shape: left side (large k) fast, right side (small k) degraded (paper Figure 5)."
+    );
+}

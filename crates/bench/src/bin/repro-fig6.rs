@@ -1,0 +1,47 @@
+//! Figure 6: GFLOPS heatmap over (m, k) at n = 1000, and the derived
+//! k-zones.
+//!
+//! The paper's heatmap collapses into three horizontal stripes along k
+//! (≤128 / 128–512 / ≥512), which become the dense predictor's lookup
+//! table. We print the measured heatmap plus the per-k-zone medians this
+//! host yields.
+
+use dlr_bench::{f, Scale, Table};
+use dlr_dense::measure_gemm_gflops;
+use dlr_predictor::calibrate_dense;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Figure 6 — GFLOPS heatmap over (m, k) at n = 1000");
+
+    let ms = [32usize, 64, 128, 256, 512, 1024];
+    let ks = [32usize, 64, 128, 256, 512, 1024];
+    let n = 1000;
+    let reps = scale.timing_reps.max(3);
+
+    let mut headers: Vec<String> = vec!["m \\ k".to_string()];
+    headers.extend(ks.iter().map(|k| k.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+    for &m in &ms {
+        let mut row = vec![m.to_string()];
+        for &k in &ks {
+            row.push(f(measure_gemm_gflops(m, k, n, 1, reps), 0));
+        }
+        table.row(&row);
+    }
+    table.print();
+
+    println!("\nderived k-zones on this host (predictor calibration):");
+    let p = calibrate_dense(false);
+    for &(bound, g) in p.zones() {
+        if bound == usize::MAX {
+            println!("  k > 512        -> {g:.1} GFLOPS");
+        } else if bound == 128 {
+            println!("  k <= 128       -> {g:.1} GFLOPS");
+        } else {
+            println!("  128 < k <= {bound} -> {g:.1} GFLOPS");
+        }
+    }
+    println!("\npaper (i9-9900K): k<=128 -> 90, 128<k<=512 -> 110, k>512 -> 130 GFLOPS.");
+}

@@ -1,0 +1,93 @@
+//! Table 1: QuickScorer-traversed forests vs distilled neural networks on
+//! MSN30K — the motivating comparison.
+//!
+//! Paper result: forests dominate plain distilled nets on both axes —
+//! Large Forest (878×64) beats Large Net (1000×500×500×100) at 3x lower
+//! scoring time; Small Forest beats Small Net (500×100) at 2.8x lower
+//! time. The claim under test is the *ordering*: every forest is faster
+//! than the comparable net, and the Large Forest is the most accurate
+//! model overall. `*`/`†` mark statistically significant NDCG@10
+//! improvements over Mid/Small Forest (Fisher randomization, p < 0.05).
+
+use dlr_bench::{f, forest_exact, pipeline, sig_vs, Corpus, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Table 1 — forests (QuickScorer) vs distilled nets, MSN30K-like");
+
+    let split = Corpus::Msn30k.split(scale);
+    let ne = pipeline(Corpus::Msn30k, scale);
+    println!(
+        "data: {} train / {} valid / {} test docs\n",
+        split.train.num_docs(),
+        split.valid.num_docs(),
+        split.test.num_docs()
+    );
+
+    // Forests at the paper's three sizes (tree counts scaled by DLR_TREE_DIV).
+    let sizes = [
+        ("Large Forest", scale.trees(878)),
+        ("Mid Forest", scale.trees(157)),
+        ("Small Forest", scale.trees(79)),
+    ];
+    let mut forest_models = Vec::new();
+    for (name, trees) in sizes {
+        eprintln!("training {name} ({trees} trees x 64 leaves)...");
+        forest_models.push((name, forest_exact(&split.train, trees, 64)));
+    }
+
+    // Students distilled from the large forest (the most accurate teacher
+    // available at this scale).
+    let teacher = &forest_models[0].1;
+    let nets: [(&str, &[usize]); 2] = [
+        ("Large Net", &[1000, 500, 500, 100]),
+        ("Small Net", &[500, 100]),
+    ];
+    let mut students = Vec::new();
+    for (name, arch) in nets {
+        eprintln!("distilling {name} {arch:?}...");
+        students.push((name, ne.distill(teacher, &split.train, arch)));
+    }
+
+    // Evaluate everything.
+    let mut results: Vec<(String, ParetoPoint, EvalReport)> = Vec::new();
+    for (name, forest) in &forest_models {
+        let mut scorer = QuickScorerScorer::compile(forest, *name);
+        let (pt, report) = ne.evaluate(&mut scorer, &split.test);
+        results.push((name.to_string(), pt, report));
+    }
+    for (name, model) in &students {
+        let mut scorer = MlpScorer::new(model.mlp.clone(), model.normalizer.clone(), *name);
+        let (pt, report) = ne.evaluate(&mut scorer, &split.test);
+        results.push((name.to_string(), pt, report));
+    }
+
+    let mid = results[1].2.clone();
+    let small = results[2].2.clone();
+    let mut table = Table::new(&["Model", "NDCG@10", "NDCG", "MAP", "Scoring Time (us/doc)"]);
+    for (name, pt, report) in &results {
+        let marks = format!(
+            "{}{}",
+            sig_vs(report, &mid, "*"),
+            sig_vs(report, &small, "+")
+        );
+        table.row(&[
+            format!("{name}{marks}"),
+            f(report.mean_ndcg10(), 4),
+            f(report.mean_ndcg_full(), 4),
+            f(report.mean_ap(), 4),
+            f(pt.us_per_doc, 2),
+        ]);
+    }
+    table.print();
+    println!("\n(*: sig. better than Mid Forest, +: sig. better than Small Forest; Fisher p<0.05)");
+    println!("\npaper shape: every forest faster than the comparable net;");
+    println!("Large Forest most accurate; Large Net slowest by a wide margin.");
+    let lf_time = results[0].1.us_per_doc;
+    let ln_time = results[3].1.us_per_doc;
+    println!(
+        "\nLarge Net / Large Forest scoring-time ratio: {:.1}x (paper: 3.0x)",
+        ln_time / lf_time
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 10: predicted scoring times when pruning the first layer
+//! (high-quality retrieval architectures).
+//!
+//! Pure predictor output — exactly how the paper uses it: locate a model
+//! on the time axis *before* training anything. For each architecture we
+//! report the predicted dense time, the first layer's share, and the
+//! predicted time once the first layer is pruned to ≥ 95% sparsity
+//! (its SDMM cost becomes negligible, Figure 11).
+
+use dlr_bench::{f, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Table 10 — predicted pruned scoring time (high-quality)");
+
+    let predictor = DensePredictor::paper_i9_9900k();
+    let batch = 1000;
+    let cases: [(&str, usize, &[usize]); 6] = [
+        ("MSN30K", 136, &[300, 200, 100]),
+        ("MSN30K", 136, &[200, 100, 100, 50]),
+        ("MSN30K", 136, &[200, 50, 50, 25]),
+        ("Istella-S", 220, &[800, 400, 400, 200]),
+        ("Istella-S", 220, &[800, 200, 200, 100]),
+        ("Istella-S", 220, &[300, 200, 100]),
+    ];
+
+    let mut table = Table::new(&[
+        "Dataset",
+        "Model",
+        "Sc. Time (us/doc)",
+        "1st layer impact (%)",
+        "Predicted pruned (us/doc)",
+    ]);
+    for (ds, input_dim, arch) in cases {
+        let dense = predictor.predict_forward_us_per_doc(input_dim, arch, batch);
+        let impact = predictor.layer_impacts(input_dim, arch, batch)[0];
+        let pruned = predictor.predict_pruned_us_per_doc(input_dim, arch, batch);
+        table.row(&[
+            ds.to_string(),
+            arch.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            f(dense, 1),
+            f(impact * 100.0, 0),
+            f(pruned, 1),
+        ]);
+    }
+    table.print();
+    println!("\npaper: 2.4/30/1.7, 1.3/39/0.8, 0.9/58/0.4, 11.9/23/9.1, 6.5/41/3.8, 2.8/41/1.6");
+}

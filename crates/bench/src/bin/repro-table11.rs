@@ -1,0 +1,56 @@
+//! Table 11: predicted scoring times when pruning the first layer
+//! (low-latency retrieval architectures, budget 0.5 µs/doc).
+
+use dlr_bench::{f, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Table 11 — predicted pruned scoring time (low-latency)");
+
+    let predictor = DensePredictor::paper_i9_9900k();
+    let batch = 1000;
+    let cases: [(&str, usize, &[usize]); 6] = [
+        ("MSN30K", 136, &[100, 50, 50, 25]),
+        ("MSN30K", 136, &[100, 25, 25, 10]),
+        ("MSN30K", 136, &[50, 25, 25, 10]),
+        ("Istella-S", 220, &[200, 75, 75, 25]),
+        ("Istella-S", 220, &[100, 75, 75, 10]),
+        ("Istella-S", 220, &[100, 50, 50, 10]),
+    ];
+
+    let mut table = Table::new(&[
+        "Dataset",
+        "Model",
+        "Sc. Time (us/doc)",
+        "1st layer impact (%)",
+        "Predicted pruned (us/doc)",
+    ]);
+    for (ds, input_dim, arch) in cases {
+        let dense = predictor.predict_forward_us_per_doc(input_dim, arch, batch);
+        let impact = predictor.layer_impacts(input_dim, arch, batch)[0];
+        let pruned = predictor.predict_pruned_us_per_doc(input_dim, arch, batch);
+        table.row(&[
+            ds.to_string(),
+            arch.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("x"),
+            f(dense, 1),
+            f(impact * 100.0, 0),
+            f(pruned, 1),
+        ]);
+    }
+    table.print();
+    println!("\npaper: 0.6/56/0.3, 0.5/71/0.2, 0.3/65/0.1, 1.6/61/0.6, 0.9/55/0.4, 0.8/67/0.3");
+
+    // The paper's low-latency admission rule: every pruned prediction must
+    // clear the 0.5 µs budget on MSN30K.
+    let ok = cases
+        .iter()
+        .filter(|(ds, _, _)| *ds == "MSN30K")
+        .all(|(_, input_dim, arch)| {
+            predictor.predict_pruned_us_per_doc(*input_dim, arch, batch) <= 0.5
+        });
+    println!("\nall MSN30K candidates fit the 0.5 us budget: {ok}");
+}

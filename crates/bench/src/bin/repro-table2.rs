@@ -1,0 +1,56 @@
+//! Table 2: dense time predictor vs. real execution time.
+//!
+//! The paper reports predicted vs. measured scoring time (µs/doc, batch
+//! 1000) for four architectures on 136 input features. We calibrate the
+//! GFLOPS zone table on this host, then time real dense forward passes
+//! with the blocked GEMM. Absolute values differ from the i9-9900K; the
+//! claim under test is that prediction ≈ measurement per architecture.
+
+use dlr_bench::{f, Scale, Table};
+use dlr_core::prelude::*;
+use dlr_data::DatasetBuilder;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Table 2 — dense prediction model vs real scoring time");
+
+    println!("calibrating dense predictor on this host...");
+    let predictor = calibrate_dense(false);
+    println!("GFLOPS zones (k-bound, GFLOPS): {:?}\n", predictor.zones());
+
+    let archs: [&[usize]; 4] = [
+        &[1000, 500, 500, 100],
+        &[200, 100, 100, 50],
+        &[300, 150, 150, 30],
+        &[500, 100],
+    ];
+    let input_dim = 136;
+    let batch = 1000;
+
+    // Random documents; forward time does not depend on values.
+    let rows: Vec<f32> = (0..batch * input_dim)
+        .map(|i| ((i * 2654435761) % 1000) as f32 / 500.0 - 1.0)
+        .collect();
+    // Identity normalizer (statistics of the random rows).
+    let mut b = DatasetBuilder::new(input_dim);
+    b.push_query(1, &rows, &vec![0.0; batch]).unwrap();
+    let normalizer = Normalizer::fit(&b.finish()).unwrap();
+
+    let mut table = Table::new(&["Model", "Real (us/doc)", "Predicted (us/doc)", "Ratio"]);
+    for arch in archs {
+        let mlp = Mlp::from_hidden(input_dim, arch, 7);
+        let mut scorer = MlpScorer::new(mlp, normalizer.clone(), arch_name(arch));
+        let real = measure_us_per_doc(&mut scorer, &rows, batch, scale.timing_reps.max(5));
+        let pred = predictor.predict_forward_us_per_doc(input_dim, arch, batch);
+        table.row(&[arch_name(arch), f(real, 2), f(pred, 2), f(pred / real, 2)]);
+    }
+    table.print();
+    println!("\npaper (i9-9900K): 14.4/14.5, 1.3/1.3, 2.0/2.2, 2.1/2.2 us/doc");
+}
+
+fn arch_name(arch: &[usize]) -> String {
+    arch.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
+}

@@ -1,0 +1,81 @@
+//! Table 4: sparse time predictor vs. real SDMM execution time.
+//!
+//! Calibrates Equation 5's coefficients on this host via the paper's
+//! by-difference procedure, then predicts and measures the multiplication
+//! time of first-layer-shaped random sparse matrices at N ∈ {16, 32, 64}.
+//! The claim under test: predictions track measurements closely enough to
+//! distinguish same-shape matrices with different sparsities.
+
+use dlr_bench::{f, Scale, Table};
+use dlr_dense::Matrix;
+use dlr_predictor::{calibrate::time_spmm, calibrate_sparse, CsrShapeStats};
+use dlr_sparse::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Table 4 — sparse time predictor vs real SDMM time");
+
+    println!("calibrating sparse predictor (A_c / A_rd / A_2c by-difference)...");
+    let p = calibrate_sparse(false);
+    println!(
+        "l_a = {:.3e}  l_b = {:.3e}  l_c = {:.3e}  (s per B-column)\n",
+        p.la, p.lb, p.lc
+    );
+
+    let cases = [
+        (400, 136, 0.995),
+        (400, 136, 0.986),
+        (300, 136, 0.985),
+        (200, 136, 0.982),
+        (200, 136, 0.971),
+        (100, 136, 0.989),
+        (100, 136, 0.967),
+        (50, 136, 0.987),
+    ];
+    let ns = [16usize, 32, 64];
+    let reps = scale.timing_reps.max(5);
+
+    let mut table = Table::new(&[
+        "Shape",
+        "Sparsity",
+        "N=16 real",
+        "N=16 pred",
+        "N=32 real",
+        "N=32 pred",
+        "N=64 real",
+        "N=64 pred",
+    ]);
+    for (m, k, sparsity) in cases {
+        let a = random_sparse(m, k, sparsity, (m + k) as u64 * 7919);
+        let stats = CsrShapeStats::of(&a);
+        let mut cells = vec![format!("{m}x{k}"), f(sparsity, 3)];
+        for n in ns {
+            let real = time_spmm(&a, n, reps) * 1e6;
+            let pred = p.predict_us(stats, n);
+            cells.push(f(real, 2));
+            cells.push(f(pred, 2));
+        }
+        table.row(&cells);
+    }
+    table.print();
+    println!("\npaper row 1 (400x136 @.995): 0.2/0.2, 0.4/0.4, 0.9/0.8 us");
+}
+
+fn random_sparse(m: usize, k: usize, sparsity: f64, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dense = Matrix::zeros(m, k);
+    let nnz = ((m * k) as f64 * (1.0 - sparsity)).round().max(1.0) as usize;
+    let mut placed = 0usize;
+    while placed < nnz {
+        let i = rng.random_range(0..m);
+        let j = rng.random_range(0..k);
+        if dense.get(i, j) == 0.0 {
+            dense.set(i, j, rng.random_range(0.1..1.0f32));
+            placed += 1;
+        }
+    }
+    CsrMatrix::from_dense(&dense, 0.0)
+}

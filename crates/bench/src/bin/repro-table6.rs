@@ -1,0 +1,63 @@
+//! Table 6: dense neural networks alone do not beat QuickScorer.
+//!
+//! The paper designs 2/3/4-layer dense nets matching the scoring time of
+//! 300-tree and 500-tree forests and finds them close in quality but with
+//! no clear win on either axis — the motivation for adding pruning.
+//! Claims under test: dense nets land in the same time range as their
+//! budget forest, deeper-but-narrower beats shallower-but-wider at equal
+//! time, and no dense net beats its forest on both axes.
+
+use dlr_bench::{f, forest_exact, pipeline, teacher_forest, Corpus, Scale, Table};
+use dlr_core::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    scale.banner("Table 6 — QuickScorer vs dense nets at matched budgets (MSN30K-like)");
+
+    let split = Corpus::Msn30k.split(scale);
+    let ne = pipeline(Corpus::Msn30k, scale);
+
+    eprintln!("training teacher (256 leaves)...");
+    let teacher = teacher_forest(&split.train, &split.valid, scale.trees(600), 256);
+
+    let groups: [(&str, usize, [&[usize]; 3]); 2] = [
+        (
+            "QuickScorer 300, 64",
+            scale.trees(300),
+            [&[500, 100], &[300, 200, 100], &[300, 150, 150, 30]],
+        ),
+        (
+            "QuickScorer 500, 64",
+            scale.trees(500),
+            [&[1000, 200], &[600, 300, 100], &[500, 250, 250, 100]],
+        ),
+    ];
+
+    let mut table = Table::new(&["Model", "Scoring Time (us/doc)", "NDCG@10"]);
+    for (forest_name, trees, archs) in groups {
+        eprintln!("training {forest_name} ({trees} trees)...");
+        let forest = forest_exact(&split.train, trees, 64);
+        let mut qs = QuickScorerScorer::compile(&forest, forest_name);
+        let (pt, report) = ne.evaluate(&mut qs, &split.test);
+        table.row(&[
+            forest_name.to_string(),
+            f(pt.us_per_doc, 2),
+            f(report.mean_ndcg10(), 4),
+        ]);
+        for arch in archs {
+            let name = arch
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("x");
+            eprintln!("distilling {name}...");
+            let model = ne.distill(&teacher, &split.train, arch);
+            let mut scorer = MlpScorer::new(model.mlp, model.normalizer, name.clone());
+            let (pt, report) = ne.evaluate(&mut scorer, &split.test);
+            table.row(&[name, f(pt.us_per_doc, 2), f(report.mean_ndcg10(), 4)]);
+        }
+    }
+    table.print();
+    println!("\npaper shape: dense nets sit near the forest's scoring time with slightly");
+    println!("lower NDCG@10; 4-layer nets beat 2-layer nets of equal budget.");
+}

@@ -1,0 +1,223 @@
+//! Dataset/model construction shared by the repro binaries.
+
+use dlr_core::prelude::*;
+use dlr_distill::DistillConfig;
+
+/// Experiment scale, read once from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Queries per synthetic dataset (`DLR_QUERIES`, default 150).
+    pub queries: usize,
+    /// Divisor applied to the Table 9 epoch counts
+    /// (`DLR_EPOCH_DIV`, default 5).
+    pub epoch_div: usize,
+    /// Divisor applied to the paper's forest sizes
+    /// (`DLR_TREE_DIV`, default 2).
+    pub tree_div: usize,
+    /// Timed passes per scoring-time measurement
+    /// (`DLR_TIMING_REPS`, default 3).
+    pub timing_reps: usize,
+}
+
+impl Scale {
+    /// Read the scale from the environment.
+    pub fn from_env() -> Scale {
+        let get = |k: &str, d: usize| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(d)
+        };
+        Scale {
+            queries: get("DLR_QUERIES", 150),
+            epoch_div: get("DLR_EPOCH_DIV", 5),
+            tree_div: get("DLR_TREE_DIV", 2),
+            timing_reps: get("DLR_TIMING_REPS", 3),
+        }
+    }
+
+    /// A paper-sized tree count scaled by `tree_div`.
+    pub fn trees(&self, paper_trees: usize) -> usize {
+        (paper_trees / self.tree_div).max(5)
+    }
+
+    /// Print the experiment banner with the active scale.
+    pub fn banner(&self, experiment: &str) {
+        println!("=== {experiment} ===");
+        println!(
+            "scale: {} queries, epochs/{}  trees/{}  (set DLR_QUERIES / DLR_EPOCH_DIV / DLR_TREE_DIV to rescale)\n",
+            self.queries, self.epoch_div, self.tree_div
+        );
+    }
+}
+
+/// Which paper dataset the synthetic stand-in mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corpus {
+    /// MSLR-WEB30K-like (136 features).
+    Msn30k,
+    /// Istella-S-like (220 features).
+    IstellaS,
+}
+
+impl Corpus {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Corpus::Msn30k => "MSN30K-like",
+            Corpus::IstellaS => "Istella-S-like",
+        }
+    }
+
+    /// Generate and split the synthetic stand-in at the given scale.
+    pub fn split(&self, scale: Scale) -> Split {
+        let cfg = match self {
+            Corpus::Msn30k => SyntheticConfig::msn30k_like(scale.queries),
+            Corpus::IstellaS => SyntheticConfig::istella_s_like(scale.queries),
+        };
+        Split::by_query(&cfg.generate(), SplitRatios::PAPER, 42).expect("valid paper ratios")
+    }
+
+    /// Table 9 hyperparameters for this corpus, epoch-scaled.
+    pub fn hyper(&self, scale: Scale) -> DistillHyper {
+        match self {
+            Corpus::Msn30k => DistillHyper::msn30k().scaled_down(scale.epoch_div),
+            Corpus::IstellaS => DistillHyper::istella_s().scaled_down(scale.epoch_div),
+        }
+    }
+
+    /// Distillation configuration for this corpus.
+    pub fn distill_cfg(&self, scale: Scale) -> DistillConfig {
+        DistillConfig {
+            hyper: self.hyper(scale),
+            batch_size: 256,
+            ..Default::default()
+        }
+    }
+}
+
+/// Train a LambdaMART forest with exactly `trees` trees (no early stop),
+/// the way the paper's named competitors ("878 trees, 64 leaves") are
+/// specified.
+pub fn forest_exact(train: &Dataset, trees: usize, leaves: usize) -> Ensemble {
+    let params = LambdaMartParams {
+        num_trees: trees,
+        learning_rate: 0.1,
+        growth: GrowthParams {
+            max_leaves: leaves,
+            ..Default::default()
+        },
+        early_stopping_rounds: 0,
+        ..Default::default()
+    };
+    LambdaMartTrainer::new(params).fit(train, None).0
+}
+
+/// Train a teacher forest the paper's way: "the ensemble of regression
+/// trees with the best performance on a validation set" — LambdaMART with
+/// early stopping, truncated to the best evaluation point. Without this,
+/// 256-leaf teachers overfit badly at laptop scale and Table 5's
+/// teacher-quality ordering inverts.
+pub fn teacher_forest(
+    train: &Dataset,
+    valid: &Dataset,
+    max_trees: usize,
+    leaves: usize,
+) -> Ensemble {
+    let params = LambdaMartParams {
+        num_trees: max_trees,
+        learning_rate: 0.1,
+        growth: GrowthParams {
+            max_leaves: leaves,
+            ..Default::default()
+        },
+        eval_every: (max_trees / 10).max(5),
+        early_stopping_rounds: 3,
+        ..Default::default()
+    };
+    LambdaMartTrainer::new(params).fit(train, Some(valid)).0
+}
+
+/// A [`NeuralEngineering`] pipeline for a corpus at a scale.
+pub fn pipeline(corpus: Corpus, scale: Scale) -> NeuralEngineering {
+    NeuralEngineering::new(PipelineConfig {
+        distill: corpus.distill_cfg(scale),
+        prune: PruneConfig::first_layer_level(0.95),
+        timing_batch: 1000,
+        timing_reps: scale.timing_reps,
+        ..Default::default()
+    })
+}
+
+/// Evaluate + time a scorer, returning its trade-off point and per-query
+/// metrics.
+pub fn eval_scorer(
+    ne: &NeuralEngineering,
+    scorer: &mut dyn DocumentScorer,
+    test: &Dataset,
+) -> (ParetoPoint, EvalReport) {
+    ne.evaluate(scorer, test)
+}
+
+/// Significance marker against a baseline's per-query NDCG@10
+/// (Fisher randomization, p < 0.05): returns `"*"`, or `""`.
+pub fn sig_vs(a: &EvalReport, baseline: &EvalReport, symbol: &str) -> String {
+    if a.ndcg10.len() != baseline.ndcg10.len() {
+        return String::new();
+    }
+    let out = fisher_randomization(&a.ndcg10, &baseline.ndcg10, 2000, 99);
+    if out.mean_diff > 0.0 && out.significant(0.05) {
+        symbol.to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Format a float with the given decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults() {
+        // Don't mutate the environment (tests run in parallel): defaults
+        // apply when the variables are unset.
+        let s = Scale::from_env();
+        assert!(s.queries > 0 && s.epoch_div > 0 && s.tree_div > 0);
+        assert!(s.trees(878) >= 5);
+    }
+
+    #[test]
+    fn corpus_shapes() {
+        let scale = Scale {
+            queries: 12,
+            epoch_div: 10,
+            tree_div: 8,
+            timing_reps: 1,
+        };
+        let msn = Corpus::Msn30k.split(scale);
+        assert_eq!(msn.train.num_features(), 136);
+        let ist = Corpus::IstellaS.split(scale);
+        assert_eq!(ist.train.num_features(), 220);
+        assert!(Corpus::Msn30k.hyper(scale).train_epochs >= 1);
+    }
+
+    #[test]
+    fn forest_exact_has_exact_trees() {
+        let scale = Scale {
+            queries: 10,
+            epoch_div: 10,
+            tree_div: 8,
+            timing_reps: 1,
+        };
+        let split = Corpus::Msn30k.split(scale);
+        let e = forest_exact(&split.train, 7, 8);
+        assert_eq!(e.num_trees(), 7);
+        assert!(e.max_leaves() <= 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared harness for the `repro-*` binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md's per-experiment index).
+//! This library holds what they share: scaled dataset construction,
+//! standard model training, evaluation/timing glue and plain-text table
+//! rendering.
+//!
+//! ## Scaling
+//!
+//! The paper trains on MSLR-WEB30K (~19k training queries) with forests up
+//! to 878 trees and nets up to 1000×500×500×100 — hours of compute. The
+//! binaries default to a laptop-scale slice that preserves every *relative*
+//! comparison; the `DLR_QUERIES` and `DLR_EPOCH_DIV` environment variables
+//! scale the experiments back up:
+//!
+//! ```text
+//! DLR_QUERIES=2000 DLR_EPOCH_DIV=1 cargo run --release -p dlr-bench --bin repro-table8
+//! ```
+
+pub mod harness;
+pub mod tablefmt;
+
+pub use harness::*;
+pub use tablefmt::Table;

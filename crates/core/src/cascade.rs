@@ -1,0 +1,255 @@
+//! Two-stage scoring cascades (§7 future work: "early exiting").
+//!
+//! The ranking-pipeline form of early exit: a cheap first-stage model
+//! scores every candidate, and only the `rescore_top` most promising
+//! documents per query pay for the expensive second-stage model. Documents
+//! that exit at stage one keep their cheap scores, offset so every
+//! rescored document ranks above every exited one (the standard telescoped
+//! cascade). Quality approaches the expensive model's at a fraction of its
+//! cost whenever the cheap model's top-k recall is good — exactly the
+//! trade the paper's future work targets.
+
+use crate::scoring::DocumentScorer;
+
+/// A two-stage cascade over raw feature rows.
+pub struct CascadeScorer<A, B> {
+    /// Cheap stage-one scorer.
+    pub stage1: A,
+    /// Expensive stage-two scorer.
+    pub stage2: B,
+    /// Documents per batch promoted to stage two.
+    pub rescore_top: usize,
+    label: String,
+    scratch_scores: Vec<f32>,
+    scratch_rows: Vec<f32>,
+    scratch_out: Vec<f32>,
+}
+
+impl<A: DocumentScorer, B: DocumentScorer> CascadeScorer<A, B> {
+    /// Build a cascade promoting `rescore_top` documents per scored batch
+    /// (callers score one query per batch for the paper's use case).
+    ///
+    /// # Panics
+    /// Panics when the stages disagree on feature count.
+    pub fn new(stage1: A, stage2: B, rescore_top: usize, label: impl Into<String>) -> Self {
+        assert_eq!(
+            stage1.num_features(),
+            stage2.num_features(),
+            "cascade stages must share a feature space"
+        );
+        CascadeScorer {
+            stage1,
+            stage2,
+            rescore_top,
+            label: label.into(),
+            scratch_scores: Vec::new(),
+            scratch_rows: Vec::new(),
+            scratch_out: Vec::new(),
+        }
+    }
+}
+
+impl<A: DocumentScorer, B: DocumentScorer> DocumentScorer for CascadeScorer<A, B> {
+    fn num_features(&self) -> usize {
+        self.stage1.num_features()
+    }
+
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        let f = self.num_features();
+        let n = out.len();
+        // Stage 1: everyone.
+        self.stage1.score_batch(rows, out);
+        let k = self.rescore_top.min(n);
+        if k == 0 || k == n && n == 0 {
+            return;
+        }
+        // Select the top-k stage-1 documents.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            out[b]
+                .partial_cmp(&out[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let promoted = &order[..k];
+        // Stage 2 on the promoted rows only.
+        self.scratch_rows.clear();
+        for &d in promoted {
+            self.scratch_rows
+                .extend_from_slice(&rows[d * f..(d + 1) * f]);
+        }
+        self.scratch_out.resize(k, 0.0);
+        self.stage2
+            .score_batch(&self.scratch_rows, &mut self.scratch_out[..k]);
+        // Telescope: every promoted doc outranks every exited doc, with
+        // stage-2 order inside the promoted set and stage-1 order outside.
+        self.scratch_scores.clear();
+        self.scratch_scores.extend_from_slice(out);
+        let exited_max = order[k..]
+            .iter()
+            .map(|&d| self.scratch_scores[d])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let s2_min = self.scratch_out[..k]
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        let offset = if exited_max.is_finite() {
+            (exited_max - s2_min) + 1.0
+        } else {
+            0.0
+        };
+        for (rank, &d) in promoted.iter().enumerate() {
+            out[d] = self.scratch_out[rank] + offset;
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scorer computing a fixed linear function, with a call counter.
+    struct Counting {
+        weights: Vec<f32>,
+        calls: std::rc::Rc<std::cell::Cell<usize>>,
+    }
+
+    impl DocumentScorer for Counting {
+        fn num_features(&self) -> usize {
+            self.weights.len()
+        }
+
+        fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+            self.calls.set(self.calls.get() + out.len());
+            for (row, o) in rows.chunks_exact(self.weights.len()).zip(out.iter_mut()) {
+                *o = row.iter().zip(&self.weights).map(|(x, w)| x * w).sum();
+            }
+        }
+
+        fn name(&self) -> String {
+            "counting".into()
+        }
+    }
+
+    fn counters() -> (
+        Counting,
+        Counting,
+        std::rc::Rc<std::cell::Cell<usize>>,
+        std::rc::Rc<std::cell::Cell<usize>>,
+    ) {
+        let c1 = std::rc::Rc::new(std::cell::Cell::new(0));
+        let c2 = std::rc::Rc::new(std::cell::Cell::new(0));
+        // Stage 1 is a noisy proxy of stage 2 (same weights, coarser).
+        let cheap = Counting {
+            weights: vec![1.0, 0.0],
+            calls: c1.clone(),
+        };
+        let expensive = Counting {
+            weights: vec![1.0, 0.1],
+            calls: c2.clone(),
+        };
+        (cheap, expensive, c1, c2)
+    }
+
+    #[test]
+    fn stage2_only_sees_top_k() {
+        let (cheap, expensive, c1, c2) = counters();
+        let mut cascade = CascadeScorer::new(cheap, expensive, 3, "cascade");
+        let rows: Vec<f32> = (0..10).flat_map(|i| [i as f32, (10 - i) as f32]).collect();
+        let mut out = vec![0.0f32; 10];
+        cascade.score_batch(&rows, &mut out);
+        assert_eq!(c1.get(), 10);
+        assert_eq!(c2.get(), 3);
+    }
+
+    #[test]
+    fn promoted_docs_outrank_exited_docs() {
+        let (cheap, expensive, _, _) = counters();
+        let mut cascade = CascadeScorer::new(cheap, expensive, 2, "cascade");
+        let rows: Vec<f32> = (0..6).flat_map(|i| [i as f32, 0.0]).collect();
+        let mut out = vec![0.0f32; 6];
+        cascade.score_batch(&rows, &mut out);
+        // Stage-1 top-2 are docs 5 and 4; their final scores beat all others.
+        let min_promoted = out[4].min(out[5]);
+        for d in 0..4 {
+            assert!(
+                out[d] < min_promoted,
+                "doc {d} score {} >= {min_promoted}",
+                out[d]
+            );
+        }
+    }
+
+    #[test]
+    fn within_promoted_order_follows_stage2() {
+        // Stage 2 reverses stage 1's opinion inside the top set.
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let cheap = Counting {
+            weights: vec![1.0, 0.0],
+            calls: c.clone(),
+        };
+        let expensive = Counting {
+            weights: vec![-1.0, 0.0],
+            calls: c.clone(),
+        };
+        let mut cascade = CascadeScorer::new(cheap, expensive, 2, "cascade");
+        let rows = [3.0f32, 0.0, 2.0, 0.0, 1.0, 0.0]; // docs: 3, 2, 1
+        let mut out = vec![0.0f32; 3];
+        cascade.score_batch(&rows, &mut out);
+        // Promoted: docs 0 and 1; stage 2 prefers the smaller value → doc 1.
+        assert!(out[1] > out[0]);
+        assert!(out[0] > out[2]);
+    }
+
+    #[test]
+    fn k_of_zero_is_stage1_only() {
+        let (cheap, expensive, _, c2) = counters();
+        let mut cascade = CascadeScorer::new(cheap, expensive, 0, "cascade");
+        let rows = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out = vec![0.0f32; 2];
+        cascade.score_batch(&rows, &mut out);
+        assert_eq!(c2.get(), 0);
+        assert_eq!(out, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn k_at_least_n_degenerates_to_stage2_ranking() {
+        let (cheap, expensive, _, _) = counters();
+        let mut cascade = CascadeScorer::new(cheap, expensive, 100, "cascade");
+        let rows: Vec<f32> = (0..5).flat_map(|i| [i as f32, (5 - i) as f32]).collect();
+        let mut out = vec![0.0f32; 5];
+        cascade.score_batch(&rows, &mut out);
+        // Ranking must equal the expensive model's ranking.
+        let mut expected = vec![0.0f32; 5];
+        let mut exp = Counting {
+            weights: vec![1.0, 0.1],
+            calls: std::rc::Rc::new(std::cell::Cell::new(0)),
+        };
+        exp.score_batch(&rows, &mut expected);
+        let rank = |s: &[f32]| {
+            let mut o: Vec<usize> = (0..s.len()).collect();
+            o.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap());
+            o
+        };
+        assert_eq!(rank(&out), rank(&expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a feature space")]
+    fn feature_mismatch_rejected() {
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let a = Counting {
+            weights: vec![1.0],
+            calls: c.clone(),
+        };
+        let b = Counting {
+            weights: vec![1.0, 2.0],
+            calls: c,
+        };
+        CascadeScorer::new(a, b, 1, "bad");
+    }
+}

@@ -1,0 +1,119 @@
+//! Effectiveness-efficiency Pareto frontiers (Figures 12–13).
+
+/// A model's position in the trade-off plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Model label.
+    pub name: String,
+    /// Scoring time (µs/doc) — lower is better.
+    pub us_per_doc: f64,
+    /// Ranking quality (NDCG@10) — higher is better.
+    pub ndcg10: f64,
+}
+
+/// Indices of the non-dominated points, sorted by scoring time ascending.
+///
+/// Point `a` dominates `b` when `a` is no slower *and* no less accurate,
+/// and strictly better on at least one axis.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .us_per_doc
+            .partial_cmp(&points[b].us_per_doc)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[b]
+                    .ndcg10
+                    .partial_cmp(&points[a].ndcg10)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut frontier = Vec::new();
+    let mut best_quality = f64::NEG_INFINITY;
+    for &i in &idx {
+        if points[i].ndcg10 > best_quality {
+            frontier.push(i);
+            best_quality = points[i].ndcg10;
+        }
+    }
+    frontier
+}
+
+/// Whether frontier `a` lies entirely on-or-below frontier `b` in the
+/// (time, quality) plane: for every point of `b` there is a point of `a`
+/// at least as good on both axes. This is the sense in which the paper
+/// says "the neural Pareto-optimality lays below the tree-based one".
+pub fn frontier_dominates(a: &[ParetoPoint], b: &[ParetoPoint]) -> bool {
+    b.iter().all(|pb| {
+        a.iter()
+            .any(|pa| pa.us_per_doc <= pb.us_per_doc && pa.ndcg10 >= pb.ndcg10)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(name: &str, us: f64, ndcg: f64) -> ParetoPoint {
+        ParetoPoint {
+            name: name.into(),
+            us_per_doc: us,
+            ndcg10: ndcg,
+        }
+    }
+
+    #[test]
+    fn dominated_points_excluded() {
+        let pts = vec![
+            pt("fast-bad", 1.0, 0.50),
+            pt("slow-good", 8.0, 0.53),
+            pt("dominated", 9.0, 0.52), // slower and worse than slow-good
+            pt("mid", 3.0, 0.52),
+        ];
+        let f = pareto_frontier(&pts);
+        let names: Vec<&str> = f.iter().map(|&i| pts[i].name.as_str()).collect();
+        assert_eq!(names, vec!["fast-bad", "mid", "slow-good"]);
+    }
+
+    #[test]
+    fn equal_points_keep_one() {
+        let pts = vec![pt("a", 1.0, 0.5), pt("b", 1.0, 0.5)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let pts = vec![pt("only", 2.0, 0.5)];
+        assert_eq!(pareto_frontier(&pts), vec![0]);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_monotone() {
+        let pts = vec![
+            pt("a", 5.0, 0.54),
+            pt("b", 0.5, 0.48),
+            pt("c", 2.0, 0.52),
+            pt("d", 1.0, 0.50),
+        ];
+        let f = pareto_frontier(&pts);
+        for w in f.windows(2) {
+            assert!(pts[w[0]].us_per_doc <= pts[w[1]].us_per_doc);
+            assert!(pts[w[0]].ndcg10 < pts[w[1]].ndcg10);
+        }
+    }
+
+    #[test]
+    fn domination_between_frontiers() {
+        let trees = vec![
+            pt("t1", 3.0, 0.523),
+            pt("t2", 4.9, 0.524),
+            pt("t3", 8.2, 0.5246),
+        ];
+        let nets = vec![pt("n1", 1.9, 0.5246), pt("n2", 0.8, 0.521)];
+        assert!(frontier_dominates(&nets, &trees));
+        assert!(!frontier_dominates(&trees, &nets));
+    }
+}

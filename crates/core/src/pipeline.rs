@@ -1,0 +1,237 @@
+//! The §5–§6 methodology as one object.
+
+use crate::pareto::ParetoPoint;
+use crate::scoring::DocumentScorer;
+use crate::timing::measure_us_per_doc;
+use dlr_data::Dataset;
+use dlr_distill::{DistillConfig, DistillSession, DistilledModel};
+use dlr_gbdt::{Ensemble, GrowthParams, LambdaMartParams, LambdaMartTrainer};
+use dlr_metrics::{evaluate_scores, EvalReport};
+use dlr_nn::HybridMlp;
+use dlr_predictor::{design_architectures, ArchCandidate, DensePredictor, SearchSpace};
+use dlr_prune::{prune_first_layer, PruneConfig};
+
+/// Everything the pipeline needs besides the data.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Distillation schedule and batch settings (Table 9).
+    pub distill: DistillConfig,
+    /// First-layer pruning method (§5.2).
+    pub prune: PruneConfig,
+    /// Dense time predictor (calibrated or paper values).
+    pub predictor: DensePredictor,
+    /// Architecture enumeration space.
+    pub search: SearchSpace,
+    /// Batch size used when measuring scoring times.
+    pub timing_batch: usize,
+    /// Timed passes per measurement (median taken).
+    pub timing_reps: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            distill: DistillConfig::default(),
+            prune: PruneConfig::first_layer_level(0.95),
+            predictor: DensePredictor::paper_i9_9900k(),
+            search: SearchSpace::default(),
+            timing_batch: 1000,
+            timing_reps: 5,
+        }
+    }
+}
+
+/// A distilled, pruned, frozen student ready for deployment.
+#[derive(Debug, Clone)]
+pub struct PrunedStudent {
+    /// Hidden sizes of the architecture.
+    pub hidden: Vec<usize>,
+    /// The fine-tuned network (first layer contains exact zeros).
+    pub dense: DistilledModel,
+    /// The hybrid sparse/dense scorer frozen from `dense`.
+    pub hybrid: HybridMlp,
+    /// Achieved first-layer sparsity.
+    pub first_layer_sparsity: f64,
+}
+
+/// The paper's methodology: design under a budget, distill, prune,
+/// evaluate.
+#[derive(Debug, Clone, Default)]
+pub struct NeuralEngineering {
+    /// Pipeline configuration.
+    pub cfg: PipelineConfig,
+}
+
+impl NeuralEngineering {
+    /// Create a pipeline with the given configuration.
+    pub fn new(cfg: PipelineConfig) -> NeuralEngineering {
+        NeuralEngineering { cfg }
+    }
+
+    /// Train a LambdaMART forest of `num_trees` trees × `max_leaves`
+    /// leaves (early-stopped on `valid` when provided) — the competitor /
+    /// teacher models of §6.1.
+    pub fn train_forest(
+        train: &Dataset,
+        valid: Option<&Dataset>,
+        num_trees: usize,
+        max_leaves: usize,
+        learning_rate: f32,
+    ) -> Ensemble {
+        let params = LambdaMartParams {
+            num_trees,
+            learning_rate,
+            growth: GrowthParams {
+                max_leaves,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        LambdaMartTrainer::new(params).fit(train, valid).0
+    }
+
+    /// §5.2 design step: architectures whose *predicted pruned* time fits
+    /// `budget_us` µs/doc.
+    pub fn design(&self, input_dim: usize, budget_us: f64) -> Vec<ArchCandidate> {
+        design_architectures(&self.cfg.predictor, input_dim, budget_us, &self.cfg.search)
+    }
+
+    /// §5.1 distillation step: train a student of the given hidden sizes
+    /// against `teacher` on `train`.
+    pub fn distill(&self, teacher: &Ensemble, train: &Dataset, hidden: &[usize]) -> DistilledModel {
+        DistillSession::new(teacher, train, self.cfg.distill.clone()).train_student(hidden)
+    }
+
+    /// Full student pipeline: distill, prune the first layer with
+    /// fine-tuning, freeze into a hybrid scorer.
+    pub fn distill_and_prune(
+        &self,
+        teacher: &Ensemble,
+        train: &Dataset,
+        hidden: &[usize],
+    ) -> PrunedStudent {
+        let session = DistillSession::new(teacher, train, self.cfg.distill.clone());
+        let mut model = session.train_student(hidden);
+        let outcome = prune_first_layer(&session, &mut model.mlp, &self.cfg.prune);
+        let hybrid = HybridMlp::from_mlp(&model.mlp, 0.0);
+        PrunedStudent {
+            hidden: hidden.to_vec(),
+            dense: model,
+            hybrid,
+            first_layer_sparsity: outcome.final_sparsity,
+        }
+    }
+
+    /// Measure a scorer on `test`: ranking metrics plus median µs/doc.
+    pub fn evaluate(
+        &self,
+        scorer: &mut dyn DocumentScorer,
+        test: &Dataset,
+    ) -> (ParetoPoint, EvalReport) {
+        let mut scores = vec![0.0f32; test.num_docs()];
+        scorer.score_batch(test.features(), &mut scores);
+        let report = evaluate_scores(&scores, test);
+        let us = measure_us_per_doc(
+            scorer,
+            test.features(),
+            self.cfg.timing_batch,
+            self.cfg.timing_reps,
+        );
+        (
+            ParetoPoint {
+                name: scorer.name(),
+                us_per_doc: us,
+                ndcg10: report.mean_ndcg10(),
+            },
+            report,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{HybridScorer, QuickScorerScorer};
+    use dlr_data::{Split, SplitRatios, SyntheticConfig};
+    use dlr_distill::DistillHyper;
+
+    fn tiny_cfg() -> PipelineConfig {
+        let mut hyper = DistillHyper::msn30k();
+        hyper.train_epochs = 15;
+        hyper.prune_epochs = 5;
+        hyper.finetune_epochs = 3;
+        hyper.gamma_steps = vec![10, 13];
+        PipelineConfig {
+            distill: DistillConfig {
+                hyper,
+                batch_size: 64,
+                ..Default::default()
+            },
+            prune: PruneConfig::first_layer_level(0.9),
+            timing_batch: 128,
+            timing_reps: 2,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_data() -> Split {
+        let mut cfg = SyntheticConfig::msn30k_like(40);
+        cfg.docs_per_query = 20;
+        cfg.num_features = 12;
+        cfg.num_informative = 5;
+        let d = cfg.generate();
+        Split::by_query(&d, SplitRatios::PAPER, 5).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_produces_a_working_hybrid_model() {
+        let split = tiny_data();
+        let ne = NeuralEngineering::new(tiny_cfg());
+        let teacher =
+            NeuralEngineering::train_forest(&split.train, Some(&split.valid), 12, 16, 0.1);
+        let student = ne.distill_and_prune(&teacher, &split.train, &[16, 8]);
+        assert!(
+            (student.first_layer_sparsity - 0.9).abs() < 0.03,
+            "sparsity {}",
+            student.first_layer_sparsity
+        );
+        // The hybrid scorer evaluates end to end.
+        let mut scorer = HybridScorer::new(
+            student.hybrid.clone(),
+            student.dense.normalizer.clone(),
+            "student",
+        );
+        let (point, report) = ne.evaluate(&mut scorer, &split.test);
+        assert!(point.us_per_doc > 0.0);
+        assert!((0.0..=1.0).contains(&point.ndcg10));
+        assert_eq!(report.ndcg10.len(), split.test.num_queries());
+        // Student quality should be meaningfully above a broken model
+        // (random scoring on this data sits near the degenerate baseline).
+        assert!(point.ndcg10 > 0.5, "student NDCG@10 {}", point.ndcg10);
+    }
+
+    #[test]
+    fn design_respects_budget_and_orders_by_expressiveness() {
+        let ne = NeuralEngineering::new(tiny_cfg());
+        let candidates = ne.design(136, 1.0);
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.pruned_us <= 1.0);
+        }
+        for w in candidates.windows(2) {
+            assert!(w[0].dense_us >= w[1].dense_us);
+        }
+    }
+
+    #[test]
+    fn evaluate_quickscorer_wrapper() {
+        let split = tiny_data();
+        let ne = NeuralEngineering::new(tiny_cfg());
+        let forest = NeuralEngineering::train_forest(&split.train, Some(&split.valid), 10, 8, 0.1);
+        let mut qs = QuickScorerScorer::compile(&forest, "forest 10x8");
+        let (point, _) = ne.evaluate(&mut qs, &split.test);
+        assert_eq!(point.name, "forest 10x8");
+        assert!(point.us_per_doc > 0.0);
+        assert!(point.ndcg10 > 0.5, "forest NDCG@10 {}", point.ndcg10);
+    }
+}

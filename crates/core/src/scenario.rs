@@ -1,0 +1,88 @@
+//! The two experimental scenarios of §6.1.
+
+use crate::pareto::ParetoPoint;
+
+/// A model-admission rule for the effectiveness-efficiency comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// *High-quality retrieval*: only models whose NDCG@10 reaches
+    /// `quality_frac` (the paper: 0.99) of the best tree-based
+    /// competitor's are considered.
+    HighQuality {
+        /// Fraction of the top competitor's quality required.
+        quality_frac: f64,
+    },
+    /// *Low-latency retrieval*: only models scoring within `max_us`
+    /// µs/doc (the paper: 0.5 µs) are considered.
+    LowLatency {
+        /// Maximum admissible scoring time, µs/doc.
+        max_us: f64,
+    },
+}
+
+impl Scenario {
+    /// The paper's high-quality setting (99% of the best competitor).
+    pub fn paper_high_quality() -> Scenario {
+        Scenario::HighQuality { quality_frac: 0.99 }
+    }
+
+    /// The paper's low-latency setting (0.5 µs/doc).
+    pub fn paper_low_latency() -> Scenario {
+        Scenario::LowLatency { max_us: 0.5 }
+    }
+
+    /// Whether `point` is admissible. `best_quality` is the NDCG@10 of
+    /// the best tree-based competitor (used by the high-quality rule).
+    pub fn admits(&self, best_quality: f64, point: &ParetoPoint) -> bool {
+        match *self {
+            Scenario::HighQuality { quality_frac } => point.ndcg10 >= quality_frac * best_quality,
+            Scenario::LowLatency { max_us } => point.us_per_doc <= max_us,
+        }
+    }
+
+    /// Filter a model set down to the admissible ones.
+    pub fn filter<'a>(&self, best_quality: f64, points: &'a [ParetoPoint]) -> Vec<&'a ParetoPoint> {
+        points
+            .iter()
+            .filter(|p| self.admits(best_quality, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(us: f64, ndcg: f64) -> ParetoPoint {
+        ParetoPoint {
+            name: String::new(),
+            us_per_doc: us,
+            ndcg10: ndcg,
+        }
+    }
+
+    #[test]
+    fn high_quality_rule() {
+        let s = Scenario::paper_high_quality();
+        let best = 0.5246;
+        assert!(s.admits(best, &pt(100.0, 0.5246)));
+        assert!(s.admits(best, &pt(100.0, 0.52))); // ≥ 99% of 0.5246
+        assert!(!s.admits(best, &pt(0.1, 0.51))); // below the floor
+    }
+
+    #[test]
+    fn low_latency_rule() {
+        let s = Scenario::paper_low_latency();
+        assert!(s.admits(0.0, &pt(0.4, 0.1)));
+        assert!(s.admits(0.0, &pt(0.5, 0.1)));
+        assert!(!s.admits(0.0, &pt(0.6, 0.99)));
+    }
+
+    #[test]
+    fn filter_keeps_admissible() {
+        let pts = vec![pt(0.3, 0.5), pt(0.7, 0.6), pt(0.45, 0.4)];
+        let s = Scenario::paper_low_latency();
+        let kept = s.filter(0.0, &pts);
+        assert_eq!(kept.len(), 2);
+    }
+}

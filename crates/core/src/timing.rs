@@ -1,0 +1,124 @@
+//! Single-thread scoring-time measurement.
+//!
+//! The paper's efficiency numbers are per-document scoring times measured
+//! single-threaded over large batches (batch size 1000 for the dense
+//! tables). We replicate that: stream a document set through the scorer
+//! in fixed-size batches, repeat the whole pass several times, and report
+//! the median µs/doc.
+
+use crate::scoring::DocumentScorer;
+use std::time::Instant;
+
+/// Median microseconds per document over `reps` full passes of `rows`
+/// (row-major `n × num_features`), scored in batches of `batch`.
+///
+/// One warm-up pass runs first so one-time costs (workspace growth, cache
+/// warming) are excluded, as in any serious scoring benchmark.
+///
+/// # Panics
+/// Panics when `rows` is not a whole number of documents or is empty.
+pub fn measure_us_per_doc<S: DocumentScorer + ?Sized>(
+    scorer: &mut S,
+    rows: &[f32],
+    batch: usize,
+    reps: usize,
+) -> f64 {
+    let f = scorer.num_features();
+    assert!(
+        f > 0 && rows.len().is_multiple_of(f),
+        "rows must be n × num_features"
+    );
+    let n = rows.len() / f;
+    assert!(n > 0, "need at least one document");
+    let batch = batch.max(1);
+    let mut out = vec![0.0f32; batch.min(n)];
+
+    let mut pass = |scorer: &mut S| {
+        let mut start = 0usize;
+        while start < n {
+            let b = batch.min(n - start);
+            scorer.score_batch(&rows[start * f..(start + b) * f], &mut out[..b]);
+            start += b;
+        }
+    };
+
+    pass(scorer); // warm-up
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        pass(scorer);
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    samples[samples.len() / 2] / n as f64 * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SpinScorer {
+        features: usize,
+        spins: usize,
+    }
+
+    impl DocumentScorer for SpinScorer {
+        fn num_features(&self) -> usize {
+            self.features
+        }
+
+        fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+            for (row, o) in rows.chunks_exact(self.features).zip(out.iter_mut()) {
+                let mut acc = 0.0f32;
+                for _ in 0..self.spins {
+                    for &v in row {
+                        acc += v * 1.0000001;
+                    }
+                }
+                *o = acc;
+            }
+        }
+
+        fn name(&self) -> String {
+            "spin".into()
+        }
+    }
+
+    #[test]
+    fn measures_positive_time_and_orders_workloads() {
+        let rows = vec![1.0f32; 4 * 512];
+        let mut cheap = SpinScorer {
+            features: 4,
+            spins: 1,
+        };
+        let mut pricey = SpinScorer {
+            features: 4,
+            spins: 400,
+        };
+        let a = measure_us_per_doc(&mut cheap, &rows, 64, 3);
+        let b = measure_us_per_doc(&mut pricey, &rows, 64, 3);
+        assert!(a > 0.0);
+        assert!(b > a, "400 spins {b} should beat 1 spin {a}");
+    }
+
+    #[test]
+    fn batch_larger_than_corpus_is_fine() {
+        let rows = vec![0.5f32; 4 * 10];
+        let mut s = SpinScorer {
+            features: 4,
+            spins: 1,
+        };
+        let us = measure_us_per_doc(&mut s, &rows, 1000, 2);
+        assert!(us.is_finite() && us > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n × num_features")]
+    fn ragged_rows_rejected() {
+        let mut s = SpinScorer {
+            features: 4,
+            spins: 1,
+        };
+        measure_us_per_doc(&mut s, &[0.0; 7], 8, 1);
+    }
+}

@@ -1,0 +1,370 @@
+//! Query-grouped learning-to-rank datasets.
+//!
+//! A [`Dataset`] stores all documents of all queries in a single row-major
+//! `f32` matrix (`num_docs × num_features`) plus a CSR-style offset array
+//! delimiting the documents of each query. This layout keeps scoring loops
+//! free of indirection and lets us hand contiguous slices to the matrix
+//! kernels in `dlr-dense` / `dlr-sparse`.
+
+use crate::error::DataError;
+
+/// A learning-to-rank dataset: documents grouped by query.
+///
+/// Relevance labels are stored as `f32` but are integral grades in
+/// `0..=4` for the datasets used in the paper (0 = irrelevant,
+/// 4 = perfectly relevant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    num_features: usize,
+    /// Row-major `num_docs × num_features` feature matrix.
+    features: Vec<f32>,
+    /// Per-document relevance grade.
+    labels: Vec<f32>,
+    /// CSR-style: documents of query `q` are `query_offsets[q]..query_offsets[q+1]`.
+    query_offsets: Vec<usize>,
+    /// Original query identifiers (parallel to queries), e.g. LETOR `qid`.
+    query_ids: Vec<u64>,
+}
+
+/// A borrowed view of one query's documents.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRef<'a> {
+    /// Original query identifier.
+    pub qid: u64,
+    /// Row-major `num_docs × num_features` feature block for this query.
+    pub features: &'a [f32],
+    /// Relevance grades, one per document.
+    pub labels: &'a [f32],
+    /// Number of features per document.
+    pub num_features: usize,
+}
+
+impl<'a> QueryRef<'a> {
+    /// Number of documents in this query.
+    #[inline]
+    pub fn num_docs(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Feature vector of the `i`-th document.
+    #[inline]
+    pub fn doc(&self, i: usize) -> &'a [f32] {
+        &self.features[i * self.num_features..(i + 1) * self.num_features]
+    }
+}
+
+impl Dataset {
+    /// Number of features per document.
+    #[inline]
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Total number of documents across all queries.
+    #[inline]
+    pub fn num_docs(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of queries.
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.query_offsets.len() - 1
+    }
+
+    /// The whole feature matrix, row-major `num_docs × num_features`.
+    #[inline]
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// All labels, one per document, in dataset order.
+    #[inline]
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Feature vector of document `doc` (global index).
+    #[inline]
+    pub fn doc(&self, doc: usize) -> &[f32] {
+        &self.features[doc * self.num_features..(doc + 1) * self.num_features]
+    }
+
+    /// Document range (global indices) of query `q`.
+    #[inline]
+    pub fn query_range(&self, q: usize) -> std::ops::Range<usize> {
+        self.query_offsets[q]..self.query_offsets[q + 1]
+    }
+
+    /// Borrowed view of query `q`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::QueryOutOfRange`] when `q >= num_queries()`.
+    pub fn query(&self, q: usize) -> Result<QueryRef<'_>, DataError> {
+        if q >= self.num_queries() {
+            return Err(DataError::QueryOutOfRange {
+                query: q,
+                num_queries: self.num_queries(),
+            });
+        }
+        let r = self.query_range(q);
+        Ok(QueryRef {
+            qid: self.query_ids[q],
+            features: &self.features[r.start * self.num_features..r.end * self.num_features],
+            labels: &self.labels[r.clone()],
+            num_features: self.num_features,
+        })
+    }
+
+    /// Iterator over all queries in order.
+    pub fn queries(&self) -> impl Iterator<Item = QueryRef<'_>> + '_ {
+        (0..self.num_queries()).map(move |q| self.query(q).expect("index in range"))
+    }
+
+    /// Average number of documents per query.
+    pub fn mean_docs_per_query(&self) -> f64 {
+        if self.num_queries() == 0 {
+            0.0
+        } else {
+            self.num_docs() as f64 / self.num_queries() as f64
+        }
+    }
+
+    /// Build a new dataset containing only the given queries (in the given
+    /// order). Used by the splitter.
+    pub fn select_queries(&self, queries: &[usize]) -> Result<Dataset, DataError> {
+        let mut b = DatasetBuilder::new(self.num_features);
+        for &q in queries {
+            let qr = self.query(q)?;
+            b.push_query(qr.qid, qr.features, qr.labels)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Labels of query `q` as integer grades (rounded).
+    pub fn query_grades(&self, q: usize) -> Result<Vec<u8>, DataError> {
+        Ok(self
+            .query(q)?
+            .labels
+            .iter()
+            .map(|&l| l.round().clamp(0.0, 255.0) as u8)
+            .collect())
+    }
+
+    /// Mutable access for in-place transforms that keep the shape.
+    pub(crate) fn features_mut(&mut self) -> &mut [f32] {
+        &mut self.features
+    }
+}
+
+/// Incremental builder for [`Dataset`].
+///
+/// Documents are appended one query at a time; feature counts are checked
+/// against the count fixed at construction.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    num_features: usize,
+    features: Vec<f32>,
+    labels: Vec<f32>,
+    query_offsets: Vec<usize>,
+    query_ids: Vec<u64>,
+}
+
+impl DatasetBuilder {
+    /// Create a builder for documents with `num_features` features each.
+    pub fn new(num_features: usize) -> Self {
+        DatasetBuilder {
+            num_features,
+            features: Vec::new(),
+            labels: Vec::new(),
+            query_offsets: vec![0],
+            query_ids: Vec::new(),
+        }
+    }
+
+    /// Append an entire query block: `features` is row-major
+    /// `labels.len() × num_features`.
+    ///
+    /// # Errors
+    /// [`DataError::FeatureCountMismatch`] if the block shape is wrong.
+    pub fn push_query(
+        &mut self,
+        qid: u64,
+        features: &[f32],
+        labels: &[f32],
+    ) -> Result<(), DataError> {
+        if features.len() != labels.len() * self.num_features {
+            return Err(DataError::FeatureCountMismatch {
+                expected: labels.len() * self.num_features,
+                got: features.len(),
+            });
+        }
+        self.features.extend_from_slice(features);
+        self.labels.extend_from_slice(labels);
+        self.query_offsets.push(self.labels.len());
+        self.query_ids.push(qid);
+        Ok(())
+    }
+
+    /// Begin a new query and return a scoped adder for its documents.
+    pub fn begin_query(&mut self, qid: u64) -> QueryAdder<'_> {
+        self.query_ids.push(qid);
+        QueryAdder { builder: self }
+    }
+
+    /// Number of documents added so far.
+    pub fn num_docs(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Finish building. Queries with zero documents are kept (they simply
+    /// contribute empty ranges).
+    pub fn finish(self) -> Dataset {
+        Dataset {
+            num_features: self.num_features,
+            features: self.features,
+            labels: self.labels,
+            query_offsets: self.query_offsets,
+            query_ids: self.query_ids,
+        }
+    }
+}
+
+/// Scoped helper adding documents to the query opened by
+/// [`DatasetBuilder::begin_query`]. The query is closed when the adder is
+/// dropped.
+pub struct QueryAdder<'a> {
+    builder: &'a mut DatasetBuilder,
+}
+
+impl QueryAdder<'_> {
+    /// Add one document with its relevance grade.
+    ///
+    /// # Errors
+    /// [`DataError::FeatureCountMismatch`] if `features.len()` differs from
+    /// the dataset's feature count.
+    pub fn add_doc(&mut self, features: &[f32], label: f32) -> Result<(), DataError> {
+        if features.len() != self.builder.num_features {
+            return Err(DataError::FeatureCountMismatch {
+                expected: self.builder.num_features,
+                got: features.len(),
+            });
+        }
+        self.builder.features.extend_from_slice(features);
+        self.builder.labels.push(label);
+        Ok(())
+    }
+}
+
+impl Drop for QueryAdder<'_> {
+    fn drop(&mut self) {
+        self.builder.query_offsets.push(self.builder.labels.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        let mut b = DatasetBuilder::new(2);
+        b.push_query(10, &[1.0, 2.0, 3.0, 4.0], &[0.0, 2.0])
+            .unwrap();
+        b.push_query(11, &[5.0, 6.0], &[4.0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let d = small();
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_docs(), 3);
+        assert_eq!(d.num_queries(), 2);
+        assert_eq!(d.query_range(0), 0..2);
+        assert_eq!(d.query_range(1), 2..3);
+        assert_eq!(d.doc(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn query_views() {
+        let d = small();
+        let q0 = d.query(0).unwrap();
+        assert_eq!(q0.qid, 10);
+        assert_eq!(q0.num_docs(), 2);
+        assert_eq!(q0.doc(1), &[3.0, 4.0]);
+        assert_eq!(q0.labels, &[0.0, 2.0]);
+        let q1 = d.query(1).unwrap();
+        assert_eq!(q1.qid, 11);
+        assert_eq!(q1.doc(0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn query_out_of_range_errors() {
+        let d = small();
+        assert!(matches!(
+            d.query(2),
+            Err(DataError::QueryOutOfRange {
+                query: 2,
+                num_queries: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn mismatched_block_rejected() {
+        let mut b = DatasetBuilder::new(2);
+        let err = b.push_query(1, &[1.0, 2.0, 3.0], &[0.0, 1.0]).unwrap_err();
+        assert!(matches!(err, DataError::FeatureCountMismatch { .. }));
+    }
+
+    #[test]
+    fn query_adder_closes_on_drop() {
+        let mut b = DatasetBuilder::new(1);
+        {
+            let mut a = b.begin_query(5);
+            a.add_doc(&[1.0], 0.0).unwrap();
+            a.add_doc(&[2.0], 1.0).unwrap();
+        }
+        {
+            let mut a = b.begin_query(6);
+            a.add_doc(&[3.0], 2.0).unwrap();
+        }
+        let d = b.finish();
+        assert_eq!(d.num_queries(), 2);
+        assert_eq!(d.query(0).unwrap().num_docs(), 2);
+        assert_eq!(d.query(1).unwrap().num_docs(), 1);
+    }
+
+    #[test]
+    fn select_queries_reorders() {
+        let d = small();
+        let s = d.select_queries(&[1, 0]).unwrap();
+        assert_eq!(s.num_queries(), 2);
+        assert_eq!(s.query(0).unwrap().qid, 11);
+        assert_eq!(s.query(1).unwrap().qid, 10);
+        assert_eq!(s.num_docs(), 3);
+    }
+
+    #[test]
+    fn grades_round() {
+        let mut b = DatasetBuilder::new(1);
+        b.push_query(1, &[0.0, 0.0], &[1.2, 3.9]).unwrap();
+        let d = b.finish();
+        assert_eq!(d.query_grades(0).unwrap(), vec![1, 4]);
+    }
+
+    #[test]
+    fn queries_iterator_covers_all() {
+        let d = small();
+        let qids: Vec<u64> = d.queries().map(|q| q.qid).collect();
+        assert_eq!(qids, vec![10, 11]);
+    }
+
+    #[test]
+    fn mean_docs_per_query() {
+        let d = small();
+        assert!((d.mean_docs_per_query() - 1.5).abs() < 1e-9);
+        let empty = DatasetBuilder::new(3).finish();
+        assert_eq!(empty.mean_docs_per_query(), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for dataset construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, parsing, or transforming datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A document row had a different number of features than the dataset.
+    FeatureCountMismatch {
+        /// Expected feature count (set by the first document added).
+        expected: usize,
+        /// Feature count of the offending document.
+        got: usize,
+    },
+    /// A LETOR line could not be parsed.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An operation that requires documents was called on an empty dataset.
+    Empty,
+    /// Split ratios do not sum to 1 (within tolerance) or a part is negative.
+    BadSplitRatios,
+    /// A query index was out of range.
+    QueryOutOfRange {
+        /// The requested query index.
+        query: usize,
+        /// Number of queries in the dataset.
+        num_queries: usize,
+    },
+    /// Underlying I/O failure (message only, to keep the type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::FeatureCountMismatch { expected, got } => {
+                write!(f, "feature count mismatch: expected {expected}, got {got}")
+            }
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DataError::Empty => write!(f, "operation requires a non-empty dataset"),
+            DataError::BadSplitRatios => {
+                write!(f, "split ratios must be non-negative and sum to 1")
+            }
+            DataError::QueryOutOfRange { query, num_queries } => {
+                write!(f, "query {query} out of range (dataset has {num_queries})")
+            }
+            DataError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DataError::FeatureCountMismatch {
+            expected: 136,
+            got: 220,
+        };
+        assert!(e.to_string().contains("136"));
+        assert!(e.to_string().contains("220"));
+        let e = DataError::Parse {
+            line: 7,
+            message: "bad qid".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

@@ -1,0 +1,200 @@
+//! LETOR / SVMLight-style text format.
+//!
+//! MSLR-WEB30K and Istella-S ship as plain text with one document per line:
+//!
+//! ```text
+//! <label> qid:<qid> 1:<v1> 2:<v2> ... <f>:<vf> [# comment]
+//! ```
+//!
+//! Feature indices are 1-based and may be sparse (missing features default
+//! to `0.0`, matching the conventions of these datasets). Lines are grouped
+//! into queries by consecutive runs of the same `qid` (the public dataset
+//! files are already sorted by query).
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::error::DataError;
+use std::io::{BufRead, Write};
+
+/// Parse a LETOR-format stream into a [`Dataset`].
+///
+/// `num_features` fixes the dataset width; feature indices greater than it
+/// are rejected. Consecutive lines with the same `qid` form one query.
+///
+/// # Errors
+/// [`DataError::Parse`] with a 1-based line number on any malformed line.
+pub fn read_letor<R: BufRead>(reader: R, num_features: usize) -> Result<Dataset, DataError> {
+    let mut builder = DatasetBuilder::new(num_features);
+    let mut current_qid: Option<u64> = None;
+    let mut feats: Vec<f32> = Vec::new();
+    let mut labels: Vec<f32> = Vec::new();
+
+    let flush = |builder: &mut DatasetBuilder,
+                 qid: u64,
+                 feats: &mut Vec<f32>,
+                 labels: &mut Vec<f32>|
+     -> Result<(), DataError> {
+        builder.push_query(qid, feats, labels)?;
+        feats.clear();
+        labels.clear();
+        Ok(())
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (label, qid, row) =
+            parse_line(content, num_features).map_err(|message| DataError::Parse {
+                line: lineno,
+                message,
+            })?;
+        if let Some(cur) = current_qid {
+            if cur != qid {
+                flush(&mut builder, cur, &mut feats, &mut labels)?;
+                current_qid = Some(qid);
+            }
+        } else {
+            current_qid = Some(qid);
+        }
+        feats.extend_from_slice(&row);
+        labels.push(label);
+    }
+    if let Some(cur) = current_qid {
+        flush(&mut builder, cur, &mut feats, &mut labels)?;
+    }
+    Ok(builder.finish())
+}
+
+/// Parse one LETOR line (comment already stripped) into
+/// `(label, qid, dense feature row)`.
+fn parse_line(content: &str, num_features: usize) -> Result<(f32, u64, Vec<f32>), String> {
+    let mut tokens = content.split_whitespace();
+    let label: f32 = tokens
+        .next()
+        .ok_or_else(|| "empty line".to_string())?
+        .parse()
+        .map_err(|_| "label is not a number".to_string())?;
+    let qid_tok = tokens.next().ok_or_else(|| "missing qid".to_string())?;
+    let qid: u64 = qid_tok
+        .strip_prefix("qid:")
+        .ok_or_else(|| format!("expected qid:<n>, got {qid_tok:?}"))?
+        .parse()
+        .map_err(|_| "qid is not an integer".to_string())?;
+    let mut row = vec![0.0f32; num_features];
+    for tok in tokens {
+        let (idx, val) = tok
+            .split_once(':')
+            .ok_or_else(|| format!("expected <idx>:<value>, got {tok:?}"))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| format!("bad feature index {idx:?}"))?;
+        if idx == 0 || idx > num_features {
+            return Err(format!(
+                "feature index {idx} out of range 1..={num_features}"
+            ));
+        }
+        let val: f32 = val
+            .parse()
+            .map_err(|_| format!("bad feature value {val:?}"))?;
+        row[idx - 1] = val;
+    }
+    Ok((label, qid, row))
+}
+
+/// Write a dataset in LETOR format (all features written densely).
+///
+/// # Errors
+/// Propagates I/O failures as [`DataError::Io`].
+pub fn write_letor<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), DataError> {
+    for q in dataset.queries() {
+        for i in 0..q.num_docs() {
+            write!(writer, "{} qid:{}", q.labels[i], q.qid)?;
+            for (j, v) in q.doc(i).iter().enumerate() {
+                write!(writer, " {}:{}", j + 1, v)?;
+            }
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+2 qid:1 1:0.5 3:1.5 # doc a
+0 qid:1 2:2.0
+4 qid:2 1:1.0 2:1.0 3:1.0
+";
+
+    #[test]
+    fn parses_sample() {
+        let d = read_letor(Cursor::new(SAMPLE), 3).unwrap();
+        assert_eq!(d.num_queries(), 2);
+        assert_eq!(d.num_docs(), 3);
+        assert_eq!(d.doc(0), &[0.5, 0.0, 1.5]);
+        assert_eq!(d.doc(1), &[0.0, 2.0, 0.0]);
+        assert_eq!(d.labels(), &[2.0, 0.0, 4.0]);
+        assert_eq!(d.query(1).unwrap().qid, 2);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let text = "\n# full comment\n1 qid:3 1:9.0\n\n";
+        let d = read_letor(Cursor::new(text), 1).unwrap();
+        assert_eq!(d.num_docs(), 1);
+        assert_eq!(d.doc(0), &[9.0]);
+    }
+
+    #[test]
+    fn bad_label_reports_line() {
+        let err = read_letor(Cursor::new("x qid:1 1:0.0"), 1).unwrap_err();
+        match err {
+            DataError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("label"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_qid_rejected() {
+        let err = read_letor(Cursor::new("1 1:0.0"), 1).unwrap_err();
+        assert!(matches!(err, DataError::Parse { .. }));
+    }
+
+    #[test]
+    fn out_of_range_feature_rejected() {
+        let err = read_letor(Cursor::new("1 qid:1 5:0.0"), 3).unwrap_err();
+        match err {
+            DataError::Parse { message, .. } => assert!(message.contains("out of range")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        let err = read_letor(Cursor::new("1 qid:1 0:0.0"), 3).unwrap_err();
+        assert!(matches!(err, DataError::Parse { .. }));
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let d = read_letor(Cursor::new(SAMPLE), 3).unwrap();
+        let mut out = Vec::new();
+        write_letor(&d, &mut out).unwrap();
+        let d2 = read_letor(Cursor::new(out), 3).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn interleaved_qids_form_separate_runs() {
+        // LETOR files are sorted by qid; if they are not, each run becomes
+        // its own query, which we document rather than silently merge.
+        let text = "1 qid:1 1:0.0\n1 qid:2 1:0.0\n1 qid:1 1:0.0\n";
+        let d = read_letor(Cursor::new(text), 1).unwrap();
+        assert_eq!(d.num_queries(), 3);
+    }
+}

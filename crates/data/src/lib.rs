@@ -1,0 +1,37 @@
+//! Learning-to-rank dataset substrate.
+//!
+//! This crate provides everything the rest of the workspace needs to talk
+//! about ranking data:
+//!
+//! * [`Dataset`] — a query-grouped collection of feature vectors with
+//!   graded relevance labels, stored as one flat row-major `f32` matrix so
+//!   scoring code never chases pointers.
+//! * [`letor`] — a reader/writer for the LETOR / SVMLight-style text format
+//!   used by MSLR-WEB30K and Istella, so the real public datasets drop in
+//!   unchanged when available.
+//! * [`synthetic`] — seeded generators producing datasets with the same
+//!   *shape* as MSN30K and Istella-S (queries × documents × features,
+//!   5-graded labels) and a learnable nonlinear relevance function. These
+//!   stand in for the real datasets, which cannot be redistributed.
+//! * [`normalize`] — the Z-normalization applied before neural training
+//!   (Cohen et al., SIGIR'18; §3 of the paper).
+//! * [`split`] — query-level train/validation/test splitting (60/20/20 in
+//!   the paper).
+//!
+//! All randomness is seeded; every generator is deterministic given its
+//! configuration.
+
+pub mod dataset;
+pub mod error;
+pub mod letor;
+pub mod normalize;
+pub mod split;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::{Dataset, DatasetBuilder, QueryRef};
+pub use error::DataError;
+pub use normalize::Normalizer;
+pub use split::{Split, SplitRatios};
+pub use stats::FeatureStats;
+pub use synthetic::{SyntheticConfig, SyntheticKind};

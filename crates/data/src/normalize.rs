@@ -1,0 +1,160 @@
+//! Z-normalization of feature matrices.
+//!
+//! Cohen et al. (SIGIR'18) found that plain MLPs only match tree ensembles
+//! on LTR data after per-feature standardization; the paper adopts the same
+//! scheme (§3): subtract the training-set mean and divide by the standard
+//! deviation. The statistics are always computed on the *training* split
+//! and then applied unchanged to validation/test data and to any vector
+//! scored at inference time.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::stats::FeatureStats;
+
+/// A fitted Z-normalizer: per-feature shift and scale.
+///
+/// Features with zero variance are passed through shifted only (divide by
+/// 1.0), matching common practice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fit a normalizer on the documents of `train`.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] when `train` has no documents.
+    pub fn fit(train: &Dataset) -> Result<Normalizer, DataError> {
+        let stats = FeatureStats::compute(train)?;
+        Ok(Normalizer::from_stats(&stats))
+    }
+
+    /// Build from precomputed statistics.
+    pub fn from_stats(stats: &FeatureStats) -> Normalizer {
+        let inv_std = stats
+            .std
+            .iter()
+            .map(|&s| {
+                if s > 0.0 && s.is_finite() {
+                    1.0 / s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Normalizer {
+            mean: stats.mean.clone(),
+            inv_std,
+        }
+    }
+
+    /// Number of features this normalizer expects.
+    pub fn num_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Per-feature means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Per-feature reciprocal standard deviations.
+    pub fn inv_std(&self) -> &[f32] {
+        &self.inv_std
+    }
+
+    /// Normalize one feature vector in place.
+    #[inline]
+    pub fn apply_row(&self, row: &mut [f32]) {
+        debug_assert_eq!(row.len(), self.mean.len());
+        for ((v, &m), &is) in row.iter_mut().zip(&self.mean).zip(&self.inv_std) {
+            *v = (*v - m) * is;
+        }
+    }
+
+    /// Normalize a row-major `n × num_features` matrix in place.
+    pub fn apply_matrix(&self, data: &mut [f32]) {
+        let nf = self.mean.len();
+        debug_assert_eq!(data.len() % nf, 0);
+        for row in data.chunks_exact_mut(nf) {
+            self.apply_row(row);
+        }
+    }
+
+    /// Normalize every document of `dataset` in place.
+    pub fn apply_dataset(&self, dataset: &mut Dataset) {
+        self.apply_matrix(dataset.features_mut());
+    }
+
+    /// Return a normalized copy of `dataset`.
+    pub fn normalized(&self, dataset: &Dataset) -> Dataset {
+        let mut d = dataset.clone();
+        self.apply_dataset(&mut d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn train() -> Dataset {
+        let mut b = DatasetBuilder::new(2);
+        b.push_query(1, &[0.0, 5.0, 2.0, 5.0, 4.0, 5.0], &[0.0, 1.0, 2.0])
+            .unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn normalized_train_has_zero_mean_unit_std() {
+        let t = train();
+        let n = Normalizer::fit(&t).unwrap();
+        let d = n.normalized(&t);
+        let col0: Vec<f32> = (0..3).map(|i| d.doc(i)[0]).collect();
+        let mean: f32 = col0.iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-6);
+        let var: f32 = col0.iter().map(|v| v * v).sum::<f32>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let t = train();
+        let n = Normalizer::fit(&t).unwrap();
+        let d = n.normalized(&t);
+        for i in 0..3 {
+            assert_eq!(d.doc(i)[1], 0.0); // feature 1 is constant 5.0
+        }
+    }
+
+    #[test]
+    fn apply_row_matches_apply_dataset() {
+        let t = train();
+        let n = Normalizer::fit(&t).unwrap();
+        let d = n.normalized(&t);
+        let mut row = t.doc(2).to_vec();
+        n.apply_row(&mut row);
+        assert_eq!(row.as_slice(), d.doc(2));
+    }
+
+    #[test]
+    fn test_split_uses_train_statistics() {
+        let t = train();
+        let n = Normalizer::fit(&t).unwrap();
+        let mut b = DatasetBuilder::new(2);
+        b.push_query(9, &[2.0, 7.0], &[0.0]).unwrap();
+        let test = n.normalized(&b.finish());
+        // (2-2)/std0 = 0 for feature 0; feature 1: (7-5)/1 = 2 (std=0 -> inv 1)
+        assert_eq!(test.doc(0)[0], 0.0);
+        assert_eq!(test.doc(0)[1], 2.0);
+    }
+
+    #[test]
+    fn fit_on_empty_errors() {
+        let empty = DatasetBuilder::new(1).finish();
+        assert!(Normalizer::fit(&empty).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Query-level dataset splitting.
+//!
+//! Both MSN30K (Fold 1) and Istella-S are split 60%/20%/20% into
+//! train/validation/test *by query* (§6.1). Splitting by query — never by
+//! document — is essential: documents of one query must stay together for
+//! listwise metrics and λ-gradient computation to be meaningful.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Fractions of queries assigned to each part. Must be non-negative and
+/// sum to 1 (±1e-6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRatios {
+    /// Fraction of queries in the training split.
+    pub train: f64,
+    /// Fraction of queries in the validation split.
+    pub valid: f64,
+    /// Fraction of queries in the test split.
+    pub test: f64,
+}
+
+impl SplitRatios {
+    /// The paper's 60/20/20 split.
+    pub const PAPER: SplitRatios = SplitRatios {
+        train: 0.6,
+        valid: 0.2,
+        test: 0.2,
+    };
+
+    fn validate(&self) -> Result<(), DataError> {
+        let ok = self.train >= 0.0
+            && self.valid >= 0.0
+            && self.test >= 0.0
+            && ((self.train + self.valid + self.test) - 1.0).abs() < 1e-6;
+        if ok {
+            Ok(())
+        } else {
+            Err(DataError::BadSplitRatios)
+        }
+    }
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        SplitRatios::PAPER
+    }
+}
+
+/// A train/validation/test partition of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training queries.
+    pub train: Dataset,
+    /// Validation queries (early stopping, sensitivity analysis).
+    pub valid: Dataset,
+    /// Held-out test queries (all reported metrics).
+    pub test: Dataset,
+}
+
+impl Split {
+    /// Partition `dataset` by query, shuffling with the given seed.
+    ///
+    /// Boundary indices are computed with rounding such that every query
+    /// lands in exactly one split.
+    ///
+    /// # Errors
+    /// [`DataError::BadSplitRatios`] for invalid ratios.
+    pub fn by_query(dataset: &Dataset, ratios: SplitRatios, seed: u64) -> Result<Split, DataError> {
+        ratios.validate()?;
+        let nq = dataset.num_queries();
+        let mut order: Vec<usize> = (0..nq).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        let n_train = (nq as f64 * ratios.train).round() as usize;
+        let n_valid = (nq as f64 * ratios.valid).round() as usize;
+        let n_train = n_train.min(nq);
+        let n_valid = n_valid.min(nq - n_train);
+        let (train_q, rest) = order.split_at(n_train);
+        let (valid_q, test_q) = rest.split_at(n_valid);
+        Ok(Split {
+            train: dataset.select_queries(train_q)?,
+            valid: dataset.select_queries(valid_q)?,
+            test: dataset.select_queries(test_q)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn many_queries(n: usize) -> Dataset {
+        let mut b = DatasetBuilder::new(1);
+        for q in 0..n {
+            b.push_query(q as u64, &[q as f32, q as f32 + 0.5], &[0.0, 1.0])
+                .unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn paper_split_covers_everything_once() {
+        let d = many_queries(100);
+        let s = Split::by_query(&d, SplitRatios::PAPER, 42).unwrap();
+        assert_eq!(s.train.num_queries(), 60);
+        assert_eq!(s.valid.num_queries(), 20);
+        assert_eq!(s.test.num_queries(), 20);
+        assert_eq!(
+            s.train.num_docs() + s.valid.num_docs() + s.test.num_docs(),
+            d.num_docs()
+        );
+        // No qid appears in two splits.
+        let collect = |ds: &Dataset| ds.queries().map(|q| q.qid).collect::<Vec<_>>();
+        let mut all = collect(&s.train);
+        all.extend(collect(&s.valid));
+        all.extend(collect(&s.test));
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = many_queries(30);
+        let a = Split::by_query(&d, SplitRatios::PAPER, 7).unwrap();
+        let b = Split::by_query(&d, SplitRatios::PAPER, 7).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = Split::by_query(&d, SplitRatios::PAPER, 8).unwrap();
+        assert_ne!(
+            a.train.queries().map(|q| q.qid).collect::<Vec<_>>(),
+            c.train.queries().map(|q| q.qid).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bad_ratios_rejected() {
+        let d = many_queries(10);
+        let bad = SplitRatios {
+            train: 0.9,
+            valid: 0.9,
+            test: -0.8,
+        };
+        assert!(matches!(
+            Split::by_query(&d, bad, 0),
+            Err(DataError::BadSplitRatios)
+        ));
+        let bad = SplitRatios {
+            train: 0.5,
+            valid: 0.2,
+            test: 0.2,
+        };
+        assert!(Split::by_query(&d, bad, 0).is_err());
+    }
+
+    #[test]
+    fn all_train_split() {
+        let d = many_queries(5);
+        let r = SplitRatios {
+            train: 1.0,
+            valid: 0.0,
+            test: 0.0,
+        };
+        let s = Split::by_query(&d, r, 0).unwrap();
+        assert_eq!(s.train.num_queries(), 5);
+        assert_eq!(s.valid.num_queries(), 0);
+        assert_eq!(s.test.num_queries(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-feature statistics over a dataset.
+//!
+//! These feed both Z-normalization (`mean`/`std`) and the distillation
+//! data-augmentation step of Cohen et al. (`min`/`max` per feature, which
+//! are appended to each feature's split-point list before computing the
+//! midpoints; see §3 of the paper).
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+
+/// Column-wise statistics of a dataset's feature matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Per-feature mean.
+    pub mean: Vec<f32>,
+    /// Per-feature population standard deviation.
+    pub std: Vec<f32>,
+    /// Per-feature minimum.
+    pub min: Vec<f32>,
+    /// Per-feature maximum.
+    pub max: Vec<f32>,
+}
+
+impl FeatureStats {
+    /// Compute statistics over every document in `dataset`.
+    ///
+    /// # Errors
+    /// [`DataError::Empty`] if the dataset has no documents.
+    pub fn compute(dataset: &Dataset) -> Result<FeatureStats, DataError> {
+        let n = dataset.num_docs();
+        if n == 0 {
+            return Err(DataError::Empty);
+        }
+        let nf = dataset.num_features();
+        let mut mean = vec![0.0f64; nf];
+        let mut m2 = vec![0.0f64; nf];
+        let mut min = vec![f32::INFINITY; nf];
+        let mut max = vec![f32::NEG_INFINITY; nf];
+        // Welford's online algorithm, column-wise, for numerical stability
+        // on features spanning many orders of magnitude (common in LTR data).
+        let mut count = 0.0f64;
+        for doc in 0..n {
+            count += 1.0;
+            let row = dataset.doc(doc);
+            for (j, &v) in row.iter().enumerate() {
+                let vd = v as f64;
+                let delta = vd - mean[j];
+                mean[j] += delta / count;
+                m2[j] += delta * (vd - mean[j]);
+                if v < min[j] {
+                    min[j] = v;
+                }
+                if v > max[j] {
+                    max[j] = v;
+                }
+            }
+        }
+        let std = m2.iter().map(|&s| ((s / count).sqrt()) as f32).collect();
+        Ok(FeatureStats {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+            min,
+            max,
+        })
+    }
+
+    /// Number of features described.
+    pub fn num_features(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn d() -> Dataset {
+        let mut b = DatasetBuilder::new(2);
+        b.push_query(1, &[1.0, 10.0, 3.0, 30.0], &[0.0, 1.0])
+            .unwrap();
+        b.push_query(2, &[5.0, 50.0], &[2.0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = FeatureStats::compute(&d()).unwrap();
+        assert_eq!(s.num_features(), 2);
+        assert!((s.mean[0] - 3.0).abs() < 1e-6);
+        assert!((s.mean[1] - 30.0).abs() < 1e-6);
+        // population std of {1,3,5} = sqrt(8/3)
+        assert!((s.std[0] - (8.0f32 / 3.0).sqrt()).abs() < 1e-6);
+        assert_eq!(s.min, vec![1.0, 10.0]);
+        assert_eq!(s.max, vec![5.0, 50.0]);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let empty = DatasetBuilder::new(4).finish();
+        assert!(matches!(
+            FeatureStats::compute(&empty),
+            Err(DataError::Empty)
+        ));
+    }
+
+    #[test]
+    fn constant_feature_has_zero_std() {
+        let mut b = DatasetBuilder::new(1);
+        b.push_query(1, &[7.0, 7.0, 7.0], &[0.0, 0.0, 0.0]).unwrap();
+        let s = FeatureStats::compute(&b.finish()).unwrap();
+        assert_eq!(s.std[0], 0.0);
+        assert_eq!(s.min[0], 7.0);
+        assert_eq!(s.max[0], 7.0);
+    }
+}

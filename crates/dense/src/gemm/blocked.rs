@@ -1,0 +1,431 @@
+//! Goto-algorithm blocked GEMM (oneDNN `dnnl_sgemm` stand-in).
+//!
+//! Follows the decomposition described in §4.1 of the paper (after Goto &
+//! van de Geijn, and the BLIS formulation):
+//!
+//! 1. partition C and B along columns into `n_c`-wide panels;
+//! 2. partition A's columns / B's rows into `k_c`-deep panels, turning the
+//!    product into a series of rank-`k_c` updates; pack the B panel into a
+//!    contiguous buffer (`B̃`, destined for L3) reordered in `n_r`-wide
+//!    column strips;
+//! 3. partition A's rows into `m_c`-tall blocks; pack each into `Ã`
+//!    (destined for L2) reordered in `m_r`-tall row strips;
+//! 4. the **macro-kernel** walks `B̃` strip by strip; the **micro-kernel**
+//!    computes an `m_r × n_r` tile of C as `k_c` rank-1 updates with the
+//!    tile held in registers.
+//!
+//! The micro-kernel here is a fixed 8×8 register tile written so the
+//! compiler auto-vectorizes the inner `n_r` loop into 256-bit FMA
+//! sequences — the safe-Rust analogue of the hand-written AVX2 kernels in
+//! oneDNN/BLIS.
+//!
+//! Small shapes use the oneDNN-style `rnd_up` refinement quoted in §4.2:
+//! `m̄_c = rnd_up(min(max(m, m_r), m_c), m_r)`, so tiny layers do not pay
+//! for full-size packing buffers.
+
+use crate::matrix::Matrix;
+
+/// Micro-kernel tile height (rows of A per register tile).
+pub const MR: usize = 8;
+/// Micro-kernel tile width (columns of B per register tile).
+pub const NR: usize = 8;
+
+/// Cache-blocking parameters of the Goto algorithm.
+///
+/// Defaults target a typical desktop cache hierarchy (32 KiB L1d, 256 KiB+
+/// L2): `k_c·n_r` floats ≤ half of L1, `m_c·k_c` floats within L2, as the
+/// paper prescribes. `m_r`/`n_r` are compile-time ([`MR`], [`NR`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GotoParams {
+    /// Row-block height of A packed into L2.
+    pub mc: usize,
+    /// Column-block width of B packed into L3.
+    pub nc: usize,
+    /// Reduction-depth of each rank-k update.
+    pub kc: usize,
+}
+
+impl GotoParams {
+    /// Parameters quoted in the paper for oneDNN with AVX2
+    /// (`m_c = 10000, n_c = 384, k_c = 192`). Useful for reproducing the
+    /// library's behaviour on large shapes; the `rnd_up` refinement keeps
+    /// them sane on small ones.
+    pub fn onednn_avx2() -> GotoParams {
+        GotoParams {
+            mc: 10_000,
+            nc: 384,
+            kc: 192,
+        }
+    }
+
+    /// Round `a` up to the next multiple of `b` (the paper's `rnd_up`).
+    #[inline]
+    fn rnd_up(a: usize, b: usize) -> usize {
+        a.div_ceil(b) * b
+    }
+
+    /// Effective parameters for a concrete `(m, k, n)` problem, applying
+    /// the small-shape refinement from §4.2:
+    /// `m̄_c = rnd_up(min(max(m, m_r), m_c), m_r)` and likewise for `n̄_c`
+    /// (with `n_r`) and `k̄_c` (clamped to `k`).
+    pub fn effective(&self, m: usize, k: usize, n: usize) -> GotoParams {
+        GotoParams {
+            mc: Self::rnd_up(m.max(MR).min(self.mc), MR),
+            nc: Self::rnd_up(n.max(NR).min(self.nc), NR),
+            kc: k.max(1).min(self.kc),
+        }
+    }
+}
+
+impl Default for GotoParams {
+    fn default() -> Self {
+        // kc*NR = 256*8 floats = 8 KiB ≤ half of a 32 KiB L1d;
+        // mc*kc = 128*256 floats = 128 KiB fits a 256 KiB L2.
+        GotoParams {
+            mc: 128,
+            nc: 4096,
+            kc: 256,
+        }
+    }
+}
+
+/// Reusable packing buffers so repeated GEMMs (a forward pass, a benchmark
+/// loop) allocate nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct GemmWorkspace {
+    apack: Vec<f32>,
+    bpack: Vec<f32>,
+}
+
+/// `C = A·B` with the blocked kernel and default parameters.
+///
+/// # Panics
+/// Panics when `a.cols() != b.rows()`.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_into(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+    );
+    c
+}
+
+/// `C = A·B` over raw row-major slices with default parameters.
+pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let mut ws = GemmWorkspace::default();
+    gemm_with(m, k, n, a, b, c, GotoParams::default(), &mut ws);
+}
+
+/// Full-control entry point: explicit parameters and caller-owned
+/// workspace. `c` is overwritten.
+///
+/// # Panics
+/// Panics when slice lengths disagree with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    params: GotoParams,
+    ws: &mut GemmWorkspace,
+) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let p = params.effective(m, k, n);
+    let (mc, nc, kc) = (p.mc, p.nc, p.kc);
+
+    ws.apack.resize(mc * kc, 0.0);
+    ws.bpack.resize(kc * nc, 0.0);
+
+    // Loop 5 (jc): panels of B / C along n.
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        // Loop 4 (pc): rank-kc updates along the reduction dimension.
+        let mut pc = 0;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            pack_b(b, n, pc, kcb, jc, ncb, &mut ws.bpack);
+            // Loop 3 (ic): blocks of A / C along m.
+            let mut ic = 0;
+            while ic < m {
+                let mcb = mc.min(m - ic);
+                pack_a(a, k, ic, mcb, pc, kcb, &mut ws.apack);
+                macro_kernel(&ws.apack, &ws.bpack, c, n, ic, mcb, jc, ncb, kcb);
+                ic += mc;
+            }
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Pack `A[ic..ic+mcb, pc..pc+kcb]` into `m_r`-tall strips, column-major
+/// within each strip (the access order of the micro-kernel). Rows past the
+/// edge are zero-padded so the kernel never branches on tile height.
+fn pack_a(a: &[f32], lda: usize, ic: usize, mcb: usize, pc: usize, kcb: usize, apack: &mut [f32]) {
+    let strips = mcb.div_ceil(MR);
+    for s in 0..strips {
+        let row0 = ic + s * MR;
+        let rows = MR.min(ic + mcb - row0);
+        let dst = &mut apack[s * MR * kcb..(s + 1) * MR * kcb];
+        for p in 0..kcb {
+            let col = pc + p;
+            for r in 0..MR {
+                dst[p * MR + r] = if r < rows {
+                    a[(row0 + r) * lda + col]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Pack `B[pc..pc+kcb, jc..jc+ncb]` into `n_r`-wide strips, row-major
+/// within each strip. Columns past the edge are zero-padded.
+fn pack_b(b: &[f32], ldb: usize, pc: usize, kcb: usize, jc: usize, ncb: usize, bpack: &mut [f32]) {
+    let strips = ncb.div_ceil(NR);
+    for s in 0..strips {
+        let col0 = jc + s * NR;
+        let cols = NR.min(jc + ncb - col0);
+        let dst = &mut bpack[s * NR * kcb..(s + 1) * NR * kcb];
+        for p in 0..kcb {
+            let src_row = (pc + p) * ldb;
+            for cidx in 0..NR {
+                dst[p * NR + cidx] = if cidx < cols {
+                    b[src_row + col0 + cidx]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The macro-kernel: walk all `(m_r × n_r)` tiles of the current
+/// `C[ic.., jc..]` block, invoking the micro-kernel on packed panels.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    mcb: usize,
+    jc: usize,
+    ncb: usize,
+    kcb: usize,
+) {
+    let a_strips = mcb.div_ceil(MR);
+    let b_strips = ncb.div_ceil(NR);
+    for jr in 0..b_strips {
+        let bstrip = &bpack[jr * NR * kcb..(jr + 1) * NR * kcb];
+        let col0 = jc + jr * NR;
+        let cols = NR.min(jc + ncb - col0);
+        for ir in 0..a_strips {
+            let astrip = &apack[ir * MR * kcb..(ir + 1) * MR * kcb];
+            let row0 = ic + ir * MR;
+            let rows = MR.min(ic + mcb - row0);
+            micro_kernel(astrip, bstrip, kcb, c, ldc, row0, col0, rows, cols);
+        }
+    }
+}
+
+/// The micro-kernel: `kcb` rank-1 updates accumulated into an `MR×NR`
+/// register tile, then added to C with edge clipping.
+///
+/// The inner `NR` loop over a fixed-size array is what the auto-vectorizer
+/// turns into FMA vector instructions; keeping `acc` as a flat local array
+/// keeps it in registers for the whole `kcb` loop, so the tile touches
+/// memory exactly once — the property Eq. 3's cost model is built on.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    astrip: &[f32],
+    bstrip: &[f32],
+    kcb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kcb {
+        let avec: &[f32] = &astrip[p * MR..p * MR + MR];
+        let bvec: &[f32] = &bstrip[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = avec[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += ai * bvec[j];
+            }
+        }
+    }
+    for i in 0..rows {
+        let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + cols];
+        for (cv, &av) in crow.iter_mut().zip(&acc[i][..cols]) {
+            *cv += av;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::naive::naive_gemm;
+
+    fn check(m: usize, k: usize, n: usize, seed: u64) {
+        let a = Matrix::random(m, k, 1.0, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        let expect = naive_gemm(&a, &b);
+        let got = gemm(&a, &b);
+        let diff = expect.max_abs_diff(&got);
+        // f32 accumulation-order differences only.
+        let tol = 1e-3 * (k as f32).sqrt();
+        assert!(diff < tol, "({m},{k},{n}) diff {diff} > {tol}");
+    }
+
+    #[test]
+    fn matches_naive_on_small_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (7, 5, 3),
+            (8, 8, 8),
+            (9, 9, 9),
+            (16, 16, 16),
+        ] {
+            check(m, k, n, 11);
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_edge_shapes() {
+        // Shapes straddling MR/NR/kc boundaries and extreme aspect ratios,
+        // the "edge matrix dimensions" §4.2 calls out.
+        for &(m, k, n) in &[
+            (1, 136, 64),
+            (400, 136, 64),
+            (8, 257, 8),
+            (17, 3, 31),
+            (100, 1, 100),
+            (3, 300, 2),
+            (65, 65, 65),
+        ] {
+            check(m, k, n, 23);
+        }
+    }
+
+    #[test]
+    fn matches_naive_with_blocking_forced() {
+        // Tiny blocking parameters force every loop level to iterate.
+        let a = Matrix::random(37, 29, 1.0, 5);
+        let b = Matrix::random(29, 41, 1.0, 6);
+        let expect = naive_gemm(&a, &b);
+        let mut c = Matrix::zeros(37, 41);
+        let params = GotoParams {
+            mc: 16,
+            nc: 16,
+            kc: 8,
+        };
+        let mut ws = GemmWorkspace::default();
+        gemm_with(
+            37,
+            29,
+            41,
+            a.as_slice(),
+            b.as_slice(),
+            c.as_mut_slice(),
+            params,
+            &mut ws,
+        );
+        assert!(expect.max_abs_diff(&c) < 1e-3);
+    }
+
+    #[test]
+    fn onednn_params_work_on_small_shapes() {
+        let a = Matrix::random(10, 12, 1.0, 8);
+        let b = Matrix::random(12, 5, 1.0, 9);
+        let mut c = Matrix::zeros(10, 5);
+        let mut ws = GemmWorkspace::default();
+        gemm_with(
+            10,
+            12,
+            5,
+            a.as_slice(),
+            b.as_slice(),
+            c.as_mut_slice(),
+            GotoParams::onednn_avx2(),
+            &mut ws,
+        );
+        assert!(naive_gemm(&a, &b).max_abs_diff(&c) < 1e-3);
+    }
+
+    #[test]
+    fn effective_params_respect_rnd_up() {
+        let p = GotoParams::default();
+        let e = p.effective(3, 5, 2);
+        assert_eq!(e.mc % MR, 0);
+        assert_eq!(e.nc % NR, 0);
+        assert_eq!(e.mc, MR); // rnd_up(max(3, 8) = 8, 8) = 8
+        assert_eq!(e.kc, 5);
+        // Large problems keep the configured blocks.
+        let e = p.effective(100_000, 100_000, 100_000);
+        assert_eq!(e.mc, p.mc);
+        assert_eq!(e.kc, p.kc);
+    }
+
+    #[test]
+    fn overwrites_previous_c_contents() {
+        let a = Matrix::random(4, 4, 1.0, 1);
+        let b = Matrix::random(4, 4, 1.0, 2);
+        let mut c = Matrix::from_fn(4, 4, |_, _| 99.0);
+        gemm_into(4, 4, 4, a.as_slice(), b.as_slice(), c.as_mut_slice());
+        assert!(naive_gemm(&a, &b).max_abs_diff(&c) < 1e-4);
+    }
+
+    #[test]
+    fn zero_k_yields_zero_c() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = gemm(&a, &b);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_shapes() {
+        let mut ws = GemmWorkspace::default();
+        for &(m, k, n) in &[(8, 8, 8), (33, 17, 9), (5, 64, 128)] {
+            let a = Matrix::random(m, k, 1.0, m as u64);
+            let b = Matrix::random(k, n, 1.0, n as u64);
+            let mut c = Matrix::zeros(m, n);
+            gemm_with(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                c.as_mut_slice(),
+                GotoParams::default(),
+                &mut ws,
+            );
+            assert!(naive_gemm(&a, &b).max_abs_diff(&c) < 1e-2);
+        }
+    }
+}

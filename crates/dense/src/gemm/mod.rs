@@ -1,0 +1,4 @@
+//! Dense GEMM kernels: reference and Goto-algorithm blocked.
+
+pub mod blocked;
+pub mod naive;

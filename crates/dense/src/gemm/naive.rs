@@ -1,0 +1,96 @@
+//! Reference dense GEMM: the textbook triple loop.
+//!
+//! Used to validate the blocked kernel and as the unoptimized baseline in
+//! ablation benchmarks. The loop order is `i-p-j` (row of A outermost,
+//! reduction in the middle), which at least keeps B and C accesses
+//! sequential — still an order of magnitude from the blocked kernel on
+//! large shapes because nothing is cache-blocked or packed.
+
+/// `C = A·B` for row-major slices: `a` is `m×k`, `b` is `k×n`, `c` is
+/// `m×n` and is overwritten.
+///
+/// # Panics
+/// Panics when slice lengths disagree with the dimensions.
+pub fn naive_gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    c.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip == 0.0 {
+                // Free win on sparse-ish inputs; harmless otherwise.
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// Matrix-typed convenience wrapper over [`naive_gemm_into`].
+///
+/// # Panics
+/// Panics when `a.cols() != b.rows()`.
+pub fn naive_gemm(a: &crate::Matrix, b: &crate::Matrix) -> crate::Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = crate::Matrix::zeros(a.rows(), b.cols());
+    naive_gemm_into(
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn two_by_two() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        let c = naive_gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::random(5, 5, 1.0, 3);
+        let id = Matrix::from_fn(5, 5, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert!(naive_gemm(&a, &id).max_abs_diff(&a) < 1e-6);
+        assert!(naive_gemm(&id, &a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        let c = naive_gemm(&a, &b);
+        assert_eq!(c.shape(), (1, 2));
+        assert_eq!(c.as_slice(), &[4., 5.]);
+    }
+
+    #[test]
+    fn zero_dimension_ok() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let c = naive_gemm(&a, &b);
+        assert_eq!(c.shape(), (0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        naive_gemm(&Matrix::zeros(2, 3), &Matrix::zeros(2, 2));
+    }
+}

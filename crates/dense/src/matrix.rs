@@ -1,0 +1,209 @@
+//! Row-major dense `f32` matrices.
+//!
+//! One flat `Vec<f32>` with explicit dimensions — no nested vectors, no
+//! per-row indirection — so hot loops see contiguous memory and the
+//! optimizer can elide bounds checks through `chunks_exact`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` — a shape bug at the call
+    /// site, not a runtime condition.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Matrix with entries uniform in `[-scale, scale]`, seeded.
+    pub fn random(rows: usize, cols: usize, scale: f32, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-scale..=scale))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor (debug-checked in release via slice indexing).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Largest absolute element-wise difference to `other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Fraction of exactly-zero entries.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 2, |i, j| (10 * i + j) as f32);
+        assert_eq!(m.as_slice(), &[0., 1., 10., 11.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::random(3, 5, 1.0, 7);
+        assert_eq!(m.transposed().transposed(), m);
+        let t = m.transposed();
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+    }
+
+    #[test]
+    fn random_is_seeded_and_bounded() {
+        let a = Matrix::random(4, 4, 0.5, 1);
+        let b = Matrix::random(4, 4, 0.5, 1);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|v| v.abs() <= 0.5));
+        assert_ne!(a, Matrix::random(4, 4, 0.5, 2));
+    }
+
+    #[test]
+    fn sparsity_counts_zeros() {
+        let m = Matrix::from_vec(1, 4, vec![0.0, 1.0, 0.0, 2.0]);
+        assert_eq!(m.sparsity(), 0.5);
+        assert_eq!(Matrix::zeros(0, 0).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn bad_buffer_length_panics() {
+        Matrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

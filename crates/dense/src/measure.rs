@@ -1,0 +1,83 @@
+//! Wall-clock measurement of GEMM throughput.
+//!
+//! §4.2 of the paper derives the dense time predictor from "empirical
+//! measurements showing the performance of CPU on these operations under
+//! different conditions" — multiplying random matrices of varying shapes
+//! and recording GFLOPS. This module is that measurement harness: it feeds
+//! the calibration in `dlr-predictor` and regenerates Figures 4–6.
+
+use crate::gemm::blocked::{gemm_with, GemmWorkspace, GotoParams};
+use crate::matrix::Matrix;
+use std::time::Instant;
+
+/// Median wall-clock seconds for one `C = A·B` with the blocked kernel.
+///
+/// Runs `warmup` untimed iterations, then `reps` timed ones, and returns
+/// the median — the standard way to suppress one-off cache/frequency
+/// effects in micro-measurements.
+pub fn time_gemm(m: usize, k: usize, n: usize, warmup: usize, reps: usize) -> f64 {
+    let a = Matrix::random(m, k, 1.0, 0xA);
+    let b = Matrix::random(k, n, 1.0, 0xB);
+    let mut c = Matrix::zeros(m, n);
+    let mut ws = GemmWorkspace::default();
+    let params = GotoParams::default();
+    for _ in 0..warmup {
+        gemm_with(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            b.as_slice(),
+            c.as_mut_slice(),
+            params,
+            &mut ws,
+        );
+    }
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        gemm_with(
+            m,
+            k,
+            n,
+            a.as_slice(),
+            b.as_slice(),
+            c.as_mut_slice(),
+            params,
+            &mut ws,
+        );
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Measured GFLOPS for an `(m, k, n)` multiplication
+/// (`2·m·k·n` floating-point operations per GEMM).
+pub fn measure_gemm_gflops(m: usize, k: usize, n: usize, warmup: usize, reps: usize) -> f64 {
+    let secs = time_gemm(m, k, n, warmup, reps);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    flops / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_scales() {
+        let small = time_gemm(32, 32, 32, 1, 3);
+        let large = time_gemm(128, 128, 128, 1, 3);
+        assert!(small > 0.0);
+        // 64x the FLOPs should take measurably longer (allow huge slack for
+        // noisy CI machines — we only assert monotonicity direction).
+        assert!(large > small, "large {large} <= small {small}");
+    }
+
+    #[test]
+    fn gflops_sane_range() {
+        let g = measure_gemm_gflops(64, 64, 64, 1, 3);
+        // Any functioning CPU lands between 0.01 and 10000 GFLOPS.
+        assert!(g > 0.01 && g < 10_000.0, "GFLOPS {g}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Midpoint data augmentation (§3).
+//!
+//! For each feature, Cohen et al. build a list containing every split
+//! point the ensemble uses on that feature plus the feature's training-set
+//! minimum and maximum; the sorted list is replaced by the midpoints of
+//! adjacent pairs. Synthetic documents are then drawn coordinate-wise:
+//! each feature independently picks a random midpoint from its own list.
+//! Every synthetic document therefore lands strictly inside a cell of the
+//! axis-aligned decomposition the teacher induces, giving the student
+//! "better coverage of the whole feature space".
+
+use dlr_data::FeatureStats;
+use dlr_gbdt::Ensemble;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Per-feature midpoint lists and a coordinate-wise sampler.
+#[derive(Debug, Clone)]
+pub struct MidpointSampler {
+    /// `midpoints[f]` is non-empty for every feature.
+    midpoints: Vec<Vec<f32>>,
+}
+
+impl MidpointSampler {
+    /// Build the lists from a teacher ensemble and training-set feature
+    /// statistics.
+    ///
+    /// # Panics
+    /// Panics when the ensemble and statistics disagree on the feature
+    /// count.
+    pub fn build(teacher: &Ensemble, stats: &FeatureStats) -> MidpointSampler {
+        assert_eq!(
+            teacher.num_features(),
+            stats.num_features(),
+            "teacher and stats must describe the same feature space"
+        );
+        let midpoints = (0..stats.num_features())
+            .map(|f| {
+                let mut pts = teacher.split_points(f);
+                pts.push(stats.min[f]);
+                pts.push(stats.max[f]);
+                pts.sort_by(|a, b| a.partial_cmp(b).expect("finite split points"));
+                pts.dedup();
+                let mids: Vec<f32> = pts.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+                if mids.is_empty() {
+                    // Constant feature with no splits: its only value.
+                    vec![pts[0]]
+                } else {
+                    mids
+                }
+            })
+            .collect();
+        MidpointSampler { midpoints }
+    }
+
+    /// Number of features.
+    pub fn num_features(&self) -> usize {
+        self.midpoints.len()
+    }
+
+    /// Midpoint list of feature `f`.
+    pub fn feature_midpoints(&self, f: usize) -> &[f32] {
+        &self.midpoints[f]
+    }
+
+    /// Sample one synthetic document into `row`.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != num_features()`.
+    pub fn sample_into(&self, row: &mut [f32], rng: &mut StdRng) {
+        assert_eq!(row.len(), self.midpoints.len(), "row width mismatch");
+        for (v, list) in row.iter_mut().zip(&self.midpoints) {
+            *v = list[rng.random_range(0..list.len())];
+        }
+    }
+
+    /// Append `count` synthetic documents (row-major) to `out`.
+    pub fn sample_batch(&self, count: usize, seed: u64, out: &mut Vec<f32>) {
+        let f = self.num_features();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = out.len();
+        out.resize(start + count * f, 0.0);
+        for row in out[start..].chunks_exact_mut(f) {
+            self.sample_into(row, &mut rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_data::DatasetBuilder;
+    use dlr_gbdt::tree::leaf_ref;
+    use dlr_gbdt::RegressionTree;
+
+    fn stump(feature: u32, threshold: f32) -> RegressionTree {
+        RegressionTree::from_raw(
+            vec![feature],
+            vec![threshold],
+            vec![leaf_ref(0)],
+            vec![leaf_ref(1)],
+            vec![0.0, 1.0],
+        )
+    }
+
+    fn setup() -> (Ensemble, FeatureStats) {
+        let mut e = Ensemble::new(2, 0.0);
+        e.push(stump(0, 2.0));
+        e.push(stump(0, 4.0));
+        e.push(stump(1, 0.5));
+        let mut b = DatasetBuilder::new(2);
+        // Feature 0 in [0, 10]; feature 1 in [0, 1].
+        b.push_query(1, &[0.0, 0.0, 10.0, 1.0], &[0.0, 1.0])
+            .unwrap();
+        let stats = FeatureStats::compute(&b.finish()).unwrap();
+        (e, stats)
+    }
+
+    #[test]
+    fn midpoints_follow_the_paper_construction() {
+        let (e, stats) = setup();
+        let s = MidpointSampler::build(&e, &stats);
+        // Feature 0 list: splits {2, 4} + min 0 + max 10 → midpoints
+        // {1, 3, 7}.
+        assert_eq!(s.feature_midpoints(0), &[1.0, 3.0, 7.0]);
+        // Feature 1: splits {0.5} + {0, 1} → midpoints {0.25, 0.75}.
+        assert_eq!(s.feature_midpoints(1), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn samples_come_from_the_lists() {
+        let (e, stats) = setup();
+        let s = MidpointSampler::build(&e, &stats);
+        let mut out = Vec::new();
+        s.sample_batch(100, 42, &mut out);
+        assert_eq!(out.len(), 200);
+        for row in out.chunks_exact(2) {
+            assert!(s.feature_midpoints(0).contains(&row[0]));
+            assert!(s.feature_midpoints(1).contains(&row[1]));
+        }
+        // All midpoints eventually drawn.
+        let drawn0: std::collections::BTreeSet<_> =
+            out.chunks_exact(2).map(|r| r[0].to_bits()).collect();
+        assert_eq!(drawn0.len(), 3);
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let (e, stats) = setup();
+        let s = MidpointSampler::build(&e, &stats);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        s.sample_batch(10, 1, &mut a);
+        s.sample_batch(10, 1, &mut b);
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        s.sample_batch(10, 2, &mut c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn featureless_splits_fall_back_to_min_max_midpoint() {
+        // Feature 1 unused by the ensemble → list = midpoint of min/max.
+        let mut e = Ensemble::new(2, 0.0);
+        e.push(stump(0, 5.0));
+        let mut b = DatasetBuilder::new(2);
+        b.push_query(1, &[0.0, -2.0, 10.0, 6.0], &[0.0, 1.0])
+            .unwrap();
+        let stats = FeatureStats::compute(&b.finish()).unwrap();
+        let s = MidpointSampler::build(&e, &stats);
+        assert_eq!(s.feature_midpoints(1), &[2.0]);
+    }
+
+    #[test]
+    fn constant_feature_yields_its_value() {
+        let e = Ensemble::new(1, 0.0); // no trees, no splits
+        let mut b = DatasetBuilder::new(1);
+        b.push_query(1, &[3.0, 3.0], &[0.0, 0.0]).unwrap();
+        let stats = FeatureStats::compute(&b.finish()).unwrap();
+        let s = MidpointSampler::build(&e, &stats);
+        assert_eq!(s.feature_midpoints(0), &[3.0]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Table 9: training and pruning hyperparameters.
+//!
+//! | Dataset   | E_t | E_p | E_ft | γ    | γ_step        | Dropout |
+//! |-----------|-----|-----|------|------|---------------|---------|
+//! | MSN30K    | 100 | 80  | 20   | 0.1  | 50, 80        | —       |
+//! | Istella-S | 250 | 60  | 190  | 0.5  | 90, 130, 180  | 0.1     |
+//!
+//! Both phases use Adam with learning rate 0.001 and no weight decay.
+
+/// The paper's per-dataset training/pruning schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistillHyper {
+    /// Training epochs (E_t).
+    pub train_epochs: usize,
+    /// Pruning epochs: prune + fine-tune interleaved (E_p).
+    pub prune_epochs: usize,
+    /// Pure fine-tuning epochs after pruning stops (E_ft).
+    pub finetune_epochs: usize,
+    /// Base learning rate (Adam).
+    pub learning_rate: f32,
+    /// LR decay factor γ.
+    pub gamma: f32,
+    /// Epochs at which the LR is scaled by γ.
+    pub gamma_steps: Vec<usize>,
+    /// Dropout after the first layer (0 disables).
+    pub dropout: f32,
+}
+
+impl DistillHyper {
+    /// MSN30K row of Table 9.
+    pub fn msn30k() -> DistillHyper {
+        DistillHyper {
+            train_epochs: 100,
+            prune_epochs: 80,
+            finetune_epochs: 20,
+            learning_rate: 1e-3,
+            gamma: 0.1,
+            gamma_steps: vec![50, 80],
+            dropout: 0.0,
+        }
+    }
+
+    /// Istella-S row of Table 9.
+    pub fn istella_s() -> DistillHyper {
+        DistillHyper {
+            train_epochs: 250,
+            prune_epochs: 60,
+            finetune_epochs: 190,
+            learning_rate: 1e-3,
+            gamma: 0.5,
+            gamma_steps: vec![90, 130, 180],
+            dropout: 0.1,
+        }
+    }
+
+    /// Shrink every epoch count by `factor` (≥ 1), keeping the LR decay
+    /// milestones proportionally placed. Used to run the full pipeline at
+    /// laptop scale while preserving the schedule's *shape*.
+    pub fn scaled_down(&self, factor: usize) -> DistillHyper {
+        let f = factor.max(1);
+        DistillHyper {
+            train_epochs: (self.train_epochs / f).max(1),
+            prune_epochs: (self.prune_epochs / f).max(1),
+            finetune_epochs: (self.finetune_epochs / f).max(1),
+            learning_rate: self.learning_rate,
+            gamma: self.gamma,
+            gamma_steps: self.gamma_steps.iter().map(|&s| (s / f).max(1)).collect(),
+            dropout: self.dropout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_values() {
+        let m = DistillHyper::msn30k();
+        assert_eq!(m.train_epochs, 100);
+        assert_eq!(m.prune_epochs, 80);
+        assert_eq!(m.finetune_epochs, 20);
+        assert_eq!(m.gamma, 0.1);
+        assert_eq!(m.gamma_steps, vec![50, 80]);
+        assert_eq!(m.dropout, 0.0);
+        let i = DistillHyper::istella_s();
+        assert_eq!(i.train_epochs, 250);
+        assert_eq!(i.gamma_steps, vec![90, 130, 180]);
+        assert_eq!(i.dropout, 0.1);
+        assert_eq!(i.learning_rate, 1e-3);
+    }
+
+    #[test]
+    fn scaling_preserves_shape() {
+        let s = DistillHyper::msn30k().scaled_down(10);
+        assert_eq!(s.train_epochs, 10);
+        assert_eq!(s.prune_epochs, 8);
+        assert_eq!(s.finetune_epochs, 2);
+        assert_eq!(s.gamma_steps, vec![5, 8]);
+        // Degenerate factors never hit zero epochs.
+        let t = DistillHyper::msn30k().scaled_down(1000);
+        assert!(t.train_epochs >= 1 && t.prune_epochs >= 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! The distillation training driver.
+//!
+//! Orchestrates §3's recipe: Z-normalize with training statistics, score
+//! the real training documents with the teacher once, and at every
+//! minibatch mix ~half real documents with ~half synthetic midpoint
+//! samples (scored by the teacher on the fly), minimizing MSE between
+//! student and teacher scores with Adam under a step-LR schedule.
+//!
+//! [`DistillSession`] holds everything reusable across students (teacher
+//! scores, normalizer, sampler), so designing many candidate architectures
+//! (§5.2) pays the preprocessing once. Epoch-level entry points accept
+//! sparsity masks, which is how `dlr-prune` runs the Table 9 prune/
+//! fine-tune phases with the identical loop.
+
+use crate::augment::MidpointSampler;
+use crate::hyper::DistillHyper;
+use crate::teacher::Teacher;
+use dlr_data::{Dataset, FeatureStats, Normalizer};
+use dlr_gbdt::Ensemble;
+use dlr_nn::{LayerMasks, Mlp, StepLr};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Distillation configuration (see [`DistillHyper`] for the Table 9
+/// schedules; this adds the knobs the paper leaves implicit).
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Epoch/LR schedule from Table 9.
+    pub hyper: DistillHyper,
+    /// Minibatch size (real + synthetic combined).
+    pub batch_size: usize,
+    /// Fraction of each batch drawn from the midpoint sampler
+    /// ("half of the training data", §3 → 0.5).
+    pub synthetic_fraction: f32,
+    /// Master seed for shuffling, sampling and initialization.
+    pub seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            hyper: DistillHyper::msn30k(),
+            batch_size: 256,
+            synthetic_fraction: 0.5,
+            seed: 17,
+        }
+    }
+}
+
+/// A trained student plus the normalizer it expects at inference time.
+#[derive(Debug, Clone)]
+pub struct DistilledModel {
+    /// The student network (operates on normalized features).
+    pub mlp: Mlp,
+    /// Z-normalizer fitted on the training split.
+    pub normalizer: Normalizer,
+    /// Mean minibatch MSE per epoch.
+    pub epoch_loss: Vec<f64>,
+}
+
+impl DistilledModel {
+    /// Score a row-major `n × f` block of RAW features into `out`.
+    pub fn score_batch(&self, rows: &[f32], out: &mut [f32]) {
+        let mut norm = rows.to_vec();
+        self.normalizer.apply_matrix(&mut norm);
+        self.mlp.score_batch(&norm, out);
+    }
+}
+
+/// Reusable distillation state for one (teacher, training set) pair.
+pub struct DistillSession<'a> {
+    teacher: &'a dyn Teacher,
+    cfg: DistillConfig,
+    normalizer: Normalizer,
+    sampler: MidpointSampler,
+    /// Normalized real training rows, row-major.
+    real_rows: Vec<f32>,
+    /// Teacher scores of the real rows.
+    real_targets: Vec<f32>,
+    num_features: usize,
+}
+
+impl<'a> DistillSession<'a> {
+    /// Prepare a session: fit the normalizer, score the training set with
+    /// the teacher, and build the midpoint sampler from the teacher's
+    /// split points.
+    ///
+    /// `train` carries RAW (unnormalized) features, as the teacher was
+    /// trained on them.
+    ///
+    /// # Panics
+    /// Panics when the teacher's feature count differs from the dataset's
+    /// or the dataset is empty.
+    pub fn new(teacher: &'a Ensemble, train: &Dataset, cfg: DistillConfig) -> DistillSession<'a> {
+        assert_eq!(
+            Teacher::num_features(teacher),
+            train.num_features(),
+            "teacher and dataset feature counts differ"
+        );
+        let stats = FeatureStats::compute(train).expect("non-empty training set");
+        let normalizer = Normalizer::from_stats(&stats);
+        let sampler = MidpointSampler::build(teacher, &stats);
+        let mut real_targets = vec![0.0f32; train.num_docs()];
+        Teacher::score_batch(teacher, train.features(), &mut real_targets);
+        let mut real_rows = train.features().to_vec();
+        normalizer.apply_matrix(&mut real_rows);
+        DistillSession {
+            teacher,
+            cfg,
+            normalizer,
+            sampler,
+            real_rows,
+            real_targets,
+            num_features: train.num_features(),
+        }
+    }
+
+    /// The fitted normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// The midpoint sampler.
+    pub fn sampler(&self) -> &MidpointSampler {
+        &self.sampler
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &DistillConfig {
+        &self.cfg
+    }
+
+    /// Train a fresh student of the given hidden sizes for the full
+    /// `E_t` epochs of the schedule.
+    pub fn train_student(&self, hidden: &[usize]) -> DistilledModel {
+        let mut mlp = Mlp::from_hidden(self.num_features, hidden, self.cfg.seed ^ 0xabcd);
+        let h = &self.cfg.hyper;
+        let schedule = StepLr::new(h.learning_rate, h.gamma, &h.gamma_steps);
+        let losses = self.run_epochs(&mut mlp, &schedule, 0..h.train_epochs, None);
+        DistilledModel {
+            mlp,
+            normalizer: self.normalizer.clone(),
+            epoch_loss: losses,
+        }
+    }
+
+    /// Run epochs `range` of the distillation loop on an existing student,
+    /// optionally under sparsity masks (the prune/fine-tune phases).
+    /// Returns the mean minibatch loss per epoch.
+    pub fn run_epochs(
+        &self,
+        mlp: &mut Mlp,
+        schedule: &StepLr,
+        range: std::ops::Range<usize>,
+        masks: Option<&LayerMasks>,
+    ) -> Vec<f64> {
+        let mut trainer =
+            dlr_nn::train::SgdTrainer::new(mlp, self.cfg.hyper.dropout, self.cfg.seed ^ 0x7e57);
+        self.run_epochs_with(mlp, &mut trainer, schedule, range, masks)
+    }
+
+    /// Like [`Self::run_epochs`] but with a caller-owned trainer so Adam
+    /// state persists across separate phase calls (train → prune → tune).
+    pub fn run_epochs_with(
+        &self,
+        mlp: &mut Mlp,
+        trainer: &mut dlr_nn::train::SgdTrainer,
+        schedule: &StepLr,
+        range: std::ops::Range<usize>,
+        masks: Option<&LayerMasks>,
+    ) -> Vec<f64> {
+        let f = self.num_features;
+        let n_real = self.real_targets.len();
+        let bs = self.cfg.batch_size.max(2);
+        let synth_per_batch = ((bs as f32 * self.cfg.synthetic_fraction) as usize).min(bs - 1);
+        let real_per_batch = bs - synth_per_batch;
+
+        let mut order: Vec<usize> = (0..n_real).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut batch_rows: Vec<f32> = Vec::with_capacity(bs * f);
+        let mut batch_targets: Vec<f32> = Vec::with_capacity(bs);
+        let mut synth_raw: Vec<f32> = Vec::new();
+        let mut synth_scores: Vec<f32> = Vec::new();
+        let mut losses = Vec::new();
+        let mut synth_seed = self.cfg.seed ^ 0x51_17;
+
+        for epoch in range {
+            order.shuffle(&mut rng);
+            let lr = schedule.lr(epoch);
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(real_per_batch) {
+                batch_rows.clear();
+                batch_targets.clear();
+                for &d in chunk {
+                    batch_rows.extend_from_slice(&self.real_rows[d * f..(d + 1) * f]);
+                    batch_targets.push(self.real_targets[d]);
+                }
+                // Synthetic half: sample raw, teacher-score raw, normalize.
+                if synth_per_batch > 0 {
+                    synth_raw.clear();
+                    synth_seed = synth_seed.wrapping_add(0x9e3779b97f4a7c15);
+                    self.sampler
+                        .sample_batch(synth_per_batch, synth_seed, &mut synth_raw);
+                    synth_scores.resize(synth_per_batch, 0.0);
+                    self.teacher.score_batch(&synth_raw, &mut synth_scores);
+                    self.normalizer.apply_matrix(&mut synth_raw);
+                    batch_rows.extend_from_slice(&synth_raw);
+                    batch_targets.extend_from_slice(&synth_scores);
+                }
+                epoch_loss += trainer.train_batch(mlp, &batch_rows, &batch_targets, lr, masks);
+                batches += 1;
+            }
+            losses.push(epoch_loss / batches.max(1) as f64);
+        }
+        losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_data::SyntheticConfig;
+    use dlr_gbdt::{GrowthParams, LambdaMartParams, LambdaMartTrainer};
+    use dlr_metrics::evaluate_scores;
+
+    fn small_setup() -> (Ensemble, Dataset) {
+        let mut cfg = SyntheticConfig::msn30k_like(40);
+        cfg.docs_per_query = 25;
+        cfg.num_features = 16;
+        cfg.num_informative = 6;
+        let data = cfg.generate();
+        let params = LambdaMartParams {
+            num_trees: 20,
+            growth: GrowthParams {
+                max_leaves: 16,
+                min_data_in_leaf: 5,
+                ..Default::default()
+            },
+            early_stopping_rounds: 0,
+            ..Default::default()
+        };
+        let (teacher, _) = LambdaMartTrainer::new(params).fit(&data, None);
+        (teacher, data)
+    }
+
+    fn distill_cfg(epochs: usize) -> DistillConfig {
+        let mut hyper = DistillHyper::msn30k();
+        hyper.train_epochs = epochs;
+        hyper.gamma_steps = vec![epochs * 6 / 10, epochs * 9 / 10];
+        DistillConfig {
+            hyper,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn student_approximates_teacher_scores() {
+        let (teacher, data) = small_setup();
+        let session = DistillSession::new(&teacher, &data, distill_cfg(120));
+        let model = session.train_student(&[32, 16]);
+        // Training loss decreases substantially.
+        let first = model.epoch_loss[0];
+        let last = *model.epoch_loss.last().unwrap();
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+        // Student scores correlate with teacher scores on training data.
+        let mut student = vec![0.0f32; data.num_docs()];
+        model.score_batch(data.features(), &mut student);
+        let mut teacher_scores = vec![0.0f32; data.num_docs()];
+        teacher.predict_batch(data.features(), &mut teacher_scores);
+        let corr = pearson(&student, &teacher_scores);
+        assert!(corr > 0.9, "student/teacher correlation {corr}");
+    }
+
+    #[test]
+    fn student_ranking_tracks_teacher_ranking() {
+        let (teacher, data) = small_setup();
+        let session = DistillSession::new(&teacher, &data, distill_cfg(120));
+        let model = session.train_student(&[32, 16]);
+        let mut student = vec![0.0f32; data.num_docs()];
+        model.score_batch(data.features(), &mut student);
+        let mut teacher_scores = vec![0.0f32; data.num_docs()];
+        teacher.predict_batch(data.features(), &mut teacher_scores);
+        let s_ndcg = evaluate_scores(&student, &data).mean_ndcg10();
+        let t_ndcg = evaluate_scores(&teacher_scores, &data).mean_ndcg10();
+        // §3: the student is bounded by the teacher; it should land close.
+        assert!(
+            s_ndcg > t_ndcg - 0.08,
+            "student NDCG@10 {s_ndcg:.4} too far below teacher {t_ndcg:.4}"
+        );
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let (teacher, data) = small_setup();
+        let s1 = DistillSession::new(&teacher, &data, distill_cfg(3));
+        let s2 = DistillSession::new(&teacher, &data, distill_cfg(3));
+        let m1 = s1.train_student(&[8]);
+        let m2 = s2.train_student(&[8]);
+        assert_eq!(m1.mlp, m2.mlp);
+        assert_eq!(m1.epoch_loss, m2.epoch_loss);
+    }
+
+    #[test]
+    fn masked_run_keeps_zeros() {
+        let (teacher, data) = small_setup();
+        let session = DistillSession::new(&teacher, &data, distill_cfg(2));
+        let mut mlp = Mlp::from_hidden(16, &[8, 4], 3);
+        let nw = mlp.layers()[0].num_weights();
+        let mask: Vec<f32> = (0..nw).map(|i| f32::from(i % 3 == 0)).collect();
+        let mut masks = LayerMasks::none(3);
+        masks.set(0, mask.clone());
+        masks.apply(&mut mlp);
+        let schedule = StepLr::constant(1e-3);
+        session.run_epochs(&mut mlp, &schedule, 0..2, Some(&masks));
+        for (i, &w) in mlp.layers()[0].weights.as_slice().iter().enumerate() {
+            if mask[i] == 0.0 {
+                assert_eq!(w, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_fraction_zero_still_trains() {
+        let (teacher, data) = small_setup();
+        let mut cfg = distill_cfg(3);
+        cfg.synthetic_fraction = 0.0;
+        let session = DistillSession::new(&teacher, &data, cfg);
+        let model = session.train_student(&[8]);
+        assert_eq!(model.epoch_loss.len(), 3);
+        assert!(model.epoch_loss.iter().all(|l| l.is_finite()));
+    }
+
+    fn pearson(a: &[f32], b: &[f32]) -> f64 {
+        let n = a.len() as f64;
+        let ma = a.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let mb = b.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            let (dx, dy) = (x as f64 - ma, y as f64 - mb);
+            cov += dx * dy;
+            va += dx * dx;
+            vb += dy * dy;
+        }
+        cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+    }
+}

@@ -1,0 +1,38 @@
+//! Gradient-boosted regression tree ensembles for learning to rank.
+//!
+//! This crate is the workspace's stand-in for LightGBM (§6.1 of the
+//! paper): it trains ensembles of regression trees with the LambdaMART
+//! algorithm — λ-gradients derived from NDCG swaps (Burges) driving a
+//! histogram-based, leaf-wise tree learner — and also offers plain MART
+//! regression (MSE objective), which the distillation pipeline uses in
+//! tests.
+//!
+//! The produced [`Ensemble`] is the object every other part of the paper
+//! consumes:
+//!
+//! * `dlr-quickscorer` re-encodes it into bitvector form for fast
+//!   traversal (§2.2);
+//! * `dlr-distill` uses it as the *teacher* whose scores the neural
+//!   student approximates (§3, §5.1);
+//! * the experiment harness trains forests of the paper's sizes
+//!   (e.g. 878 trees × 64 leaves, 600 × 256) as competitors and teachers.
+//!
+//! Trees test `x[feature] <= threshold` to go left, matching LightGBM, and
+//! leaves are numbered left-to-right — the ordering QuickScorer's masks
+//! rely on.
+
+pub mod binning;
+pub mod ensemble;
+pub mod grow;
+pub mod lambdamart;
+pub mod mart;
+pub mod serialize;
+pub mod tree;
+
+pub use binning::{BinnedDataset, FeatureBinner};
+pub use ensemble::Ensemble;
+pub use grow::{GrowthParams, TreeGrower};
+pub use lambdamart::{LambdaMartParams, LambdaMartTrainer, TrainingLog};
+pub use mart::{MartParams, MartTrainer};
+pub use serialize::{read_ensemble, write_ensemble, ModelParseError};
+pub use tree::{RegressionTree, TreeLayout};

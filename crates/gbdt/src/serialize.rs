@@ -1,0 +1,273 @@
+//! Plain-text (de)serialization of ensembles.
+//!
+//! A small line-oriented format in the spirit of LightGBM's model dumps,
+//! so trained forests can be stored, shipped, and reloaded without any
+//! non-approved dependency. `f32` values are written with Rust's
+//! shortest-exact formatting, so round-trips are bit-identical.
+//!
+//! ```text
+//! dlr-ensemble v1
+//! features <n>
+//! base <f32>
+//! trees <count>
+//! tree <internal_nodes> <leaves>
+//! node <feature> <threshold> <left> <right>     (× internal_nodes)
+//! leaf <value>                                  (× leaves)
+//! ```
+
+use crate::ensemble::Ensemble;
+use crate::tree::RegressionTree;
+use std::io::{BufRead, Write};
+
+/// Errors loading a serialized ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelParseError {
+    /// The header line is missing or names an unknown format/version.
+    BadHeader,
+    /// A structural line was malformed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelParseError::BadHeader => write!(f, "not a dlr-ensemble v1 file"),
+            ModelParseError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ModelParseError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelParseError {}
+
+impl From<std::io::Error> for ModelParseError {
+    fn from(e: std::io::Error) -> Self {
+        ModelParseError::Io(e.to_string())
+    }
+}
+
+/// Write `ensemble` in the text format.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_ensemble<W: Write>(ensemble: &Ensemble, mut w: W) -> Result<(), ModelParseError> {
+    writeln!(w, "dlr-ensemble v1")?;
+    writeln!(w, "features {}", ensemble.num_features())?;
+    writeln!(w, "base {}", ensemble.base_score())?;
+    writeln!(w, "trees {}", ensemble.num_trees())?;
+    for tree in ensemble.trees() {
+        writeln!(w, "tree {} {}", tree.num_internal(), tree.num_leaves())?;
+        for n in 0..tree.num_internal() {
+            writeln!(
+                w,
+                "node {} {} {} {}",
+                tree.feature[n], tree.threshold[n], tree.left[n], tree.right[n]
+            )?;
+        }
+        for &v in tree.leaf_values() {
+            writeln!(w, "leaf {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Line cursor with error positions.
+struct Lines<R: BufRead> {
+    inner: std::io::Lines<R>,
+    line: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn next_line(&mut self) -> Result<String, ModelParseError> {
+        self.line += 1;
+        match self.inner.next() {
+            Some(Ok(l)) => Ok(l),
+            Some(Err(e)) => Err(e.into()),
+            None => Err(ModelParseError::Malformed {
+                line: self.line,
+                message: "unexpected end of file".into(),
+            }),
+        }
+    }
+
+    fn expect_kv<T: std::str::FromStr>(&mut self, key: &str) -> Result<T, ModelParseError> {
+        let line = self.next_line()?;
+        let rest = line
+            .strip_prefix(key)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| ModelParseError::Malformed {
+                line: self.line,
+                message: format!("expected `{key} <value>`, got {line:?}"),
+            })?;
+        rest.trim().parse().map_err(|_| ModelParseError::Malformed {
+            line: self.line,
+            message: format!("bad value for {key}: {rest:?}"),
+        })
+    }
+}
+
+/// Read an ensemble written by [`write_ensemble`].
+///
+/// # Errors
+/// [`ModelParseError`] on any structural problem.
+pub fn read_ensemble<R: BufRead>(r: R) -> Result<Ensemble, ModelParseError> {
+    let mut lines = Lines {
+        inner: r.lines(),
+        line: 0,
+    };
+    if lines.next_line()? != "dlr-ensemble v1" {
+        return Err(ModelParseError::BadHeader);
+    }
+    let features: usize = lines.expect_kv("features")?;
+    let base: f32 = lines.expect_kv("base")?;
+    let trees: usize = lines.expect_kv("trees")?;
+    let mut ensemble = Ensemble::new(features, base);
+    for _ in 0..trees {
+        let header = lines.next_line()?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        let bad = |lines: &Lines<R>, msg: &str| ModelParseError::Malformed {
+            line: lines.line,
+            message: msg.to_string(),
+        };
+        if parts.len() != 3 || parts[0] != "tree" {
+            return Err(bad(&lines, "expected `tree <internal> <leaves>`"));
+        }
+        let internal: usize = parts[1]
+            .parse()
+            .map_err(|_| bad(&lines, "bad internal count"))?;
+        let leaves: usize = parts[2]
+            .parse()
+            .map_err(|_| bad(&lines, "bad leaf count"))?;
+        if leaves != internal + 1 {
+            return Err(bad(&lines, "a binary tree needs leaves = internal + 1"));
+        }
+        let mut feature = Vec::with_capacity(internal);
+        let mut threshold = Vec::with_capacity(internal);
+        let mut left = Vec::with_capacity(internal);
+        let mut right = Vec::with_capacity(internal);
+        for _ in 0..internal {
+            let l = lines.next_line()?;
+            let p: Vec<&str> = l.split_whitespace().collect();
+            if p.len() != 5 || p[0] != "node" {
+                return Err(bad(
+                    &lines,
+                    "expected `node <feature> <threshold> <left> <right>`",
+                ));
+            }
+            feature.push(p[1].parse().map_err(|_| bad(&lines, "bad feature"))?);
+            threshold.push(p[2].parse().map_err(|_| bad(&lines, "bad threshold"))?);
+            left.push(p[3].parse().map_err(|_| bad(&lines, "bad left ref"))?);
+            right.push(p[4].parse().map_err(|_| bad(&lines, "bad right ref"))?);
+        }
+        let mut leaf_values = Vec::with_capacity(leaves);
+        for _ in 0..leaves {
+            let l = lines.next_line()?;
+            let v = l
+                .strip_prefix("leaf ")
+                .ok_or_else(|| bad(&lines, "expected `leaf <value>`"))?;
+            leaf_values.push(
+                v.trim()
+                    .parse()
+                    .map_err(|_| bad(&lines, "bad leaf value"))?,
+            );
+        }
+        ensemble.push(RegressionTree::from_raw(
+            feature,
+            threshold,
+            left,
+            right,
+            leaf_values,
+        ));
+    }
+    Ok(ensemble)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::leaf_ref;
+    use std::io::Cursor;
+
+    fn sample() -> Ensemble {
+        let mut e = Ensemble::new(3, 0.125);
+        e.push(RegressionTree::from_raw(
+            vec![0, 2],
+            vec![0.5, -1.25],
+            vec![1, leaf_ref(0)],
+            vec![leaf_ref(2), leaf_ref(1)],
+            vec![0.1, -0.2, 0.3],
+        ));
+        e.push(RegressionTree::constant(7.5));
+        e
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let e = sample();
+        let mut buf = Vec::new();
+        write_ensemble(&e, &mut buf).unwrap();
+        let back = read_ensemble(Cursor::new(&buf)).unwrap();
+        assert_eq!(e, back);
+        // Predictions identical.
+        for row in [[0.0f32, 0.0, 0.0], [1.0, 2.0, -3.0], [0.5, 0.0, -1.25]] {
+            assert_eq!(e.predict(&row), back.predict(&row));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_awkward_floats() {
+        let mut e = Ensemble::new(1, f32::MIN_POSITIVE);
+        e.push(RegressionTree::from_raw(
+            vec![0],
+            vec![1.000_000_1],
+            vec![leaf_ref(0)],
+            vec![leaf_ref(1)],
+            vec![-0.000_012_3, 1e30],
+        ));
+        let mut buf = Vec::new();
+        write_ensemble(&e, &mut buf).unwrap();
+        let back = read_ensemble(Cursor::new(&buf)).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = read_ensemble(Cursor::new("lightgbm v3\n")).unwrap_err();
+        assert_eq!(err, ModelParseError::BadHeader);
+    }
+
+    #[test]
+    fn truncated_file_reports_line() {
+        let e = sample();
+        let mut buf = Vec::new();
+        write_ensemble(&e, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(6).collect::<Vec<_>>().join("\n");
+        let err = read_ensemble(Cursor::new(truncated)).unwrap_err();
+        assert!(matches!(err, ModelParseError::Malformed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn corrupted_node_line_rejected() {
+        let e = sample();
+        let mut buf = Vec::new();
+        write_ensemble(&e, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap().replace("node 0", "node x");
+        let err = read_ensemble(Cursor::new(text)).unwrap_err();
+        match err {
+            ModelParseError::Malformed { message, .. } => {
+                assert!(message.contains("feature"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

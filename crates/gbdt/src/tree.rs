@@ -1,0 +1,293 @@
+//! Single regression trees.
+//!
+//! Flat arrays, no boxed nodes: internal node `i` stores a feature, a
+//! threshold and two child references. A child reference ≥ 0 indexes
+//! another internal node; a negative reference `r` denotes leaf
+//! `-(r + 1)`. The test is `x[feature] <= threshold` → left (LightGBM
+//! convention). Leaves are numbered in left-to-right (in-order) position,
+//! which is what QuickScorer's bitvector masks index.
+
+/// Child reference: `>= 0` internal node index, `< 0` leaf `-(r+1)`.
+pub type NodeRef = i32;
+
+/// Encode a leaf index as a [`NodeRef`].
+#[inline]
+pub fn leaf_ref(leaf: usize) -> NodeRef {
+    -(leaf as i32) - 1
+}
+
+/// Decode a [`NodeRef`] into `Ok(internal)` or `Err(leaf)`.
+#[inline]
+pub fn decode_ref(r: NodeRef) -> Result<usize, usize> {
+    if r >= 0 {
+        Ok(r as usize)
+    } else {
+        Err((-r - 1) as usize)
+    }
+}
+
+/// A binary regression tree over dense feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    /// Split feature per internal node.
+    pub(crate) feature: Vec<u32>,
+    /// Split threshold per internal node (`x <= t` goes left).
+    pub(crate) threshold: Vec<f32>,
+    /// Left child per internal node.
+    pub(crate) left: Vec<NodeRef>,
+    /// Right child per internal node.
+    pub(crate) right: Vec<NodeRef>,
+    /// Output value per leaf, indexed by left-to-right leaf position.
+    pub(crate) leaf_values: Vec<f32>,
+}
+
+impl RegressionTree {
+    /// A tree with a single leaf (a constant).
+    pub fn constant(value: f32) -> RegressionTree {
+        RegressionTree {
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            leaf_values: vec![value],
+        }
+    }
+
+    /// Build from raw arrays.
+    ///
+    /// # Panics
+    /// Panics when array lengths are inconsistent (an internal-node count
+    /// of `n` requires exactly `n + 1` leaves in a binary tree) — these
+    /// are constructor misuse, not data errors.
+    pub fn from_raw(
+        feature: Vec<u32>,
+        threshold: Vec<f32>,
+        left: Vec<NodeRef>,
+        right: Vec<NodeRef>,
+        leaf_values: Vec<f32>,
+    ) -> RegressionTree {
+        assert_eq!(feature.len(), threshold.len());
+        assert_eq!(feature.len(), left.len());
+        assert_eq!(feature.len(), right.len());
+        assert_eq!(
+            leaf_values.len(),
+            feature.len() + 1,
+            "a binary tree with {} internal nodes needs {} leaves",
+            feature.len(),
+            feature.len() + 1
+        );
+        RegressionTree {
+            feature,
+            threshold,
+            left,
+            right,
+            leaf_values,
+        }
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.leaf_values.len()
+    }
+
+    /// Number of internal (decision) nodes.
+    #[inline]
+    pub fn num_internal(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Leaf output values, indexed by leaf position.
+    #[inline]
+    pub fn leaf_values(&self) -> &[f32] {
+        &self.leaf_values
+    }
+
+    /// Mutable leaf values (used to fold the learning rate in).
+    #[inline]
+    pub fn leaf_values_mut(&mut self) -> &mut [f32] {
+        &mut self.leaf_values
+    }
+
+    /// Root reference (leaf 0 for constant trees, internal 0 otherwise).
+    #[inline]
+    fn root(&self) -> NodeRef {
+        if self.feature.is_empty() {
+            leaf_ref(0)
+        } else {
+            0
+        }
+    }
+
+    /// Index of the exit leaf for a document.
+    #[inline]
+    pub fn exit_leaf(&self, x: &[f32]) -> usize {
+        let mut r = self.root();
+        loop {
+            match decode_ref(r) {
+                Ok(node) => {
+                    r = if x[self.feature[node] as usize] <= self.threshold[node] {
+                        self.left[node]
+                    } else {
+                        self.right[node]
+                    };
+                }
+                Err(leaf) => return leaf,
+            }
+        }
+    }
+
+    /// Predicted value for a document (classic root-to-leaf traversal).
+    #[inline]
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        self.leaf_values[self.exit_leaf(x)]
+    }
+
+    /// Maximum root-to-leaf depth (a constant tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn go(t: &RegressionTree, r: NodeRef) -> usize {
+            match decode_ref(r) {
+                Ok(n) => 1 + go(t, t.left[n]).max(go(t, t.right[n])),
+                Err(_) => 0,
+            }
+        }
+        go(self, self.root())
+    }
+
+    /// `(feature, threshold)` of every internal node. The distillation
+    /// augmentation (§3) collects these split points per feature.
+    pub fn splits(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.feature
+            .iter()
+            .zip(&self.threshold)
+            .map(|(&f, &t)| (f, t))
+    }
+
+    /// Structural layout used by QuickScorer: for every internal node, the
+    /// contiguous range of leaf positions in its **left** subtree — the
+    /// leaves that become unreachable when the node's test is *false*.
+    pub fn layout(&self) -> TreeLayout {
+        let mut left_leaf_range = vec![(0usize, 0usize); self.num_internal()];
+        // In-order DFS assigning leaf positions; for each internal node the
+        // left subtree occupies positions [enter_count, after_left_count).
+        fn go(
+            t: &RegressionTree,
+            r: NodeRef,
+            next_leaf: &mut usize,
+            ranges: &mut [(usize, usize)],
+        ) {
+            match decode_ref(r) {
+                Ok(n) => {
+                    let start = *next_leaf;
+                    go(t, t.left[n], next_leaf, ranges);
+                    ranges[n] = (start, *next_leaf);
+                    go(t, t.right[n], next_leaf, ranges);
+                }
+                Err(_) => {
+                    *next_leaf += 1;
+                }
+            }
+        }
+        let mut next = 0usize;
+        go(self, self.root(), &mut next, &mut left_leaf_range);
+        debug_assert_eq!(next, self.num_leaves());
+        TreeLayout { left_leaf_range }
+    }
+}
+
+/// Per-internal-node leaf ranges (see [`RegressionTree::layout`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeLayout {
+    /// For internal node `n`, the half-open range of leaf positions under
+    /// its left child.
+    pub left_leaf_range: Vec<(usize, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example tree:
+    ///
+    /// ```text
+    ///            n0: f0 <= 0.5
+    ///           /            \
+    ///     n1: f1 <= 2.0     leaf2 (30)
+    ///       /        \
+    ///   leaf0 (10) leaf1 (20)
+    /// ```
+    fn sample() -> RegressionTree {
+        RegressionTree::from_raw(
+            vec![0, 1],
+            vec![0.5, 2.0],
+            vec![1, leaf_ref(0)],
+            vec![leaf_ref(2), leaf_ref(1)],
+            vec![10.0, 20.0, 30.0],
+        )
+    }
+
+    #[test]
+    fn prediction_follows_tests() {
+        let t = sample();
+        assert_eq!(t.predict(&[0.0, 1.0]), 10.0); // left, left
+        assert_eq!(t.predict(&[0.0, 3.0]), 20.0); // left, right
+        assert_eq!(t.predict(&[1.0, 0.0]), 30.0); // right
+    }
+
+    #[test]
+    fn boundary_goes_left() {
+        let t = sample();
+        assert_eq!(t.predict(&[0.5, 2.0]), 10.0); // `<=` on both nodes
+    }
+
+    #[test]
+    fn constant_tree() {
+        let t = RegressionTree::constant(7.5);
+        assert_eq!(t.predict(&[1.0, 2.0, 3.0]), 7.5);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let t = sample();
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.num_internal(), 2);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn layout_left_ranges() {
+        let t = sample();
+        let l = t.layout();
+        // n0's left subtree holds leaves {0, 1}; n1's holds {0}.
+        assert_eq!(l.left_leaf_range, vec![(0, 2), (0, 1)]);
+    }
+
+    #[test]
+    fn splits_listed() {
+        let t = sample();
+        let s: Vec<(u32, f32)> = t.splits().collect();
+        assert_eq!(s, vec![(0, 0.5), (1, 2.0)]);
+    }
+
+    #[test]
+    fn leaf_ref_roundtrip() {
+        for leaf in 0..100 {
+            assert_eq!(decode_ref(leaf_ref(leaf)), Err(leaf));
+        }
+        assert_eq!(decode_ref(5), Ok(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn leaf_count_validated() {
+        RegressionTree::from_raw(
+            vec![0],
+            vec![0.0],
+            vec![leaf_ref(0)],
+            vec![leaf_ref(1)],
+            vec![1.0],
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Dataset-level evaluation of document scorers.
+//!
+//! Ties together `dlr-data` and the per-query metrics: run a scorer over
+//! every document of every query, then report the paper's three columns
+//! (NDCG@10, full NDCG, MAP) both as means and as per-query vectors for
+//! significance testing.
+
+use crate::map::average_precision;
+use crate::ndcg::{ndcg_at, NdcgConfig};
+use dlr_data::Dataset;
+
+/// Anything that can score documents given their feature vectors.
+///
+/// `score_batch` receives a row-major `num_docs × num_features` block (one
+/// query's documents) and must write one score per document into `out`.
+/// Implementations should not allocate per call.
+pub trait Scorer {
+    /// Number of features the scorer expects per document.
+    fn num_features(&self) -> usize;
+
+    /// Score `n` documents; `features.len() == n * num_features()`,
+    /// `out.len() == n`.
+    fn score_batch(&self, features: &[f32], out: &mut [f32]);
+}
+
+/// Blanket impl so closures can act as scorers in tests and examples.
+impl<F: Fn(&[f32]) -> f32> Scorer for (usize, F) {
+    fn num_features(&self) -> usize {
+        self.0
+    }
+
+    fn score_batch(&self, features: &[f32], out: &mut [f32]) {
+        for (row, o) in features.chunks_exact(self.0).zip(out.iter_mut()) {
+            *o = (self.1)(row);
+        }
+    }
+}
+
+/// Per-query metric vectors plus their means.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// NDCG@10 per query (LightGBM degenerate-query convention).
+    pub ndcg10: Vec<f64>,
+    /// Full-list NDCG per query.
+    pub ndcg_full: Vec<f64>,
+    /// Average precision per query with at least one relevant document.
+    pub ap: Vec<f64>,
+}
+
+impl EvalReport {
+    /// Mean NDCG@10 over all queries.
+    pub fn mean_ndcg10(&self) -> f64 {
+        mean(&self.ndcg10)
+    }
+
+    /// Mean full-list NDCG over all queries.
+    pub fn mean_ndcg_full(&self) -> f64 {
+        mean(&self.ndcg_full)
+    }
+
+    /// Mean average precision (queries with relevant docs only).
+    pub fn mean_ap(&self) -> f64 {
+        mean(&self.ap)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Evaluate a scorer over every query of `dataset`.
+pub fn evaluate_scorer<S: Scorer + ?Sized>(scorer: &S, dataset: &Dataset) -> EvalReport {
+    let mut scores: Vec<f32> = Vec::new();
+    let mut ndcg10 = Vec::with_capacity(dataset.num_queries());
+    let mut ndcg_full = Vec::with_capacity(dataset.num_queries());
+    let mut ap = Vec::new();
+    for q in dataset.queries() {
+        scores.resize(q.num_docs(), 0.0);
+        scorer.score_batch(q.features, &mut scores);
+        push_query_metrics(&scores, q.labels, &mut ndcg10, &mut ndcg_full, &mut ap);
+    }
+    EvalReport {
+        ndcg10,
+        ndcg_full,
+        ap,
+    }
+}
+
+/// Evaluate precomputed scores (one per document, dataset order).
+///
+/// # Panics
+/// Panics when `scores.len() != dataset.num_docs()`.
+pub fn evaluate_scores(scores: &[f32], dataset: &Dataset) -> EvalReport {
+    assert_eq!(
+        scores.len(),
+        dataset.num_docs(),
+        "one score per document required"
+    );
+    let mut ndcg10 = Vec::with_capacity(dataset.num_queries());
+    let mut ndcg_full = Vec::with_capacity(dataset.num_queries());
+    let mut ap = Vec::new();
+    for q in 0..dataset.num_queries() {
+        let r = dataset.query_range(q);
+        let labels = &dataset.labels()[r.clone()];
+        push_query_metrics(&scores[r], labels, &mut ndcg10, &mut ndcg_full, &mut ap);
+    }
+    EvalReport {
+        ndcg10,
+        ndcg_full,
+        ap,
+    }
+}
+
+fn push_query_metrics(
+    scores: &[f32],
+    labels: &[f32],
+    ndcg10: &mut Vec<f64>,
+    ndcg_full: &mut Vec<f64>,
+    ap: &mut Vec<f64>,
+) {
+    if let Some(n) = ndcg_at(scores, labels, NdcgConfig::at(10)) {
+        ndcg10.push(n);
+    }
+    if let Some(n) = ndcg_at(scores, labels, NdcgConfig::full()) {
+        ndcg_full.push(n);
+    }
+    if let Some(a) = average_precision(scores, labels, 1.0) {
+        ap.push(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_data::DatasetBuilder;
+
+    fn data() -> Dataset {
+        let mut b = DatasetBuilder::new(1);
+        // Query 1: labels 2,0 — feature equals label.
+        b.push_query(1, &[2.0, 0.0], &[2.0, 0.0]).unwrap();
+        // Query 2: labels 0,1,3.
+        b.push_query(2, &[0.0, 1.0, 3.0], &[0.0, 1.0, 3.0]).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn oracle_scorer_gets_perfect_metrics() {
+        let d = data();
+        let oracle = (1usize, |row: &[f32]| row[0]);
+        let r = evaluate_scorer(&oracle, &d);
+        assert!((r.mean_ndcg10() - 1.0).abs() < 1e-12);
+        assert!((r.mean_ndcg_full() - 1.0).abs() < 1e-12);
+        assert!((r.mean_ap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adversarial_scorer_is_worse() {
+        let d = data();
+        let worst = (1usize, |row: &[f32]| -row[0]);
+        let r = evaluate_scorer(&worst, &d);
+        assert!(r.mean_ndcg10() < 1.0);
+        assert!(r.mean_ap() < 1.0);
+    }
+
+    #[test]
+    fn evaluate_scores_matches_scorer_path() {
+        let d = data();
+        let oracle = (1usize, |row: &[f32]| row[0]);
+        let by_scorer = evaluate_scorer(&oracle, &d);
+        let flat: Vec<f32> = d.features().to_vec();
+        let by_scores = evaluate_scores(&flat, &d);
+        assert_eq!(by_scorer.ndcg10, by_scores.ndcg10);
+        assert_eq!(by_scorer.ap, by_scores.ap);
+    }
+
+    #[test]
+    fn per_query_vectors_have_expected_lengths() {
+        let d = data();
+        let oracle = (1usize, |row: &[f32]| row[0]);
+        let r = evaluate_scorer(&oracle, &d);
+        assert_eq!(r.ndcg10.len(), 2);
+        assert_eq!(r.ap.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one score per document")]
+    fn evaluate_scores_checks_length() {
+        let d = data();
+        evaluate_scores(&[0.0; 3], &d);
+    }
+}

@@ -1,0 +1,137 @@
+//! Fisher's randomization (permutation) test for paired per-query metrics.
+//!
+//! The paper marks improvements in Tables 1, 5 and 8 as statistically
+//! significant "according to the Fisher's randomization test, p < 0.05".
+//! Given per-query metric values for two systems A and B evaluated on the
+//! same queries, the test asks: under the null hypothesis that A and B are
+//! interchangeable, how often would a random relabeling of the two systems
+//! within each query produce a mean difference at least as extreme as the
+//! observed one?
+//!
+//! We implement the standard two-sided Monte-Carlo version: each of `R`
+//! rounds flips every query's (a_i, b_i) pair with probability ½ and
+//! recomputes the mean difference. The p-value follows the add-one rule
+//! `(extreme + 1) / (R + 1)`, which avoids p = 0 on finite samples.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a randomization test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherOutcome {
+    /// Observed mean(A) − mean(B).
+    pub mean_diff: f64,
+    /// Two-sided Monte-Carlo p-value (add-one estimator).
+    pub p_value: f64,
+    /// Number of randomization rounds performed.
+    pub rounds: usize,
+}
+
+impl FisherOutcome {
+    /// Whether the difference is significant at the given level
+    /// (the paper uses `alpha = 0.05`).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run the two-sided Fisher randomization test on paired per-query values.
+///
+/// `a` and `b` hold one metric value per query, for the same queries in the
+/// same order. `rounds` Monte-Carlo permutations are drawn from a seeded
+/// RNG, so results are reproducible.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()` or both are empty — mismatched inputs are
+/// a bug in the experiment harness, not recoverable state.
+pub fn fisher_randomization(a: &[f64], b: &[f64], rounds: usize, seed: u64) -> FisherOutcome {
+    assert_eq!(a.len(), b.len(), "paired test needs equal-length inputs");
+    assert!(!a.is_empty(), "paired test needs at least one query");
+    let n = a.len() as f64;
+    let observed: f64 = a.iter().zip(b).map(|(x, y)| x - y).sum::<f64>() / n;
+    let observed_abs = observed.abs();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..rounds {
+        let mut sum = 0.0f64;
+        for &d in &diffs {
+            // Swapping (a_i, b_i) negates the difference for query i.
+            if rng.random::<bool>() {
+                sum -= d;
+            } else {
+                sum += d;
+            }
+        }
+        if (sum / n).abs() >= observed_abs - 1e-15 {
+            extreme += 1;
+        }
+    }
+    FisherOutcome {
+        mean_diff: observed,
+        p_value: (extreme as f64 + 1.0) / (rounds as f64 + 1.0),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_systems_not_significant() {
+        let a = vec![0.5; 50];
+        let b = vec![0.5; 50];
+        let out = fisher_randomization(&a, &b, 1000, 1);
+        assert_eq!(out.mean_diff, 0.0);
+        assert!(!out.significant(0.05));
+        assert!(out.p_value > 0.9);
+    }
+
+    #[test]
+    fn consistent_large_gap_is_significant() {
+        // A beats B by 0.1 on every one of 100 queries: p should be tiny.
+        let a: Vec<f64> = (0..100).map(|i| 0.6 + 0.001 * (i % 7) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.1).collect();
+        let out = fisher_randomization(&a, &b, 2000, 2);
+        assert!(out.mean_diff > 0.09);
+        assert!(out.significant(0.05), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn noisy_tiny_gap_is_not_significant() {
+        // Differences alternate sign; mean diff ~ 0.
+        let a: Vec<f64> = (0..60)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let b = vec![0.5; 60];
+        let out = fisher_randomization(&a, &b, 2000, 3);
+        assert!(!out.significant(0.05));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64).sin() * 0.1 + 0.5).collect();
+        let b = vec![0.5; 30];
+        let x = fisher_randomization(&a, &b, 500, 42);
+        let y = fisher_randomization(&a, &b, 500, 42);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn two_sided_detects_either_direction() {
+        let a = vec![0.4; 80];
+        let b = vec![0.6; 80]; // B better than A
+        let out = fisher_randomization(&a, &b, 1000, 4);
+        assert!(out.mean_diff < 0.0);
+        assert!(out.significant(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        fisher_randomization(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Ranking quality metrics and statistical significance testing.
+//!
+//! Implements the three effectiveness measures reported in the paper —
+//! NDCG@10, NDCG (no cutoff), and MAP — plus Fisher's randomization test,
+//! which the paper uses (p < 0.05) to mark statistically significant
+//! improvements in Tables 1, 5 and 8.
+//!
+//! All metrics operate per query and are averaged over queries. Rankings
+//! are induced by model scores with deterministic tie-breaking (original
+//! document order), so repeated evaluations are bit-identical.
+
+pub mod evaluate;
+pub mod fisher;
+pub mod map;
+pub mod ndcg;
+pub mod ranking;
+
+pub use evaluate::{evaluate_scorer, evaluate_scores, EvalReport, Scorer};
+pub use fisher::{fisher_randomization, FisherOutcome};
+pub use map::{average_precision, mean_average_precision};
+pub use ndcg::{dcg_at, ndcg_at, NdcgConfig};
+pub use ranking::rank_by_scores;

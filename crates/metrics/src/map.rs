@@ -1,0 +1,105 @@
+//! Mean Average Precision over graded judgments.
+//!
+//! MAP is a binary-relevance metric; for 5-graded datasets like MSN30K the
+//! standard binarization (used by the LETOR evaluation scripts) treats
+//! grade ≥ 1 as relevant. The threshold is a parameter so other conventions
+//! (e.g. grade ≥ 2) remain available.
+
+use crate::ranking::labels_in_score_order;
+
+/// Average precision of one query.
+///
+/// `relevant_from` is the smallest grade counted as relevant (LETOR
+/// convention: 1.0). Queries with no relevant documents return `None` so
+/// the caller can decide whether to skip or zero them; the paper's MAP
+/// column averages over queries with at least one relevant document.
+pub fn average_precision(scores: &[f32], labels: &[f32], relevant_from: f32) -> Option<f64> {
+    debug_assert_eq!(scores.len(), labels.len());
+    let ranked = labels_in_score_order(scores, labels);
+    let total_relevant = ranked.iter().filter(|&&l| l >= relevant_from).count();
+    if total_relevant == 0 {
+        return None;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (i, &l) in ranked.iter().enumerate() {
+        if l >= relevant_from {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    Some(sum / total_relevant as f64)
+}
+
+/// MAP over a set of queries given per-query `(scores, labels)` pairs.
+///
+/// Degenerate queries (no relevant documents) are excluded from the mean;
+/// if every query is degenerate the result is 0.0.
+pub fn mean_average_precision<'a, I>(queries: I, relevant_from: f32) -> f64
+where
+    I: IntoIterator<Item = (&'a [f32], &'a [f32])>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (scores, labels) in queries {
+        if let Some(ap) = average_precision(scores, labels, relevant_from) {
+            sum += ap;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ap_is_one() {
+        let scores = [0.9, 0.8, 0.1, 0.0];
+        let labels = [2.0, 1.0, 0.0, 0.0];
+        assert!((average_precision(&scores, &labels, 1.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_ap() {
+        // Ranked relevance pattern: [R, N, R, N]
+        // AP = (1/1 + 2/3) / 2 = 5/6
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let ap = average_precision(&scores, &labels, 1.0).unwrap();
+        assert!((ap - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_relevant_is_none() {
+        assert_eq!(average_precision(&[0.4, 0.2], &[0.0, 0.0], 1.0), None);
+    }
+
+    #[test]
+    fn threshold_binarizes_grades() {
+        let scores = [0.9, 0.8];
+        let labels = [1.0, 2.0];
+        // With threshold 2.0, only the second doc is relevant, ranked 2nd.
+        let ap = average_precision(&scores, &labels, 2.0).unwrap();
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_skips_degenerate_queries() {
+        let q1: (&[f32], &[f32]) = (&[0.9, 0.1], &[1.0, 0.0]); // AP = 1
+        let q2: (&[f32], &[f32]) = (&[0.9, 0.1], &[0.0, 0.0]); // degenerate
+        let m = mean_average_precision([q1, q2], 1.0);
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_all_degenerate_is_zero() {
+        let q: (&[f32], &[f32]) = (&[0.9], &[0.0]);
+        assert_eq!(mean_average_precision([q], 1.0), 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Discounted Cumulative Gain and its normalized form.
+//!
+//! Uses the exponential gain formulation standard in web search and in the
+//! paper's references (Järvelin & Kekäläinen; Burges et al.):
+//!
+//! ```text
+//! DCG@k = Σ_{i=1..k} (2^{rel_i} - 1) / log2(i + 1)
+//! ```
+//!
+//! NDCG@k divides by the ideal DCG@k. Queries whose ideal DCG is zero (no
+//! relevant documents at all) are assigned NDCG 1.0 by default — matching
+//! LightGBM, the trainer used in the paper — and the convention is
+//! configurable for comparisons with tools that use 0.0.
+
+use crate::ranking::labels_in_score_order;
+
+/// How to treat queries with no relevant documents (ideal DCG = 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegenerateQueries {
+    /// Score them 1.0 (LightGBM convention; used throughout the repo).
+    One,
+    /// Score them 0.0 (trec_eval convention).
+    Zero,
+    /// Exclude them from the mean entirely.
+    Skip,
+}
+
+/// NDCG configuration: cutoff and degenerate-query handling.
+#[derive(Debug, Clone, Copy)]
+pub struct NdcgConfig {
+    /// Rank cutoff; `None` evaluates the full list (the paper's plain
+    /// "NDCG" column).
+    pub cutoff: Option<usize>,
+    /// Convention for queries with no relevant documents.
+    pub degenerate: DegenerateQueries,
+}
+
+impl NdcgConfig {
+    /// NDCG@k with the default (LightGBM) degenerate-query convention.
+    pub fn at(k: usize) -> NdcgConfig {
+        NdcgConfig {
+            cutoff: Some(k),
+            degenerate: DegenerateQueries::One,
+        }
+    }
+
+    /// Full-list NDCG.
+    pub fn full() -> NdcgConfig {
+        NdcgConfig {
+            cutoff: None,
+            degenerate: DegenerateQueries::One,
+        }
+    }
+}
+
+/// 2^rel - 1 gain.
+#[inline]
+fn gain(rel: f32) -> f64 {
+    (2.0f64).powf(rel as f64) - 1.0
+}
+
+/// DCG of a label sequence already in ranked order, truncated at `cutoff`.
+pub fn dcg_at(ranked_labels: &[f32], cutoff: Option<usize>) -> f64 {
+    let k = cutoff
+        .unwrap_or(ranked_labels.len())
+        .min(ranked_labels.len());
+    ranked_labels[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, &rel)| gain(rel) / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// NDCG for one query given model `scores` and relevance `labels`.
+///
+/// Returns `None` only when the query is degenerate and the configuration
+/// says [`DegenerateQueries::Skip`].
+pub fn ndcg_at(scores: &[f32], labels: &[f32], config: NdcgConfig) -> Option<f64> {
+    debug_assert_eq!(scores.len(), labels.len());
+    let mut ideal = labels.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    let idcg = dcg_at(&ideal, config.cutoff);
+    if idcg <= 0.0 {
+        return match config.degenerate {
+            DegenerateQueries::One => Some(1.0),
+            DegenerateQueries::Zero => Some(0.0),
+            DegenerateQueries::Skip => None,
+        };
+    }
+    let ranked = labels_in_score_order(scores, labels);
+    Some(dcg_at(&ranked, config.cutoff) / idcg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let labels = [3.0, 2.0, 1.0, 0.0];
+        let scores = [0.9, 0.7, 0.3, 0.1];
+        let n = ndcg_at(&scores, &labels, NdcgConfig::at(10)).unwrap();
+        assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_ranking_is_less_than_one() {
+        let labels = [3.0, 2.0, 1.0, 0.0];
+        let scores = [0.1, 0.3, 0.7, 0.9];
+        let n = ndcg_at(&scores, &labels, NdcgConfig::at(10)).unwrap();
+        assert!(n < 0.8, "reversed ranking should be penalized, got {n}");
+    }
+
+    #[test]
+    fn hand_computed_dcg() {
+        // labels in ranked order [2, 0, 1]:
+        // (2^2-1)/log2(2) + 0 + (2^1-1)/log2(4) = 3 + 0 + 0.5 = 3.5
+        let d = dcg_at(&[2.0, 0.0, 1.0], None);
+        assert!((d - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_truncates() {
+        let d1 = dcg_at(&[2.0, 2.0, 2.0], Some(1));
+        let d3 = dcg_at(&[2.0, 2.0, 2.0], Some(3));
+        assert!(d1 < d3);
+        assert!((d1 - 3.0).abs() < 1e-12);
+        // Cutoff beyond length is safe.
+        assert_eq!(dcg_at(&[1.0], Some(10)), dcg_at(&[1.0], None));
+    }
+
+    #[test]
+    fn degenerate_query_conventions() {
+        let scores = [0.5, 0.4];
+        let labels = [0.0, 0.0];
+        assert_eq!(ndcg_at(&scores, &labels, NdcgConfig::at(10)), Some(1.0));
+        let zero = NdcgConfig {
+            cutoff: Some(10),
+            degenerate: DegenerateQueries::Zero,
+        };
+        assert_eq!(ndcg_at(&scores, &labels, zero), Some(0.0));
+        let skip = NdcgConfig {
+            cutoff: Some(10),
+            degenerate: DegenerateQueries::Skip,
+        };
+        assert_eq!(ndcg_at(&scores, &labels, skip), None);
+    }
+
+    #[test]
+    fn ndcg_at_10_only_cares_about_top_10() {
+        let mut labels = vec![0.0; 30];
+        labels[0] = 3.0;
+        let mut good = vec![0.0f32; 30];
+        good[0] = 1.0; // relevant doc ranked first
+        let mut tail_change = good.clone();
+        tail_change[25] = -0.5; // reshuffle deep tail only
+        let a = ndcg_at(&good, &labels, NdcgConfig::at(10)).unwrap();
+        let b = ndcg_at(&tail_change, &labels, NdcgConfig::at(10)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_ndcg_sees_the_tail() {
+        let mut labels = vec![0.0; 12];
+        labels[11] = 2.0;
+        let asc: Vec<f32> = (0..12).map(|i| i as f32).collect(); // relevant last doc ranked first
+        let desc: Vec<f32> = (0..12).map(|i| -(i as f32)).collect(); // ranked last
+        let a = ndcg_at(&asc, &labels, NdcgConfig::full()).unwrap();
+        let b = ndcg_at(&desc, &labels, NdcgConfig::full()).unwrap();
+        assert!(a > b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Score-induced rankings with deterministic tie-breaking.
+
+/// Return document indices sorted by descending score.
+///
+/// Ties are broken by original document index (ascending), which makes the
+/// ranking — and therefore every metric built on it — deterministic across
+/// runs and platforms.
+pub fn rank_by_scores(scores: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Reorder `labels` according to the ranking induced by `scores`.
+///
+/// Returns the label sequence as seen from the top of the ranked list —
+/// exactly what gain-based metrics consume.
+pub fn labels_in_score_order(scores: &[f32], labels: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(scores.len(), labels.len());
+    rank_by_scores(scores)
+        .into_iter()
+        .map(|i| labels[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_order() {
+        assert_eq!(rank_by_scores(&[0.1, 0.9, 0.5]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_broken_by_index() {
+        assert_eq!(rank_by_scores(&[0.5, 0.5, 0.7, 0.5]), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        let order = rank_by_scores(&[f32::NAN, 1.0, 0.0]);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn labels_follow_scores() {
+        let labels = labels_in_score_order(&[0.2, 0.8, 0.5], &[0.0, 4.0, 2.0]);
+        assert_eq!(labels, vec![4.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(rank_by_scores(&[]).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Hybrid inference: sparse first layer, dense remainder (§5.2, Table 8).
+//!
+//! After the efficiency-oriented pruning step the first layer's weight
+//! matrix is ~95–99% sparse while the other layers stay dense. The paper's
+//! winning configuration therefore multiplies layer 1 with the
+//! LIBXSMM-style SDMM kernel and the remaining layers with the blocked
+//! dense GEMM. This module freezes a trained [`Mlp`] into that shape.
+
+use crate::activation::Activation;
+use crate::layer::Linear;
+use crate::mlp::{transpose_into, Mlp, MlpWorkspace};
+use dlr_sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
+
+/// An MLP whose first layer is stored in CSR and scored with SDMM.
+#[derive(Debug, Clone)]
+pub struct HybridMlp {
+    first_weights: CsrMatrix,
+    first_bias: Vec<f32>,
+    first_activation: Activation,
+    /// The dense tail as a standalone MLP over the first layer's outputs.
+    rest: Mlp,
+}
+
+impl HybridMlp {
+    /// Freeze `mlp` into hybrid form. Weights of the first layer with
+    /// magnitude ≤ `tol` are treated as pruned (use `0.0` after masked
+    /// fine-tuning, where pruned weights are exactly zero).
+    ///
+    /// # Panics
+    /// Panics when `mlp` has fewer than two layers — a single-layer
+    /// network has no "dense remainder" and gains nothing from this path.
+    pub fn from_mlp(mlp: &Mlp, tol: f32) -> HybridMlp {
+        assert!(
+            mlp.layers().len() >= 2,
+            "hybrid form needs at least two layers"
+        );
+        let first = &mlp.layers()[0];
+        let first_weights = CsrMatrix::from_dense(&first.weights, tol);
+        let rest_layers: Vec<Linear> = mlp.layers()[1..].to_vec();
+        let rest_acts = mlp.activations()[1..].to_vec();
+        HybridMlp {
+            first_weights,
+            first_bias: first.bias.clone(),
+            first_activation: mlp.activations()[0],
+            rest: Mlp::from_parts(rest_layers, rest_acts),
+        }
+    }
+
+    /// Sparsity of the first layer.
+    pub fn first_layer_sparsity(&self) -> f64 {
+        self.first_weights.sparsity()
+    }
+
+    /// The CSR first layer.
+    pub fn first_weights(&self) -> &CsrMatrix {
+        &self.first_weights
+    }
+
+    /// Expected input features.
+    pub fn input_dim(&self) -> usize {
+        self.first_weights.cols()
+    }
+
+    /// Score a row-major `n × input_dim` batch into `out`, reusing
+    /// workspaces.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn score_batch_with(&self, rows: &[f32], out: &mut [f32], ws: &mut HybridWorkspace) {
+        let f = self.input_dim();
+        let n = out.len();
+        assert_eq!(rows.len(), n * f, "rows must be n × input_dim");
+        // Layer 1: SDMM on the packed batch.
+        transpose_into(rows, n, f, &mut ws.input_fm);
+        let packed = PackedB::pack(&ws.input_fm, f, n);
+        let m = self.first_weights.rows();
+        ws.first_out.resize(m * n, 0.0);
+        spmm_xsmm_packed(
+            &self.first_weights,
+            &packed,
+            &mut ws.first_out,
+            &mut ws.spmm,
+        );
+        // Bias + activation.
+        for (row, &b) in ws.first_out.chunks_exact_mut(n).zip(&self.first_bias) {
+            for v in row.iter_mut() {
+                *v = self.first_activation.apply(*v + b);
+            }
+        }
+        // Dense tail (already feature-major).
+        let scores = self
+            .rest
+            .forward_feature_major(&ws.first_out, n, &mut ws.mlp);
+        out.copy_from_slice(scores);
+    }
+
+    /// Allocating convenience wrapper.
+    pub fn score_batch(&self, rows: &[f32], out: &mut [f32]) {
+        let mut ws = HybridWorkspace::default();
+        self.score_batch_with(rows, out, &mut ws);
+    }
+
+    /// Score one document.
+    pub fn score(&self, row: &[f32]) -> f32 {
+        let mut out = [0.0f32];
+        self.score_batch(row, &mut out);
+        out[0]
+    }
+}
+
+/// Reusable buffers for hybrid scoring.
+#[derive(Debug, Default)]
+pub struct HybridWorkspace {
+    input_fm: Vec<f32>,
+    first_out: Vec<f32>,
+    spmm: SpmmWorkspace,
+    mlp: MlpWorkspace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::LayerMasks;
+
+    fn pruned_net(seed: u64, keep_every: usize) -> Mlp {
+        let mut mlp = Mlp::from_hidden(10, &[12, 6], seed);
+        let nw = mlp.layers()[0].num_weights();
+        let mask: Vec<f32> = (0..nw)
+            .map(|i| if i % keep_every == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let mut masks = LayerMasks::none(3);
+        masks.set(0, mask);
+        masks.apply(&mut mlp);
+        mlp
+    }
+
+    #[test]
+    fn hybrid_matches_dense_forward() {
+        let mlp = pruned_net(3, 4);
+        let hybrid = HybridMlp::from_mlp(&mlp, 0.0);
+        assert!(hybrid.first_layer_sparsity() > 0.7);
+        let rows: Vec<f32> = (0..10 * 17)
+            .map(|i| ((i * 31) % 13) as f32 / 6.0 - 1.0)
+            .collect();
+        let mut dense_out = vec![0.0f32; 17];
+        let mut hybrid_out = vec![0.0f32; 17];
+        mlp.score_batch(&rows, &mut dense_out);
+        hybrid.score_batch(&rows, &mut hybrid_out);
+        for (d, h) in dense_out.iter().zip(&hybrid_out) {
+            assert!((d - h).abs() < 1e-4, "dense {d} hybrid {h}");
+        }
+    }
+
+    #[test]
+    fn single_doc_matches_batch() {
+        let mlp = pruned_net(5, 3);
+        let hybrid = HybridMlp::from_mlp(&mlp, 0.0);
+        let rows: Vec<f32> = (0..10 * 4).map(|i| (i as f32 * 0.21).sin()).collect();
+        let mut out = vec![0.0f32; 4];
+        hybrid.score_batch(&rows, &mut out);
+        for (d, row) in rows.chunks_exact(10).enumerate() {
+            assert!((hybrid.score(row) - out[d]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tolerance_prunes_small_weights() {
+        let mlp = Mlp::from_hidden(6, &[8, 4], 9);
+        let all = HybridMlp::from_mlp(&mlp, 0.0);
+        let pruned = HybridMlp::from_mlp(&mlp, 0.5);
+        assert!(pruned.first_weights().nnz() < all.first_weights().nnz());
+    }
+
+    #[test]
+    fn workspace_reuse_stable() {
+        let mlp = pruned_net(7, 5);
+        let hybrid = HybridMlp::from_mlp(&mlp, 0.0);
+        let rows: Vec<f32> = (0..10 * 9).map(|i| (i as f32 * 0.13).cos()).collect();
+        let mut ws = HybridWorkspace::default();
+        let mut a = vec![0.0f32; 9];
+        let mut b = vec![0.0f32; 9];
+        hybrid.score_batch_with(&rows, &mut a, &mut ws);
+        hybrid.score_batch_with(&rows, &mut b, &mut ws);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layers")]
+    fn single_layer_rejected() {
+        let l = Linear::new(3, 1, 1);
+        let mlp = Mlp::from_parts(vec![l], vec![Activation::Identity]);
+        HybridMlp::from_mlp(&mlp, 0.0);
+    }
+}

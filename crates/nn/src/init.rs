@@ -1,0 +1,40 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// He (Kaiming) uniform initialization for a `fan_in`-input layer:
+/// uniform in `±sqrt(6 / fan_in)` — the standard choice for ReLU-family
+/// activations.
+pub fn he_uniform(fan_in: usize, count: usize, seed: u64) -> Vec<f32> {
+    let bound = (6.0f32 / fan_in.max(1) as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| rng.random_range(-bound..=bound))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_and_seeded() {
+        let w = he_uniform(100, 1000, 7);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(w.iter().all(|v| v.abs() <= bound));
+        assert_eq!(w, he_uniform(100, 1000, 7));
+        assert_ne!(w, he_uniform(100, 1000, 8));
+    }
+
+    #[test]
+    fn spread_covers_the_range() {
+        let w = he_uniform(10, 1000, 1);
+        let bound = (6.0f32 / 10.0).sqrt();
+        let max = w.iter().cloned().fold(f32::MIN, f32::max);
+        let min = w.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(max > 0.8 * bound);
+        assert!(min < -0.8 * bound);
+    }
+}

@@ -1,0 +1,213 @@
+//! Post-training weight quantization (§7 future work).
+//!
+//! The paper's conclusions name quantization as the next compression step
+//! after pruning. This module implements the standard post-training
+//! scheme: symmetric per-output-channel int8 weights
+//! (`w ≈ scale_r · q`, `q ∈ [−127, 127]`), biases and activations kept in
+//! f32. Weight storage shrinks 4×; the forward pass dequantizes row by
+//! row during the multiply, so accuracy can be evaluated against the f32
+//! model on the real ranking metrics.
+
+use crate::activation::Activation;
+use crate::mlp::{transpose_into, Mlp};
+
+/// One linear layer with int8 weights and per-row scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLinear {
+    in_features: usize,
+    out_features: usize,
+    /// Row-major `out × in` quantized weights.
+    qweights: Vec<i8>,
+    /// Per-output-row dequantization scale.
+    scales: Vec<f32>,
+    /// f32 bias.
+    bias: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Quantize a float layer (symmetric, per output channel).
+    pub fn quantize(layer: &crate::layer::Linear) -> QuantizedLinear {
+        let (out_f, in_f) = (layer.out_features(), layer.in_features());
+        let mut qweights = Vec::with_capacity(out_f * in_f);
+        let mut scales = Vec::with_capacity(out_f);
+        for r in 0..out_f {
+            let row = layer.weights.row(r);
+            let max = row.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+            let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+            scales.push(scale);
+            qweights.extend(
+                row.iter()
+                    .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8),
+            );
+        }
+        QuantizedLinear {
+            in_features: in_f,
+            out_features: out_f,
+            qweights,
+            scales,
+            bias: layer.bias.clone(),
+        }
+    }
+
+    /// Bytes used by the weight storage (scales + int8 matrix).
+    pub fn weight_bytes(&self) -> usize {
+        self.qweights.len() + self.scales.len() * 4
+    }
+
+    /// Worst-case absolute weight reconstruction error
+    /// (`max_r scale_r / 2`).
+    pub fn max_quantization_error(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |m, &s| m.max(s)) * 0.5
+    }
+
+    /// `z = W̃·a + b` over a feature-major `in × n` activation block.
+    fn forward(&self, a: &[f32], n: usize, z: &mut Vec<f32>) {
+        debug_assert_eq!(a.len(), self.in_features * n);
+        z.resize(self.out_features * n, 0.0);
+        z.fill(0.0);
+        for r in 0..self.out_features {
+            let qrow = &self.qweights[r * self.in_features..(r + 1) * self.in_features];
+            let zrow = &mut z[r * n..(r + 1) * n];
+            for (i, &q) in qrow.iter().enumerate() {
+                if q == 0 {
+                    continue;
+                }
+                let w = q as f32; // scale applied once per row below
+                let arow = &a[i * n..(i + 1) * n];
+                for (zv, &av) in zrow.iter_mut().zip(arow) {
+                    *zv += w * av;
+                }
+            }
+            let s = self.scales[r];
+            let b = self.bias[r];
+            for zv in zrow.iter_mut() {
+                *zv = *zv * s + b;
+            }
+        }
+    }
+}
+
+/// A fully quantized-weight MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedLinear>,
+    activations: Vec<Activation>,
+}
+
+impl QuantizedMlp {
+    /// Quantize every layer of a trained float network.
+    pub fn from_mlp(mlp: &Mlp) -> QuantizedMlp {
+        QuantizedMlp {
+            layers: mlp.layers().iter().map(QuantizedLinear::quantize).collect(),
+            activations: mlp.activations().to_vec(),
+        }
+    }
+
+    /// Expected input features.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_features
+    }
+
+    /// Total weight-storage bytes (cf. `4 × num_weights` for f32).
+    pub fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(QuantizedLinear::weight_bytes).sum()
+    }
+
+    /// Score a row-major `n × input_dim` batch into `out`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn score_batch(&self, rows: &[f32], out: &mut [f32]) {
+        let f = self.input_dim();
+        let n = out.len();
+        assert_eq!(rows.len(), n * f, "rows must be n × input_dim");
+        let mut a = Vec::new();
+        transpose_into(rows, n, f, &mut a);
+        let mut z = Vec::new();
+        for (layer, act) in self.layers.iter().zip(&self.activations) {
+            layer.forward(&a, n, &mut z);
+            act.apply_slice(&mut z);
+            std::mem::swap(&mut a, &mut z);
+        }
+        out.copy_from_slice(&a[..n]);
+    }
+
+    /// Score one document.
+    pub fn score(&self, row: &[f32]) -> f32 {
+        let mut out = [0.0f32];
+        self.score_batch(row, &mut out);
+        out[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_scores_track_float_scores() {
+        let mlp = Mlp::from_hidden(10, &[16, 8], 3);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let rows: Vec<f32> = (0..10 * 32)
+            .map(|i| ((i * 37) % 19) as f32 / 9.0 - 1.0)
+            .collect();
+        let mut float_out = vec![0.0f32; 32];
+        let mut quant_out = vec![0.0f32; 32];
+        mlp.score_batch(&rows, &mut float_out);
+        q.score_batch(&rows, &mut quant_out);
+        let spread = float_out.iter().fold(f32::MIN, |m, &v| m.max(v))
+            - float_out.iter().fold(f32::MAX, |m, &v| m.min(v));
+        for (a, b) in float_out.iter().zip(&quant_out) {
+            assert!(
+                (a - b).abs() < 0.05 * spread.max(1.0),
+                "float {a} vs quantized {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn weights_shrink_about_4x() {
+        let mlp = Mlp::from_hidden(100, &[200, 100], 1);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let float_bytes: usize = mlp.layers().iter().map(|l| l.num_weights() * 4).sum();
+        let ratio = float_bytes as f64 / q.weight_bytes() as f64;
+        assert!(ratio > 3.5 && ratio <= 4.0, "compression ratio {ratio}");
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_by_half_scale() {
+        let mlp = Mlp::from_hidden(6, &[4], 9);
+        let layer = &mlp.layers()[0];
+        let q = QuantizedLinear::quantize(layer);
+        for r in 0..layer.out_features() {
+            for (i, &w) in layer.weights.row(r).iter().enumerate() {
+                let deq = q.qweights[r * 6 + i] as f32 * q.scales[r];
+                assert!(
+                    (w - deq).abs() <= q.scales[r] * 0.5 + 1e-7,
+                    "row {r} weight {w} dequantized {deq}"
+                );
+            }
+        }
+        assert!(q.max_quantization_error() > 0.0);
+    }
+
+    #[test]
+    fn zero_layer_quantizes_safely() {
+        let mut mlp = Mlp::from_hidden(3, &[2], 1);
+        mlp.layers_mut()[0].weights.fill_zero();
+        let q = QuantizedMlp::from_mlp(&mlp);
+        assert_eq!(q.score(&[1.0, 2.0, 3.0]), q.score(&[4.0, 5.0, 6.0]));
+    }
+
+    #[test]
+    fn single_doc_matches_batch() {
+        let mlp = Mlp::from_hidden(5, &[7, 3], 11);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let rows: Vec<f32> = (0..5 * 4).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut out = vec![0.0f32; 4];
+        q.score_batch(&rows, &mut out);
+        for (d, row) in rows.chunks_exact(5).enumerate() {
+            assert_eq!(q.score(row), out[d]);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Step learning-rate schedules.
+//!
+//! Table 9: "both for training and pruning, we scale the learning rate by
+//! multiplying it by γ at the epochs specified by γ_step" — e.g. γ = 0.1
+//! at epochs {50, 80} on MSN30K, γ = 0.5 at {90, 130, 180} on Istella-S.
+
+/// Multiplicative step schedule: `lr(e) = base · γ^(milestones ≤ e)`.
+#[derive(Debug, Clone)]
+pub struct StepLr {
+    base: f32,
+    gamma: f32,
+    milestones: Vec<usize>,
+}
+
+impl StepLr {
+    /// Build a schedule. Milestones are epoch indices (0-based) at which
+    /// the rate is scaled; they need not be sorted.
+    pub fn new(base: f32, gamma: f32, milestones: &[usize]) -> StepLr {
+        let mut m = milestones.to_vec();
+        m.sort_unstable();
+        StepLr {
+            base,
+            gamma,
+            milestones: m,
+        }
+    }
+
+    /// Constant schedule.
+    pub fn constant(base: f32) -> StepLr {
+        StepLr {
+            base,
+            gamma: 1.0,
+            milestones: Vec::new(),
+        }
+    }
+
+    /// Learning rate for epoch `epoch` (0-based).
+    pub fn lr(&self, epoch: usize) -> f32 {
+        let hits = self.milestones.iter().filter(|&&m| m <= epoch).count();
+        self.base * self.gamma.powi(hits as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msn30k_schedule() {
+        // Table 9: lr 0.001, γ 0.1 at {50, 80}.
+        let s = StepLr::new(0.001, 0.1, &[50, 80]);
+        assert_eq!(s.lr(0), 0.001);
+        assert_eq!(s.lr(49), 0.001);
+        assert!((s.lr(50) - 1e-4).abs() < 1e-10);
+        assert!((s.lr(79) - 1e-4).abs() < 1e-10);
+        assert!((s.lr(80) - 1e-5).abs() < 1e-11);
+        assert!((s.lr(99) - 1e-5).abs() < 1e-11);
+    }
+
+    #[test]
+    fn unsorted_milestones_ok() {
+        let s = StepLr::new(1.0, 0.5, &[20, 10]);
+        assert_eq!(s.lr(15), 0.5);
+        assert_eq!(s.lr(25), 0.25);
+    }
+
+    #[test]
+    fn constant_never_decays() {
+        let s = StepLr::constant(0.01);
+        assert_eq!(s.lr(0), 0.01);
+        assert_eq!(s.lr(10_000), 0.01);
+    }
+}

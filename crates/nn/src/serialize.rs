@@ -1,0 +1,258 @@
+//! Plain-text (de)serialization of MLPs.
+//!
+//! Line-oriented, dependency-free, exact `f32` round-trips (shortest-exact
+//! formatting). Format:
+//!
+//! ```text
+//! dlr-mlp v1
+//! layers <n>
+//! layer <in> <out> <relu|relu6|identity>
+//! w <in floats>        (× out rows)
+//! b <out floats>
+//! ```
+
+use crate::activation::Activation;
+use crate::layer::Linear;
+use crate::mlp::Mlp;
+use dlr_dense::Matrix;
+use std::io::{BufRead, Write};
+
+/// Errors loading a serialized MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlpParseError {
+    /// Missing or unknown header.
+    BadHeader,
+    /// A structural line was malformed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for MlpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlpParseError::BadHeader => write!(f, "not a dlr-mlp v1 file"),
+            MlpParseError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            MlpParseError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlpParseError {}
+
+impl From<std::io::Error> for MlpParseError {
+    fn from(e: std::io::Error) -> Self {
+        MlpParseError::Io(e.to_string())
+    }
+}
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::Relu6 => "relu6",
+        Activation::Identity => "identity",
+    }
+}
+
+fn act_parse(s: &str) -> Option<Activation> {
+    match s {
+        "relu" => Some(Activation::Relu),
+        "relu6" => Some(Activation::Relu6),
+        "identity" => Some(Activation::Identity),
+        _ => None,
+    }
+}
+
+/// Write `mlp` in the text format.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_mlp<W: Write>(mlp: &Mlp, mut w: W) -> Result<(), MlpParseError> {
+    writeln!(w, "dlr-mlp v1")?;
+    writeln!(w, "layers {}", mlp.layers().len())?;
+    for (layer, act) in mlp.layers().iter().zip(mlp.activations()) {
+        writeln!(
+            w,
+            "layer {} {} {}",
+            layer.in_features(),
+            layer.out_features(),
+            act_name(*act)
+        )?;
+        for r in 0..layer.out_features() {
+            write!(w, "w")?;
+            for &v in layer.weights.row(r) {
+                write!(w, " {v}")?;
+            }
+            writeln!(w)?;
+        }
+        write!(w, "b")?;
+        for &v in &layer.bias {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read an MLP written by [`write_mlp`].
+///
+/// # Errors
+/// [`MlpParseError`] on any structural problem.
+pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, MlpParseError> {
+    let mut lines = r.lines();
+    let mut lineno = 0usize;
+    let mut next = |lineno: &mut usize| -> Result<String, MlpParseError> {
+        *lineno += 1;
+        match lines.next() {
+            Some(Ok(l)) => Ok(l),
+            Some(Err(e)) => Err(e.into()),
+            None => Err(MlpParseError::Malformed {
+                line: *lineno,
+                message: "unexpected end of file".into(),
+            }),
+        }
+    };
+    let bad = |line: usize, message: &str| MlpParseError::Malformed {
+        line,
+        message: message.to_string(),
+    };
+
+    if next(&mut lineno)? != "dlr-mlp v1" {
+        return Err(MlpParseError::BadHeader);
+    }
+    let count_line = next(&mut lineno)?;
+    let num_layers: usize = count_line
+        .strip_prefix("layers ")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad(lineno, "expected `layers <n>`"))?;
+    if num_layers == 0 {
+        return Err(bad(lineno, "network needs at least one layer"));
+    }
+
+    let parse_floats = |line: &str, prefix: &str, expected: usize, lineno: usize| {
+        let rest = line
+            .strip_prefix(prefix)
+            .ok_or_else(|| bad(lineno, &format!("expected `{prefix}...`")))?;
+        let vals: Result<Vec<f32>, _> = rest.split_whitespace().map(str::parse::<f32>).collect();
+        let vals = vals.map_err(|_| bad(lineno, "bad float"))?;
+        if vals.len() != expected {
+            return Err(bad(
+                lineno,
+                &format!("expected {expected} values, got {}", vals.len()),
+            ));
+        }
+        Ok(vals)
+    };
+
+    let mut layers = Vec::with_capacity(num_layers);
+    let mut activations = Vec::with_capacity(num_layers);
+    for _ in 0..num_layers {
+        let header = next(&mut lineno)?;
+        let p: Vec<&str> = header.split_whitespace().collect();
+        if p.len() != 4 || p[0] != "layer" {
+            return Err(bad(lineno, "expected `layer <in> <out> <activation>`"));
+        }
+        let in_f: usize = p[1].parse().map_err(|_| bad(lineno, "bad in_features"))?;
+        let out_f: usize = p[2].parse().map_err(|_| bad(lineno, "bad out_features"))?;
+        let act = act_parse(p[3]).ok_or_else(|| bad(lineno, "unknown activation"))?;
+        let mut weights = Vec::with_capacity(in_f * out_f);
+        for _ in 0..out_f {
+            let l = next(&mut lineno)?;
+            weights.extend(parse_floats(&l, "w", in_f, lineno)?);
+        }
+        let l = next(&mut lineno)?;
+        let bias = parse_floats(&l, "b", out_f, lineno)?;
+        layers.push(Linear {
+            weights: Matrix::from_vec(out_f, in_f, weights),
+            bias,
+        });
+        activations.push(act);
+    }
+    Ok(Mlp::from_parts(layers, activations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let mlp = Mlp::from_hidden(7, &[5, 3], 42);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let back = read_mlp(Cursor::new(&buf)).unwrap();
+        assert_eq!(mlp, back);
+        // Same predictions, bit for bit.
+        let row = [0.3f32, -0.7, 1.5, 0.0, -2.0, 0.25, 4.0];
+        assert_eq!(mlp.score(&row), back.score(&row));
+    }
+
+    #[test]
+    fn roundtrip_preserves_pruned_zeros_and_activations() {
+        let mut mlp = Mlp::from_hidden(4, &[6], 3);
+        // Prune some weights to exact zeros.
+        for (i, w) in mlp.layers_mut()[0]
+            .weights
+            .as_mut_slice()
+            .iter_mut()
+            .enumerate()
+        {
+            if i % 3 == 0 {
+                *w = 0.0;
+            }
+        }
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let back = read_mlp(Cursor::new(&buf)).unwrap();
+        assert_eq!(mlp, back);
+        assert_eq!(back.layers()[0].sparsity(), mlp.layers()[0].sparsity());
+        assert_eq!(back.activations(), mlp.activations());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            read_mlp(Cursor::new("pytorch\n")).unwrap_err(),
+            MlpParseError::BadHeader
+        );
+    }
+
+    #[test]
+    fn wrong_row_width_rejected() {
+        let mlp = Mlp::from_hidden(2, &[2], 1);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Drop one value from the first weight row.
+        let corrupted: Vec<String> = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("w ") {
+                    l.rsplit_once(' ')
+                        .map(|(a, _)| a.to_string())
+                        .unwrap_or_else(|| l.into())
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        let err = read_mlp(Cursor::new(corrupted.join("\n"))).unwrap_err();
+        assert!(matches!(err, MlpParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mlp = Mlp::from_hidden(3, &[4, 2], 9);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let half: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(read_mlp(Cursor::new(half)).is_err());
+    }
+}

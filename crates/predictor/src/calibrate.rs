@@ -1,0 +1,261 @@
+//! On-host calibration of both predictors.
+//!
+//! The paper's predictors are "hybrid analytical-empirical": the formulas
+//! are analytic, but the coefficients come from measurements on the target
+//! CPU (§4.2's GFLOPS sweeps, §4.4's calibration-by-difference). This
+//! module reruns those measurements on whatever machine the library is
+//! deployed on, which is exactly what a user must do to predict scoring
+//! times for *their* hardware.
+
+use crate::dense_pred::DensePredictor;
+use crate::sparse_pred::SparsePredictor;
+use dlr_dense::measure_gemm_gflops;
+use dlr_sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
+use std::time::Instant;
+
+/// Both predictors calibrated on this machine.
+#[derive(Debug, Clone)]
+pub struct HostCalibration {
+    /// Dense (Equation 3) predictor with host-measured GFLOPS zones.
+    pub dense: DensePredictor,
+    /// Sparse (Equation 5) predictor with host-measured coefficients.
+    pub sparse: SparsePredictor,
+}
+
+impl HostCalibration {
+    /// Run both calibrations. `quick` trades accuracy for speed (fewer
+    /// repetitions, smaller probe matrices) — appropriate for tests and
+    /// CI; experiments should pass `false`.
+    pub fn measure(quick: bool) -> HostCalibration {
+        HostCalibration {
+            dense: calibrate_dense(quick),
+            sparse: calibrate_sparse(quick),
+        }
+    }
+}
+
+/// Measure GFLOPS over an `(m, k)` probe grid at a representative batch
+/// size and collapse the measurements into the paper's three `k`-zones
+/// (boundaries at 128 and 512, Figure 6).
+pub fn calibrate_dense(quick: bool) -> DensePredictor {
+    let (n, reps) = if quick { (128, 3) } else { (1000, 7) };
+    let ms: &[usize] = if quick { &[64, 256] } else { &[64, 256, 512] };
+    let zone_ks: [&[usize]; 3] = if quick {
+        [&[32, 96], &[192, 384], &[768]]
+    } else {
+        [&[32, 64, 128], &[192, 256, 512], &[768, 1024]]
+    };
+    let mut zones = Vec::with_capacity(3);
+    let bounds = [128usize, 512, usize::MAX];
+    for (zi, ks) in zone_ks.iter().enumerate() {
+        let mut samples = Vec::new();
+        for &k in ks.iter() {
+            for &m in ms {
+                samples.push(measure_gemm_gflops(m, k, n, 1, reps));
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite GFLOPS"));
+        let median = samples[samples.len() / 2];
+        zones.push((bounds[zi], median.max(0.01)));
+    }
+    DensePredictor::from_zones(zones)
+}
+
+/// Median seconds for one `A·B` with the LIBXSMM-style kernel, timing
+/// batches of repetitions to beat clock resolution on sub-µs kernels.
+pub fn time_spmm(a: &CsrMatrix, n: usize, reps: usize) -> f64 {
+    let b: Vec<f32> = (0..a.cols() * n)
+        .map(|i| ((i * 37) % 17) as f32 / 7.0 - 1.0)
+        .collect();
+    let packed = PackedB::pack(&b, a.cols(), n);
+    let mut c = vec![0.0f32; a.rows() * n];
+    let mut ws = SpmmWorkspace::default();
+    // Warm up and estimate a single-shot duration.
+    spmm_xsmm_packed(a, &packed, &mut c, &mut ws);
+    let t = Instant::now();
+    spmm_xsmm_packed(a, &packed, &mut c, &mut ws);
+    let single = t.elapsed().as_secs_f64().max(1e-9);
+    // Aim for ~2 ms per timed sample.
+    let inner = ((2e-3 / single) as usize).clamp(1, 200_000);
+    let mut samples = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        for _ in 0..inner {
+            spmm_xsmm_packed(a, &packed, &mut c, &mut ws);
+        }
+        samples.push(t.elapsed().as_secs_f64() / inner as f64);
+    }
+    samples.sort_by(|x, y| x.partial_cmp(y).expect("finite durations"));
+    samples[samples.len() / 2]
+}
+
+/// Single-column matrix `A_c`: one non-zero per row, all in column 0.
+fn matrix_ac(m: usize, k: usize) -> CsrMatrix {
+    CsrMatrix::new(m, k, vec![0.5; m], vec![0; m], (0..=m).collect())
+        .expect("valid single-column CSR")
+}
+
+/// Two-column matrix `A_2c`: two non-zeros per row, columns 0 and 1.
+fn matrix_a2c(m: usize, k: usize) -> CsrMatrix {
+    let values = vec![0.5; 2 * m];
+    let col_idx: Vec<u32> = (0..m).flat_map(|_| [0u32, 1]).collect();
+    let row_ptr: Vec<usize> = (0..=m).map(|i| 2 * i).collect();
+    CsrMatrix::new(m, k, values, col_idx, row_ptr).expect("valid two-column CSR")
+}
+
+/// Permutation matrix `A_rd`: one non-zero per row *and* per column, with
+/// the column order randomized (seeded). A plain diagonal would walk B's
+/// rows sequentially — prefetch-friendly in a way real pruned layers never
+/// are — and underestimate `L_b`.
+fn matrix_ard(m: usize, k: usize) -> CsrMatrix {
+    assert!(k >= m, "permutation construction needs k >= m");
+    let mut cols: Vec<u32> = (0..m as u32).collect();
+    // Deterministic Fisher–Yates with a small LCG; no RNG dependency here.
+    let mut state = 0x2545F4914F6CDD1Du64 ^ (m as u64);
+    for i in (1..m).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        cols.swap(i, j);
+    }
+    CsrMatrix::new(m, k, vec![0.5; m], cols, (0..=m).collect()).expect("valid permutation CSR")
+}
+
+/// The §4.4 calibration-by-difference:
+///
+/// ```text
+/// T(A_rd) − T(A_c)  = (k − 1)·L_b          →  L_b
+/// T(A_2c) − T(A_c)  = nnz·L_a + L_b        →  L_a
+/// T(A_c)            = m·L_c + m·L_a + L_b  →  L_c
+/// ```
+///
+/// Coefficients are N-normalized and averaged over the paper's grid
+/// (M = K ∈ {200..500}, N ∈ {16, 32, 64}).
+///
+/// **Deviation from the paper:** the paper sets `L_c = 2·L_b`, an
+/// identity they verified empirically for LIBXSMM's JIT-generated code.
+/// Our generic (non-JIT) kernel pays a larger per-row cost — loop setup
+/// and the accumulator store — so `L_c` is *measured* from `T(A_c)`
+/// instead, which the three probe matrices determine for free. The
+/// paper-faithful constructor [`SparsePredictor::from_la_lb`] still
+/// applies `L_c = 2·L_b` for users with hardwired kernels.
+pub fn calibrate_sparse(quick: bool) -> SparsePredictor {
+    let sizes: &[usize] = if quick {
+        &[200, 300]
+    } else {
+        &[200, 300, 400, 500]
+    };
+    let ns: &[usize] = if quick { &[32] } else { &[16, 32, 64] };
+    let reps = if quick { 3 } else { 7 };
+    let mut las = Vec::new();
+    let mut lbs = Vec::new();
+    let mut lcs = Vec::new();
+    for &mk in sizes {
+        let (m, k) = (mk, mk);
+        let ac = matrix_ac(m, k);
+        let ard = matrix_ard(m, k);
+        let a2c = matrix_a2c(m, k);
+        for &n in ns {
+            let t_ac = time_spmm(&ac, n, reps);
+            let t_ard = time_spmm(&ard, n, reps);
+            let t_a2c = time_spmm(&a2c, n, reps);
+            let lb = (t_ard - t_ac) / (k - 1) as f64 / n as f64;
+            let la = (t_a2c - t_ac - lb * n as f64) / m as f64 / n as f64;
+            if lb.is_finite() && lb > 0.0 {
+                lbs.push(lb);
+            }
+            if la.is_finite() && la > 0.0 {
+                las.push(la);
+                let lc = (t_ac / n as f64 - lb) / m as f64 - la;
+                if lc.is_finite() && lc > 0.0 {
+                    lcs.push(lc);
+                }
+            }
+        }
+    }
+    let mean = |v: &[f64], fallback: f64| {
+        if v.is_empty() {
+            fallback
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    // Fall back to paper-like magnitudes if a term was unmeasurable
+    // (timer noise on very fast machines).
+    let paper = SparsePredictor::paper_like();
+    let la = mean(&las, paper.la);
+    let lb = mean(&lbs, paper.lb);
+    let lc = mean(&lcs, 2.0 * lb);
+    SparsePredictor { la, lb, lc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_pred::CsrShapeStats;
+
+    #[test]
+    fn calibration_matrices_have_the_prescribed_structure() {
+        let ac = matrix_ac(5, 7);
+        assert_eq!(ac.nnz(), 5);
+        assert_eq!(ac.active_rows(), 5);
+        assert_eq!(ac.active_cols(), 1);
+        let ard = matrix_ard(5, 7);
+        assert_eq!(ard.nnz(), 5);
+        assert_eq!(ard.active_cols(), 5);
+        let a2c = matrix_a2c(5, 7);
+        assert_eq!(a2c.nnz(), 10);
+        assert_eq!(a2c.active_cols(), 2);
+    }
+
+    #[test]
+    fn quick_dense_calibration_produces_sane_zones() {
+        let p = calibrate_dense(true);
+        assert_eq!(p.zones().len(), 3);
+        for &(_, g) in p.zones() {
+            assert!(g > 0.01 && g < 10_000.0, "GFLOPS {g}");
+        }
+    }
+
+    #[test]
+    fn quick_sparse_calibration_produces_positive_coefficients() {
+        let p = calibrate_sparse(true);
+        assert!(p.la > 0.0 && p.la < 1e-5, "la = {}", p.la);
+        assert!(p.lb > 0.0 && p.lb < 1e-5, "lb = {}", p.lb);
+        // L_c is measured (see the calibrate_sparse docs); it must be a
+        // positive per-row cost of plausible magnitude.
+        assert!(p.lc > 0.0 && p.lc < 1e-5, "lc = {}", p.lc);
+    }
+
+    #[test]
+    fn calibrated_sparse_predictor_tracks_measurements() {
+        // Predict a structured matrix the calibration never saw and check
+        // the prediction lands within a generous factor of the measured
+        // time (timers on shared machines are noisy).
+        let p = calibrate_sparse(true);
+        let m = 300;
+        let k = 300;
+        // Three non-zeros per row across three columns.
+        let values = vec![0.5f32; 3 * m];
+        let col_idx: Vec<u32> = (0..m).flat_map(|_| [0u32, 1, 2]).collect();
+        let row_ptr: Vec<usize> = (0..=m).map(|i| 3 * i).collect();
+        let a = CsrMatrix::new(m, k, values, col_idx, row_ptr).unwrap();
+        let n = 32;
+        let measured = time_spmm(&a, n, 3);
+        let predicted = p.predict_secs(CsrShapeStats::of(&a), n);
+        let ratio = predicted / measured;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "predicted {predicted:.2e}s vs measured {measured:.2e}s (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn time_spmm_scales_with_batch() {
+        let a = matrix_a2c(200, 200);
+        let t16 = time_spmm(&a, 16, 3);
+        let t128 = time_spmm(&a, 128, 3);
+        assert!(t128 > t16, "t128 {t128} <= t16 {t16}");
+    }
+}

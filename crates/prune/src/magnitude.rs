@@ -1,0 +1,164 @@
+//! Magnitude-based mask construction.
+
+/// How aggressiveness is controlled (§5.2: "the way this aggressiveness is
+/// controlled distinguishes between level pruning and threshold-based
+/// pruning").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneMethod {
+    /// Zero exactly `sparsity` of the weights (lowest magnitudes first).
+    Level {
+        /// Target fraction of zeros in `[0, 1]`.
+        sparsity: f64,
+    },
+    /// Zero weights with `|w| ≤ sensitivity · σ(initial weights)`.
+    /// The threshold is computed once and *held fixed* across pruning
+    /// epochs (the Distiller behaviour the paper adopts).
+    Threshold {
+        /// Multiplier `s` on the layer's weight standard deviation.
+        sensitivity: f32,
+    },
+}
+
+/// Keep-mask (1.0 keep / 0.0 prune) zeroing the lowest-magnitude
+/// `sparsity` fraction of `weights`.
+///
+/// Exact count semantics: `floor(len · sparsity)` weights are pruned, ties
+/// broken by index, so the achieved sparsity is deterministic.
+///
+/// # Panics
+/// Panics when `sparsity` is outside `[0, 1]`.
+pub fn level_mask(weights: &[f32], sparsity: f64) -> Vec<f32> {
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity must be in [0, 1]"
+    );
+    let n = weights.len();
+    let prune_count = ((n as f64) * sparsity).floor() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        weights[a]
+            .abs()
+            .partial_cmp(&weights[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut mask = vec![1.0f32; n];
+    for &i in &idx[..prune_count] {
+        mask[i] = 0.0;
+    }
+    mask
+}
+
+/// Keep-mask zeroing weights with `|w| ≤ threshold`.
+pub fn mask_below(weights: &[f32], threshold: f32) -> Vec<f32> {
+    weights
+        .iter()
+        .map(|&w| f32::from(w.abs() > threshold))
+        .collect()
+}
+
+/// The Han-style threshold `t = sensitivity · σ` over the given weights.
+pub fn han_threshold(weights: &[f32], sensitivity: f32) -> f32 {
+    sensitivity * std_dev(weights)
+}
+
+/// Keep-mask for [`PruneMethod::Threshold`]: `t = sensitivity · σ`.
+pub fn threshold_mask(weights: &[f32], sensitivity: f32) -> Vec<f32> {
+    mask_below(weights, han_threshold(weights, sensitivity))
+}
+
+/// Population standard deviation.
+fn std_dev(weights: &[f32]) -> f32 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let n = weights.len() as f64;
+    let mean = weights.iter().map(|&w| w as f64).sum::<f64>() / n;
+    let var = weights
+        .iter()
+        .map(|&w| (w as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    var.sqrt() as f32
+}
+
+/// Achieved sparsity of a keep-mask.
+pub fn mask_sparsity(mask: &[f32]) -> f64 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.iter().filter(|&&m| m == 0.0).count() as f64 / mask.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_mask_prunes_smallest() {
+        let w = [0.5, -0.1, 0.9, 0.05, -0.7];
+        let m = level_mask(&w, 0.4); // prune 2 of 5
+        assert_eq!(m, vec![1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(mask_sparsity(&m), 0.4);
+    }
+
+    #[test]
+    fn level_mask_extremes() {
+        let w = [1.0, 2.0, 3.0];
+        assert_eq!(level_mask(&w, 0.0), vec![1.0; 3]);
+        assert_eq!(level_mask(&w, 1.0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn level_mask_exact_count_with_ties() {
+        let w = [0.2f32; 10];
+        let m = level_mask(&w, 0.5);
+        assert_eq!(mask_sparsity(&m), 0.5);
+        // Deterministic: lowest indices pruned first on ties.
+        assert_eq!(&m[..5], &[0.0; 5]);
+        assert_eq!(&m[5..], &[1.0; 5]);
+    }
+
+    #[test]
+    fn threshold_mask_uses_sigma() {
+        // Symmetric weights: σ of {−1, −1, 1, 1} is 1.
+        let w = [-1.0, -1.0, 1.0, 1.0, 0.5, -0.5];
+        let t = han_threshold(&w[..4], 1.0);
+        assert!((t - 1.0).abs() < 1e-6);
+        let m = mask_below(&w, 0.75);
+        assert_eq!(m, vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gaussian_sensitivity_one_prunes_about_68_percent() {
+        // §2.3: with N(0, σ²) weights, s = 1 prunes ≈ 68% of them.
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let w: Vec<f32> = (0..20_000)
+            .map(|_| {
+                // Box–Muller.
+                let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.random_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+            })
+            .collect();
+        let m = threshold_mask(&w, 1.0);
+        let s = mask_sparsity(&m);
+        assert!((s - 0.683).abs() < 0.02, "sparsity {s}");
+    }
+
+    #[test]
+    fn empty_weights_ok() {
+        assert!(level_mask(&[], 0.5).is_empty());
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(mask_sparsity(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn bad_sparsity_panics() {
+        level_mask(&[1.0], 1.5);
+    }
+}

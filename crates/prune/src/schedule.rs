@@ -1,0 +1,249 @@
+//! The Table 9 prune/fine-tune pipeline, specialized to the paper's
+//! early-layers efficiency-oriented pruning.
+//!
+//! §5.2: "We prune only the first layer in an aggressive fashion and we
+//! fine-tune its surviving entries and all the weights of the other
+//! layers." The phase structure follows Han et al. as quoted in §6.1:
+//! `E_p` epochs of interleaved pruning/fine-tuning followed by `E_ft`
+//! epochs of fine-tuning only. During the pruning phase the mask is
+//! re-derived every epoch — under the fixed Distiller threshold for
+//! [`PruneMethod::Threshold`], or under a linearly ramped target for
+//! [`PruneMethod::Level`] — and is frozen for the fine-tuning phase.
+
+use crate::magnitude::{han_threshold, level_mask, mask_below, mask_sparsity, PruneMethod};
+use dlr_distill::DistillSession;
+use dlr_nn::train::SgdTrainer;
+use dlr_nn::{LayerMasks, Mlp, StepLr};
+
+/// Configuration for [`prune_first_layer`].
+#[derive(Debug, Clone, Copy)]
+pub struct PruneConfig {
+    /// Which layer to sparsify (0 = the paper's choice, the input layer).
+    pub layer: usize,
+    /// How the mask is derived.
+    pub method: PruneMethod,
+}
+
+impl PruneConfig {
+    /// The paper's default: threshold pruning of the first layer.
+    pub fn first_layer_threshold(sensitivity: f32) -> PruneConfig {
+        PruneConfig {
+            layer: 0,
+            method: PruneMethod::Threshold { sensitivity },
+        }
+    }
+
+    /// Level pruning of the first layer to a target sparsity.
+    pub fn first_layer_level(sparsity: f64) -> PruneConfig {
+        PruneConfig {
+            layer: 0,
+            method: PruneMethod::Level { sparsity },
+        }
+    }
+}
+
+/// Result of a prune/fine-tune run.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// Achieved sparsity of the pruned layer after the final mask.
+    pub final_sparsity: f64,
+    /// Mean minibatch loss per epoch (pruning then fine-tuning phases).
+    pub epoch_loss: Vec<f64>,
+    /// Sparsity after each pruning epoch (length `E_p`).
+    pub sparsity_curve: Vec<f64>,
+}
+
+/// Run the prune/fine-tune schedule on a distilled student, in place.
+///
+/// `session` supplies the distillation loop (real + synthetic batches,
+/// teacher scores, normalizer); its `hyper` provides `E_p`, `E_ft`, the
+/// learning rate and the γ schedule. Adam state persists across both
+/// phases, as in a single Distiller run.
+///
+/// # Panics
+/// Panics when `cfg.layer` is out of range for `mlp`.
+pub fn prune_first_layer(
+    session: &DistillSession<'_>,
+    mlp: &mut Mlp,
+    cfg: &PruneConfig,
+) -> PruneOutcome {
+    assert!(
+        cfg.layer < mlp.layers().len(),
+        "layer {} out of range",
+        cfg.layer
+    );
+    let hyper = &session.config().hyper;
+    let schedule = StepLr::new(hyper.learning_rate, hyper.gamma, &hyper.gamma_steps);
+    let mut trainer = SgdTrainer::new(mlp, hyper.dropout, session.config().seed ^ 0x9121);
+    let mut masks = LayerMasks::none(mlp.layers().len());
+    let mut epoch_loss = Vec::new();
+    let mut sparsity_curve = Vec::new();
+
+    // The Distiller threshold is computed once, on the pre-pruning weights.
+    let fixed_threshold = match cfg.method {
+        PruneMethod::Threshold { sensitivity } => Some(han_threshold(
+            mlp.layers()[cfg.layer].weights.as_slice(),
+            sensitivity,
+        )),
+        PruneMethod::Level { .. } => None,
+    };
+
+    // Phase 1: E_p epochs of prune + fine-tune.
+    for e in 0..hyper.prune_epochs {
+        let weights = mlp.layers()[cfg.layer].weights.as_slice();
+        let mask = match cfg.method {
+            PruneMethod::Threshold { .. } => {
+                mask_below(weights, fixed_threshold.expect("set above"))
+            }
+            PruneMethod::Level { sparsity } => {
+                // Linear ramp to the target across the pruning phase.
+                let ramp = sparsity * (e + 1) as f64 / hyper.prune_epochs as f64;
+                level_mask(weights, ramp)
+            }
+        };
+        sparsity_curve.push(mask_sparsity(&mask));
+        masks.set(cfg.layer, mask);
+        masks.apply(mlp);
+        let losses = session.run_epochs_with(mlp, &mut trainer, &schedule, e..e + 1, Some(&masks));
+        epoch_loss.extend(losses);
+    }
+
+    // Phase 2: E_ft fine-tuning epochs under the frozen final mask.
+    let start = hyper.prune_epochs;
+    let losses = session.run_epochs_with(
+        mlp,
+        &mut trainer,
+        &schedule,
+        start..start + hyper.finetune_epochs,
+        Some(&masks),
+    );
+    epoch_loss.extend(losses);
+    masks.apply(mlp);
+
+    PruneOutcome {
+        final_sparsity: mlp.layers()[cfg.layer].sparsity(),
+        epoch_loss,
+        sparsity_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_data::SyntheticConfig;
+    use dlr_distill::{DistillConfig, DistillHyper};
+    use dlr_gbdt::{Ensemble, GrowthParams, LambdaMartParams, LambdaMartTrainer};
+
+    fn setup() -> (Ensemble, dlr_data::Dataset) {
+        let mut cfg = SyntheticConfig::msn30k_like(30);
+        cfg.docs_per_query = 20;
+        cfg.num_features = 12;
+        cfg.num_informative = 5;
+        let data = cfg.generate();
+        let params = LambdaMartParams {
+            num_trees: 10,
+            growth: GrowthParams {
+                max_leaves: 8,
+                min_data_in_leaf: 5,
+                ..Default::default()
+            },
+            early_stopping_rounds: 0,
+            ..Default::default()
+        };
+        let (teacher, _) = LambdaMartTrainer::new(params).fit(&data, None);
+        (teacher, data)
+    }
+
+    fn session_cfg(ep: usize, eft: usize) -> DistillConfig {
+        let mut hyper = DistillHyper::msn30k();
+        hyper.train_epochs = 10;
+        hyper.prune_epochs = ep;
+        hyper.finetune_epochs = eft;
+        hyper.gamma_steps = vec![6, 9];
+        DistillConfig {
+            hyper,
+            batch_size: 64,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn level_pruning_reaches_the_target() {
+        let (teacher, data) = setup();
+        let session = DistillSession::new(&teacher, &data, session_cfg(5, 2));
+        let mut model = session.train_student(&[16, 8]);
+        let out = prune_first_layer(
+            &session,
+            &mut model.mlp,
+            &PruneConfig::first_layer_level(0.9),
+        );
+        assert!(
+            (out.final_sparsity - 0.9).abs() < 0.02,
+            "sparsity {}",
+            out.final_sparsity
+        );
+        // Ramp is monotone.
+        for w in out.sparsity_curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+        assert_eq!(out.epoch_loss.len(), 7);
+        // Other layers stay dense.
+        assert!(model.mlp.layers()[1].sparsity() < 0.05);
+    }
+
+    #[test]
+    fn threshold_pruning_increases_sparsity_over_epochs() {
+        let (teacher, data) = setup();
+        let session = DistillSession::new(&teacher, &data, session_cfg(6, 1));
+        let mut model = session.train_student(&[16, 8]);
+        let out = prune_first_layer(
+            &session,
+            &mut model.mlp,
+            &PruneConfig::first_layer_threshold(0.8),
+        );
+        // The fixed threshold keeps pulling re-trained weights under it:
+        // final sparsity must be at least the first epoch's.
+        assert!(out.final_sparsity >= out.sparsity_curve[0] - 1e-9);
+        assert!(out.final_sparsity > 0.3, "sparsity {}", out.final_sparsity);
+        // Surviving weights all exceed the threshold at mask time.
+        let nnz = model.mlp.layers()[0]
+            .weights
+            .as_slice()
+            .iter()
+            .filter(|&&w| w != 0.0)
+            .count();
+        assert!(nnz > 0, "some weights must survive");
+    }
+
+    #[test]
+    fn pruned_model_still_scores_sanely() {
+        let (teacher, data) = setup();
+        let session = DistillSession::new(&teacher, &data, session_cfg(4, 2));
+        let mut model = session.train_student(&[16, 8]);
+        prune_first_layer(
+            &session,
+            &mut model.mlp,
+            &PruneConfig::first_layer_level(0.8),
+        );
+        let mut out = vec![0.0f32; data.num_docs()];
+        model.score_batch(data.features(), &mut out);
+        assert!(out.iter().all(|s| s.is_finite()));
+        // Scores still vary across documents.
+        let min = out.iter().cloned().fold(f32::MAX, f32::min);
+        let max = out.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(max > min);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_layer_panics() {
+        let (teacher, data) = setup();
+        let session = DistillSession::new(&teacher, &data, session_cfg(1, 1));
+        let mut mlp = Mlp::from_hidden(12, &[4], 1);
+        let cfg = PruneConfig {
+            layer: 5,
+            method: PruneMethod::Level { sparsity: 0.5 },
+        };
+        prune_first_layer(&session, &mut mlp, &cfg);
+    }
+}

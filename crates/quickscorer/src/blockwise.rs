@@ -1,0 +1,176 @@
+//! Block-Wise QuickScorer (BWQS).
+//!
+//! §2.2: "the forest is partitioned into blocks of trees fitting the L3
+//! cache, reducing the cache-miss ratio". Each block is an independent
+//! QuickScorer encoding; a batch of documents is scored block after block,
+//! so one block's condition lists and leaf tables stay cache-resident
+//! while the whole batch streams through them, instead of the full
+//! forest's structures being evicted between documents.
+
+use crate::model::QuickScorer;
+use crate::QsError;
+use dlr_gbdt::{Ensemble, RegressionTree};
+
+/// BWQS: a partition of the forest into cache-sized QuickScorer blocks.
+#[derive(Debug, Clone)]
+pub struct BlockwiseQuickScorer {
+    blocks: Vec<QuickScorer>,
+    base_score: f32,
+    num_features: usize,
+    num_trees: usize,
+}
+
+impl BlockwiseQuickScorer {
+    /// Encode `ensemble` into blocks of at most `trees_per_block` trees.
+    ///
+    /// The paper sizes blocks to the L3 cache; callers can derive
+    /// `trees_per_block` from a byte budget with
+    /// [`Self::trees_for_budget`].
+    ///
+    /// # Errors
+    /// Same conditions as [`QuickScorer::compile`], plus
+    /// [`QsError::EmptyEnsemble`] when `trees_per_block == 0`.
+    pub fn compile(
+        ensemble: &Ensemble,
+        trees_per_block: usize,
+    ) -> Result<BlockwiseQuickScorer, QsError> {
+        if ensemble.num_trees() == 0 || trees_per_block == 0 {
+            return Err(QsError::EmptyEnsemble);
+        }
+        let mut blocks = Vec::new();
+        for chunk in ensemble.trees().chunks(trees_per_block) {
+            // Sub-ensembles carry no base score; it is added once at the end.
+            let mut sub = Ensemble::new(ensemble.num_features(), 0.0);
+            for t in chunk {
+                sub.push(t.clone());
+            }
+            blocks.push(QuickScorer::compile(&sub)?);
+        }
+        Ok(BlockwiseQuickScorer {
+            blocks,
+            base_score: ensemble.base_score(),
+            num_features: ensemble.num_features(),
+            num_trees: ensemble.num_trees(),
+        })
+    }
+
+    /// Rough per-tree encoding footprint in bytes, used to size blocks to
+    /// a cache budget: each internal node costs one condition (16 bytes
+    /// with padding) and each leaf one `f32`.
+    pub fn trees_for_budget(ensemble: &Ensemble, cache_bytes: usize) -> usize {
+        let trees = ensemble.trees();
+        if trees.is_empty() {
+            return 1;
+        }
+        let per_tree: usize = trees
+            .iter()
+            .map(|t: &RegressionTree| t.num_internal() * 16 + t.num_leaves() * 4)
+            .sum::<usize>()
+            / trees.len();
+        (cache_bytes / per_tree.max(1)).max(1)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of trees across all blocks.
+    pub fn num_trees(&self) -> usize {
+        self.num_trees
+    }
+
+    /// Expected feature count.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Score a row-major batch (`n × num_features`) into `out`,
+    /// block-by-block over the whole batch.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn score_batch(&self, features: &[f32], out: &mut [f32]) {
+        assert_eq!(
+            features.len(),
+            out.len() * self.num_features,
+            "batch shape mismatch"
+        );
+        out.fill(self.base_score);
+        let max_trees = self.blocks.iter().map(|b| b.num_trees()).max().unwrap_or(0);
+        let mut buf = vec![0u64; max_trees];
+        for block in &self.blocks {
+            for (row, o) in features.chunks_exact(self.num_features).zip(out.iter_mut()) {
+                *o += block.score_with(row, &mut buf);
+            }
+        }
+    }
+
+    /// Score a single document.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        let mut out = [0.0f32];
+        self.score_batch(x, &mut out);
+        out[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{random_docs, random_ensemble};
+
+    #[test]
+    fn matches_plain_quickscorer() {
+        let e = random_ensemble(23, 5, 32, 31);
+        let plain = QuickScorer::compile(&e).unwrap();
+        let bw = BlockwiseQuickScorer::compile(&e, 7).unwrap();
+        assert_eq!(bw.num_blocks(), 4); // ceil(23/7)
+        let docs = random_docs(60, 5, 32);
+        let mut expect = vec![0.0f32; 60];
+        let mut got = vec![0.0f32; 60];
+        plain.score_batch(&docs, &mut expect);
+        bw.score_batch(&docs, &mut got);
+        for (e, g) in expect.iter().zip(&got) {
+            assert!((e - g).abs() < 1e-4, "expect {e} got {g}");
+        }
+    }
+
+    #[test]
+    fn base_score_added_exactly_once() {
+        let e = random_ensemble(6, 3, 8, 33);
+        let bw = BlockwiseQuickScorer::compile(&e, 2).unwrap();
+        let docs = random_docs(5, 3, 34);
+        for row in docs.chunks_exact(3) {
+            assert!((bw.score(row) - e.predict(row)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_block_degenerates_to_plain() {
+        let e = random_ensemble(9, 4, 16, 35);
+        let bw = BlockwiseQuickScorer::compile(&e, 100).unwrap();
+        assert_eq!(bw.num_blocks(), 1);
+        let docs = random_docs(10, 4, 36);
+        for row in docs.chunks_exact(4) {
+            assert!((bw.score(row) - e.predict(row)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn budget_sizing_is_positive_and_monotone() {
+        let e = random_ensemble(20, 4, 32, 37);
+        let small = BlockwiseQuickScorer::trees_for_budget(&e, 4 * 1024);
+        let large = BlockwiseQuickScorer::trees_for_budget(&e, 4 * 1024 * 1024);
+        assert!(small >= 1);
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn zero_trees_per_block_rejected() {
+        let e = random_ensemble(3, 2, 4, 38);
+        assert!(matches!(
+            BlockwiseQuickScorer::compile(&e, 0),
+            Err(QsError::EmptyEnsemble)
+        ));
+    }
+}

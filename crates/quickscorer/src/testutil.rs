@@ -1,0 +1,105 @@
+//! Shared test helpers: random ensembles and documents.
+
+use dlr_gbdt::tree::leaf_ref;
+use dlr_gbdt::{Ensemble, RegressionTree};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Random ensemble with `num_trees` trees of 2..=`max_leaves` leaves each.
+pub(crate) fn random_ensemble(
+    num_trees: usize,
+    num_features: usize,
+    max_leaves: usize,
+    seed: u64,
+) -> Ensemble {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut e = Ensemble::new(num_features, rng.random_range(-1.0..1.0));
+    for _ in 0..num_trees {
+        e.push(random_tree(&mut rng, num_features, max_leaves));
+    }
+    e
+}
+
+/// Grow a random tree by repeatedly splitting random leaves.
+pub(crate) fn random_tree(
+    rng: &mut impl Rng,
+    num_features: usize,
+    max_leaves: usize,
+) -> RegressionTree {
+    enum N {
+        Leaf(f32),
+        Node { f: u32, t: f32, l: usize, r: usize },
+    }
+    let mut arena = vec![N::Leaf(rng.random_range(-1.0..1.0))];
+    let mut leaves = vec![0usize];
+    let target = rng.random_range(2..=max_leaves.max(2));
+    while leaves.len() < target {
+        let pick = rng.random_range(0..leaves.len());
+        let slot = leaves.swap_remove(pick);
+        let l = arena.len();
+        arena.push(N::Leaf(rng.random_range(-1.0..1.0)));
+        let r = arena.len();
+        arena.push(N::Leaf(rng.random_range(-1.0..1.0)));
+        arena[slot] = N::Node {
+            f: rng.random_range(0..num_features as u32),
+            t: rng.random_range(-1.0..1.0),
+            l,
+            r,
+        };
+        leaves.push(l);
+        leaves.push(r);
+    }
+    let mut feature = Vec::new();
+    let mut threshold = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut values = Vec::new();
+    #[allow(clippy::too_many_arguments)]
+    fn go(
+        arena: &[N],
+        slot: usize,
+        feature: &mut Vec<u32>,
+        threshold: &mut Vec<f32>,
+        left: &mut Vec<i32>,
+        right: &mut Vec<i32>,
+        values: &mut Vec<f32>,
+    ) -> i32 {
+        match &arena[slot] {
+            N::Leaf(v) => {
+                values.push(*v);
+                leaf_ref(values.len() - 1)
+            }
+            N::Node { f, t, l, r } => {
+                let me = feature.len();
+                feature.push(*f);
+                threshold.push(*t);
+                left.push(0);
+                right.push(0);
+                let lr = go(arena, *l, feature, threshold, left, right, values);
+                left[me] = lr;
+                let rr = go(arena, *r, feature, threshold, left, right, values);
+                right[me] = rr;
+                me as i32
+            }
+        }
+    }
+    go(
+        &arena,
+        0,
+        &mut feature,
+        &mut threshold,
+        &mut left,
+        &mut right,
+        &mut values,
+    );
+    RegressionTree::from_raw(feature, threshold, left, right, values)
+}
+
+/// `n` random documents of `num_features` features.
+pub(crate) fn random_docs(n: usize, num_features: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * num_features)
+        .map(|_| rng.random_range(-1.5..1.5))
+        .collect()
+}

@@ -1,0 +1,364 @@
+//! Compressed Sparse Row matrices (Figure 7 of the paper).
+//!
+//! Three arrays describe an `m×k` matrix with `nnz` non-zeros:
+//! `values[0..nnz]`, `col_idx[0..nnz]` (column of each value) and
+//! `row_ptr[0..m+1]` (`row_ptr[i+1] - row_ptr[i]` = non-zeros of row `i`).
+//!
+//! The paper chooses CSR because it is what off-the-shelf sparse BLAS
+//! consume and because row-wise access matches the SDMM kernel's
+//! iteration order.
+
+use dlr_dense::Matrix;
+use std::fmt;
+
+/// Errors for CSR construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// `row_ptr` does not have `rows + 1` monotone entries ending at `nnz`.
+    BadRowPtr,
+    /// A column index is `>= cols` or columns within a row are not strictly
+    /// increasing.
+    BadColumnIndex {
+        /// Row containing the offending entry.
+        row: usize,
+    },
+    /// `values` and `col_idx` lengths differ.
+    LengthMismatch,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::BadRowPtr => write!(f, "row_ptr must be monotone with rows+1 entries"),
+            SparseError::BadColumnIndex { row } => {
+                write!(
+                    f,
+                    "row {row}: column indices must be strictly increasing and < cols"
+                )
+            }
+            SparseError::LengthMismatch => write!(f, "values and col_idx lengths differ"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// An immutable CSR sparse matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f32>,
+    col_idx: Vec<u32>,
+    row_ptr: Vec<usize>,
+}
+
+impl CsrMatrix {
+    /// Build from raw CSR arrays, validating the invariants.
+    ///
+    /// # Errors
+    /// [`SparseError`] when the arrays are inconsistent.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        values: Vec<f32>,
+        col_idx: Vec<u32>,
+        row_ptr: Vec<usize>,
+    ) -> Result<CsrMatrix, SparseError> {
+        if values.len() != col_idx.len() {
+            return Err(SparseError::LengthMismatch);
+        }
+        if row_ptr.len() != rows + 1
+            || row_ptr[0] != 0
+            || *row_ptr.last().expect("len >= 1") != values.len()
+            || row_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(SparseError::BadRowPtr);
+        }
+        for i in 0..rows {
+            let cols_of_row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+            let increasing = cols_of_row.windows(2).all(|w| w[0] < w[1]);
+            let in_range = cols_of_row.iter().all(|&c| (c as usize) < cols);
+            if !increasing || !in_range {
+                return Err(SparseError::BadColumnIndex { row: i });
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            values,
+            col_idx,
+            row_ptr,
+        })
+    }
+
+    /// Convert a dense matrix, treating entries with `|v| <= tol` as zero.
+    /// Use `tol = 0.0` to keep every non-zero bit pattern.
+    pub fn from_dense(dense: &Matrix, tol: f32) -> CsrMatrix {
+        let (rows, cols) = dense.shape();
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in dense.row(i).iter().enumerate() {
+                if v.abs() > tol {
+                    values.push(v);
+                    col_idx.push(j as u32);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            values,
+            col_idx,
+            row_ptr,
+        }
+    }
+
+    /// Densify (for tests and round-trips).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (c, v) in self.row_entries(i) {
+                m.set(i, c, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of zero entries (the paper's definition of sparsity).
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// Stored values array.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Column-index array (parallel to `values`).
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Row-pointer array (`rows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Non-zeros of row `i` as `(column, value)` pairs.
+    #[inline]
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[r.clone()]
+            .iter()
+            .zip(&self.values[r])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of *active rows*: rows with at least one non-zero
+    /// (`|a_r|` in the sparse time predictor, Eq. 5).
+    pub fn active_rows(&self) -> usize {
+        (0..self.rows)
+            .filter(|&i| self.row_ptr[i + 1] > self.row_ptr[i])
+            .count()
+    }
+
+    /// Number of *active columns*: columns with at least one non-zero
+    /// (`|a_c|` in the sparse time predictor, Eq. 5).
+    pub fn active_cols(&self) -> usize {
+        let mut seen = vec![false; self.cols];
+        for &c in &self.col_idx {
+            seen[c as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Split into `parts` row-bands of (nearly) equal height — the paper's
+    /// M-splitting workaround when a sub-kernel would hold too many
+    /// non-zeros. Stacking the partial products vertically reconstructs
+    /// the original `C` (§4.3).
+    ///
+    /// # Panics
+    /// Panics when `parts == 0` or `parts > rows` (harness misuse).
+    pub fn split_rows(&self, parts: usize) -> Vec<CsrMatrix> {
+        assert!(parts > 0, "parts must be positive");
+        assert!(
+            parts <= self.rows.max(1),
+            "cannot split {} rows into {parts}",
+            self.rows
+        );
+        let base = self.rows / parts;
+        let extra = self.rows % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut row0 = 0usize;
+        for p in 0..parts {
+            let h = base + usize::from(p < extra);
+            let start = self.row_ptr[row0];
+            let end = self.row_ptr[row0 + h];
+            let row_ptr: Vec<usize> = self.row_ptr[row0..=row0 + h]
+                .iter()
+                .map(|&r| r - start)
+                .collect();
+            out.push(CsrMatrix {
+                rows: h,
+                cols: self.cols,
+                values: self.values[start..end].to_vec(),
+                col_idx: self.col_idx[start..end].to_vec(),
+                row_ptr,
+            });
+            row0 += h;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_vec(
+            3,
+            4,
+            vec![
+                1.0, 0.0, 2.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 3.0, 0.0, 4.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn from_dense_layout() {
+        let c = CsrMatrix::from_dense(&sample_dense(), 0.0);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.cols(), 4);
+        assert_eq!(c.nnz(), 4);
+        assert_eq!(c.values(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.col_idx(), &[0, 2, 1, 3]);
+        assert_eq!(c.row_ptr(), &[0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        let d = sample_dense();
+        assert_eq!(CsrMatrix::from_dense(&d, 0.0).to_dense(), d);
+    }
+
+    #[test]
+    fn sparsity_active_counts() {
+        let c = CsrMatrix::from_dense(&sample_dense(), 0.0);
+        assert!((c.sparsity() - (1.0 - 4.0 / 12.0)).abs() < 1e-12);
+        assert_eq!(c.active_rows(), 2); // middle row empty
+        assert_eq!(c.active_cols(), 4);
+    }
+
+    #[test]
+    fn tolerance_drops_small_values() {
+        let d = Matrix::from_vec(1, 3, vec![0.05, -0.5, 0.0]);
+        let c = CsrMatrix::from_dense(&d, 0.1);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.values(), &[-0.5]);
+    }
+
+    #[test]
+    fn new_validates_row_ptr() {
+        assert_eq!(
+            CsrMatrix::new(2, 2, vec![1.0], vec![0], vec![0, 1]),
+            Err(SparseError::BadRowPtr)
+        );
+        assert_eq!(
+            CsrMatrix::new(1, 2, vec![1.0], vec![0], vec![1, 1]),
+            Err(SparseError::BadRowPtr)
+        );
+    }
+
+    #[test]
+    fn new_validates_columns() {
+        // Out of range.
+        assert_eq!(
+            CsrMatrix::new(1, 2, vec![1.0], vec![5], vec![0, 1]),
+            Err(SparseError::BadColumnIndex { row: 0 })
+        );
+        // Not strictly increasing.
+        assert_eq!(
+            CsrMatrix::new(1, 3, vec![1.0, 2.0], vec![1, 1], vec![0, 2]),
+            Err(SparseError::BadColumnIndex { row: 0 })
+        );
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        assert_eq!(
+            CsrMatrix::new(1, 2, vec![1.0, 2.0], vec![0], vec![0, 2]),
+            Err(SparseError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn split_rows_partitions() {
+        let c = CsrMatrix::from_dense(&sample_dense(), 0.0);
+        let parts = c.split_rows(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].rows(), 2);
+        assert_eq!(parts[1].rows(), 1);
+        // Stacking the parts' dense forms reproduces the original.
+        let top = parts[0].to_dense();
+        let bot = parts[1].to_dense();
+        let d = sample_dense();
+        for j in 0..4 {
+            assert_eq!(top.get(0, j), d.get(0, j));
+            assert_eq!(top.get(1, j), d.get(1, j));
+            assert_eq!(bot.get(0, j), d.get(2, j));
+        }
+        // nnz conserved.
+        assert_eq!(parts.iter().map(|p| p.nnz()).sum::<usize>(), c.nnz());
+    }
+
+    #[test]
+    fn split_rows_uneven() {
+        let d = Matrix::from_fn(7, 2, |i, j| (i * 2 + j) as f32 + 1.0);
+        let c = CsrMatrix::from_dense(&d, 0.0);
+        let parts = c.split_rows(3);
+        assert_eq!(
+            parts.iter().map(|p| p.rows()).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parts must be positive")]
+    fn split_zero_parts_panics() {
+        CsrMatrix::from_dense(&sample_dense(), 0.0).split_rows(0);
+    }
+}

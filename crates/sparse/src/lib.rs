@@ -1,0 +1,22 @@
+//! CSR sparse matrices and sparse-dense matrix multiplication (SDMM).
+//!
+//! Stand-in for the sparse stack of §4.3: the Compressed Sparse Row format
+//! (Figure 7), the naive CSR×dense loop of Algorithm 1 (playing the role
+//! of MKL's sparse BLAS baseline), and a LIBXSMM-style kernel that packs
+//! the dense right-hand side into SIMD-width column blocks
+//! (`N = N_b × n_b`, Figure 8) and processes one sparse row at a time with
+//! the output row held in accumulators (Figure 9). The paper's M-splitting
+//! workaround for over-long JIT kernels is provided as
+//! [`CsrMatrix::split_rows`].
+//!
+//! Multiplication convention: `C = A·B` with `A` sparse `m×k` (a pruned
+//! weight matrix), `B` dense `k×n` (a batch of `n` documents), `C` dense
+//! `m×n`.
+
+pub mod csr;
+pub mod naive;
+pub mod xsmm;
+
+pub use csr::{CsrMatrix, SparseError};
+pub use naive::spmm_naive;
+pub use xsmm::{spmm_xsmm, spmm_xsmm_packed, PackedB, SpmmWorkspace, SIMD_WIDTH};

@@ -1,0 +1,91 @@
+//! Naive CSR × dense multiplication — Algorithm 1 of the paper.
+//!
+//! The straightforward loop induced by the CSR layout: for each row of A,
+//! for each of its non-zeros `(j, a_ij)`, scale row `j` of B into row `i`
+//! of C. This is the workspace's stand-in for MKL's sparse BLAS baseline
+//! in Table 3: correct, reasonably cache-friendly on B, but without the
+//! SIMD-width column blocking and accumulator residency of the
+//! LIBXSMM-style kernel.
+
+use crate::csr::CsrMatrix;
+
+/// `C = A·B` with `A` sparse CSR `m×k`, `B` dense row-major `k×n`,
+/// `C` dense row-major `m×n` (overwritten).
+///
+/// # Panics
+/// Panics when buffer sizes disagree with the shapes.
+pub fn spmm_naive(a: &CsrMatrix, b: &[f32], n: usize, c: &mut [f32]) {
+    assert_eq!(b.len(), a.cols() * n, "B must be k×n");
+    assert_eq!(c.len(), a.rows() * n, "C must be m×n");
+    c.fill(0.0);
+    for i in 0..a.rows() {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, v) in a.row_entries(i) {
+            let b_row = &b[j * n..(j + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += v * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlr_dense::{naive_gemm, Matrix};
+
+    #[test]
+    fn matches_dense_gemm() {
+        let dense_a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, -1.0, 0.0]);
+        let a = CsrMatrix::from_dense(&dense_a, 0.0);
+        let b = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut c = vec![0.0; 4];
+        spmm_naive(&a, b.as_slice(), 2, &mut c);
+        let expect = naive_gemm(&dense_a, &b);
+        assert_eq!(c.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn random_sparse_matches_dense() {
+        let dense_a = {
+            let mut m = Matrix::random(17, 23, 1.0, 3);
+            // Zero out ~80% of entries deterministically.
+            for (idx, v) in m.as_mut_slice().iter_mut().enumerate() {
+                if idx % 5 != 0 {
+                    *v = 0.0;
+                }
+            }
+            m
+        };
+        let a = CsrMatrix::from_dense(&dense_a, 0.0);
+        let b = Matrix::random(23, 9, 1.0, 4);
+        let mut c = vec![0.0; 17 * 9];
+        spmm_naive(&a, b.as_slice(), 9, &mut c);
+        let expect = naive_gemm(&dense_a, &b);
+        let diff = expect
+            .as_slice()
+            .iter()
+            .zip(&c)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "diff {diff}");
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_rows() {
+        let dense_a = Matrix::zeros(3, 2);
+        let a = CsrMatrix::from_dense(&dense_a, 0.0);
+        let b = Matrix::random(2, 4, 1.0, 5);
+        let mut c = vec![9.0; 12];
+        spmm_naive(&a, b.as_slice(), 4, &mut c);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "B must be k×n")]
+    fn shape_checked() {
+        let a = CsrMatrix::from_dense(&Matrix::zeros(2, 2), 0.0);
+        let mut c = vec![0.0; 4];
+        spmm_naive(&a, &[0.0; 3], 2, &mut c);
+    }
+}

@@ -1,0 +1,296 @@
+//! LIBXSMM-style sparse-dense multiplication kernel (§4.3, Figures 8–9).
+//!
+//! The dense operand `B` (`k×n`) is packed into a three-dimensional
+//! `k × N_b × n_b` tensor where `n_b` is the SIMD width (8 for f32 with
+//! AVX2, the configuration the paper analyzes). The kernel then walks one
+//! sparse row of `A` at a time:
+//!
+//! 1. zero `N_b` accumulator vectors of width `n_b` (the `C_i` row held in
+//!    registers);
+//! 2. for every non-zero `x = A[i, j]`: broadcast `x` and FMA it against
+//!    the `N_b` packed vectors of `B`'s row `j`;
+//! 3. store the accumulators to `C_i` once, after the row is exhausted.
+//!
+//! Rows with no non-zeros are skipped entirely — which is why the sparse
+//! time predictor (Eq. 5) charges `L_c` only for *active* rows and `L_b`
+//! only for *active* columns.
+//!
+//! LIBXSMM JIT-specializes this kernel per sparse matrix; we keep a
+//! generic safe-Rust kernel whose inner loops the compiler vectorizes,
+//! preserving the memory-access pattern the predictor models.
+
+use crate::csr::CsrMatrix;
+
+/// SIMD lane width the kernel blocks on: 8 × f32 = 256-bit (AVX2).
+pub const SIMD_WIDTH: usize = 8;
+
+/// `B` packed as `k × N_b × n_b` (Figure 8). The last block of each row is
+/// zero-padded so the kernel never branches on `n % n_b`.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    blocks: usize,
+    data: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack a row-major `k×n` dense matrix.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != k * n`.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        assert_eq!(b.len(), k * n, "B must be k×n");
+        let blocks = n.div_ceil(SIMD_WIDTH).max(1);
+        let mut data = vec![0.0f32; k * blocks * SIMD_WIDTH];
+        for row in 0..k {
+            let src = &b[row * n..(row + 1) * n];
+            let dst = &mut data[row * blocks * SIMD_WIDTH..(row + 1) * blocks * SIMD_WIDTH];
+            dst[..n].copy_from_slice(src);
+        }
+        PackedB { k, n, blocks, data }
+    }
+
+    /// Packed row `j` as `N_b` contiguous SIMD blocks.
+    #[inline]
+    #[allow(dead_code)]
+    fn row(&self, j: usize) -> &[f32] {
+        &self.data[j * self.blocks * SIMD_WIDTH..(j + 1) * self.blocks * SIMD_WIDTH]
+    }
+
+    /// Number of dense columns `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of SIMD blocks per row (`N_b`).
+    #[inline]
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Reduction depth `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Reusable workspace (kept for API stability; the direct-write kernel
+/// needs no spill storage).
+#[derive(Debug, Default)]
+pub struct SpmmWorkspace {
+    _reserved: (),
+}
+
+/// `C = A·B` with `B` pre-packed. `C` is row-major `m×n`, overwritten.
+///
+/// The row kernel mirrors LIBXSMM's structure while staying generic
+/// (LIBXSMM JIT-specializes per matrix): the first non-zero of a row
+/// *writes* `C_i = x·B_j` — no separate zeroing pass — and every further
+/// non-zero FMAs into it, `SIMD_WIDTH` lanes at a time over the packed,
+/// padded rows of `B`. Inactive rows cost one `fill(0)` and nothing else,
+/// which is exactly why the Eq. 5 predictor charges `L_c` only for
+/// *active* rows.
+///
+/// # Panics
+/// Panics when shapes disagree.
+pub fn spmm_xsmm_packed(a: &CsrMatrix, b: &PackedB, c: &mut [f32], ws: &mut SpmmWorkspace) {
+    let _ = ws;
+    assert_eq!(a.cols(), b.k(), "A.cols must equal B rows");
+    let n = b.n();
+    assert_eq!(c.len(), a.rows() * n, "C must be m×n");
+
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    for i in 0..a.rows() {
+        let (start, end) = (row_ptr[i], row_ptr[i + 1]);
+        let c_row = &mut c[i * n..(i + 1) * n];
+        if start == end {
+            // Inactive row: C_i is zero; no loads, no FMAs.
+            c_row.fill(0.0);
+            continue;
+        }
+        let cols = &col_idx[start..end];
+        let vals = &values[start..end];
+        // A group of SIMD blocks of C_i is held in registers while every
+        // non-zero of the row FMAs into it — C is written exactly once per
+        // row, the property LIBXSMM gets from keeping C_i in registers.
+        // UNROLL independent accumulators per pass break the FMA latency
+        // chain that would otherwise serialize the non-zero loop.
+        const UNROLL: usize = 4;
+        const PASS: usize = UNROLL * SIMD_WIDTH;
+        let width = b.blocks() * SIMD_WIDTH;
+        let mut t = 0usize;
+        while t + PASS <= n {
+            let mut acc = [[0.0f32; SIMD_WIDTH]; UNROLL];
+            for (&ci, &x) in cols.iter().zip(vals) {
+                let base = ci as usize * width + t;
+                let bb = &b.data[base..base + PASS];
+                for (u, a) in acc.iter_mut().enumerate() {
+                    let block = &bb[u * SIMD_WIDTH..(u + 1) * SIMD_WIDTH];
+                    for l in 0..SIMD_WIDTH {
+                        a[l] += x * block[l];
+                    }
+                }
+            }
+            for (u, a) in acc.iter().enumerate() {
+                c_row[t + u * SIMD_WIDTH..t + (u + 1) * SIMD_WIDTH].copy_from_slice(a);
+            }
+            t += PASS;
+        }
+        // Two-block passes (covers N = 16 batches with the same
+        // latency-hiding structure as the four-block pass).
+        while t + 2 * SIMD_WIDTH <= n {
+            let mut acc = [[0.0f32; SIMD_WIDTH]; 2];
+            for (&ci, &x) in cols.iter().zip(vals) {
+                let base = ci as usize * width + t;
+                let bb = &b.data[base..base + 2 * SIMD_WIDTH];
+                for (u, a) in acc.iter_mut().enumerate() {
+                    let block = &bb[u * SIMD_WIDTH..(u + 1) * SIMD_WIDTH];
+                    for l in 0..SIMD_WIDTH {
+                        a[l] += x * block[l];
+                    }
+                }
+            }
+            for (u, a) in acc.iter().enumerate() {
+                c_row[t + u * SIMD_WIDTH..t + (u + 1) * SIMD_WIDTH].copy_from_slice(a);
+            }
+            t += 2 * SIMD_WIDTH;
+        }
+        // Single-block passes.
+        while t + SIMD_WIDTH <= n {
+            let mut acc = [0.0f32; SIMD_WIDTH];
+            for (&ci, &x) in cols.iter().zip(vals) {
+                let bb = &b.data[ci as usize * width + t..ci as usize * width + t + SIMD_WIDTH];
+                for l in 0..SIMD_WIDTH {
+                    acc[l] += x * bb[l];
+                }
+            }
+            c_row[t..t + SIMD_WIDTH].copy_from_slice(&acc);
+            t += SIMD_WIDTH;
+        }
+        // Ragged tail (n % SIMD_WIDTH lanes).
+        if t < n {
+            let tail = n - t;
+            let mut acc = [0.0f32; SIMD_WIDTH];
+            for (&ci, &x) in cols.iter().zip(vals) {
+                let bb = &b.data[ci as usize * width + t..ci as usize * width + t + tail];
+                for (a, &bv) in acc.iter_mut().zip(bb) {
+                    *a += x * bv;
+                }
+            }
+            c_row[t..n].copy_from_slice(&acc[..tail]);
+        }
+    }
+}
+
+/// Convenience wrapper: pack `B` and multiply in one call.
+///
+/// For repeated multiplications against the same `B` (a scoring batch used
+/// with several layers or several row-bands of `A`), pack once with
+/// [`PackedB::pack`] and call [`spmm_xsmm_packed`].
+pub fn spmm_xsmm(a: &CsrMatrix, b: &[f32], n: usize, c: &mut [f32]) {
+    let packed = PackedB::pack(b, a.cols(), n);
+    let mut ws = SpmmWorkspace::default();
+    spmm_xsmm_packed(a, &packed, c, &mut ws);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::spmm_naive;
+    use dlr_dense::Matrix;
+
+    fn sparse_random(m: usize, k: usize, keep_every: usize, seed: u64) -> (Matrix, CsrMatrix) {
+        let mut d = Matrix::random(m, k, 1.0, seed);
+        for (idx, v) in d.as_mut_slice().iter_mut().enumerate() {
+            if idx % keep_every != 0 {
+                *v = 0.0;
+            }
+        }
+        let c = CsrMatrix::from_dense(&d, 0.0);
+        (d, c)
+    }
+
+    fn check(m: usize, k: usize, n: usize, keep_every: usize) {
+        let (_, a) = sparse_random(m, k, keep_every, (m * k + n) as u64);
+        let b = Matrix::random(k, n, 1.0, 99);
+        let mut expect = vec![0.0; m * n];
+        spmm_naive(&a, b.as_slice(), n, &mut expect);
+        let mut got = vec![0.0; m * n];
+        spmm_xsmm(&a, b.as_slice(), n, &mut got);
+        let diff = expect
+            .iter()
+            .zip(&got)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "({m},{k},{n},1/{keep_every}) diff {diff}");
+    }
+
+    #[test]
+    fn matches_naive_on_simd_aligned_batches() {
+        check(4, 6, 8, 2);
+        check(50, 136, 64, 20);
+        check(16, 16, 16, 3);
+    }
+
+    #[test]
+    fn matches_naive_on_ragged_batches() {
+        // n not a multiple of SIMD_WIDTH exercises the zero-padded block.
+        check(5, 7, 1, 2);
+        check(9, 13, 5, 2);
+        check(33, 41, 27, 4);
+        check(400, 136, 30, 70);
+    }
+
+    #[test]
+    fn packed_b_layout() {
+        let b = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let p = PackedB::pack(b.as_slice(), 2, 3);
+        assert_eq!(p.blocks(), 1);
+        assert_eq!(p.n(), 3);
+        // Row 0 padded to SIMD width.
+        assert_eq!(&p.row(0)[..4], &[1., 2., 3., 0.]);
+        assert_eq!(&p.row(1)[..4], &[4., 5., 6., 0.]);
+    }
+
+    #[test]
+    fn inactive_rows_are_zeroed_even_with_dirty_c() {
+        let a = CsrMatrix::from_dense(&Matrix::zeros(3, 4), 0.0);
+        let b = Matrix::random(4, 6, 1.0, 1);
+        let mut c = vec![7.0; 18];
+        spmm_xsmm(&a, b.as_slice(), 6, &mut c);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn packed_reuse_across_row_splits_matches_full_product() {
+        // The paper's M-splitting: multiply each band, stack vertically.
+        let (_, a) = sparse_random(12, 10, 3, 7);
+        let b = Matrix::random(10, 9, 1.0, 8);
+        let packed = PackedB::pack(b.as_slice(), 10, 9);
+        let mut full = vec![0.0; 12 * 9];
+        let mut ws = SpmmWorkspace::default();
+        spmm_xsmm_packed(&a, &packed, &mut full, &mut ws);
+
+        let mut stacked = Vec::new();
+        for band in a.split_rows(3) {
+            let mut part = vec![0.0; band.rows() * 9];
+            spmm_xsmm_packed(&band, &packed, &mut part, &mut ws);
+            stacked.extend(part);
+        }
+        assert_eq!(full, stacked);
+    }
+
+    #[test]
+    #[should_panic(expected = "A.cols must equal B rows")]
+    fn shape_mismatch_panics() {
+        let a = CsrMatrix::from_dense(&Matrix::zeros(2, 3), 0.0);
+        let packed = PackedB::pack(&[0.0; 8], 4, 2);
+        let mut ws = SpmmWorkspace::default();
+        spmm_xsmm_packed(&a, &packed, &mut [0.0; 4], &mut ws);
+    }
+}

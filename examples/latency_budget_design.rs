@@ -1,0 +1,87 @@
+//! Designing a ranker under a latency SLA with the time predictors (§5.2).
+//!
+//! A search team has a budget of N microseconds per document on their CPU.
+//! Instead of training dozens of candidate networks, calibrate the dense
+//! predictor once, enumerate architectures analytically, and train only
+//! the best candidate — then verify the measured time against the
+//! prediction.
+//!
+//! ```sh
+//! cargo run --release --example latency_budget_design -- 1.5
+//! ```
+
+use distilled_ltr::data::DatasetBuilder;
+use distilled_ltr::prelude::*;
+
+fn main() {
+    let budget_us: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1.5);
+    println!("latency budget: {budget_us} us/doc (pass a number to change it)\n");
+
+    // 1. Calibrate the dense predictor on THIS machine — the paper's
+    //    predictors are hybrid analytic/empirical, so coefficients must
+    //    come from the deployment CPU.
+    println!("calibrating GFLOPS zones on this host...");
+    let predictor = calibrate_dense(true);
+    for &(bound, g) in predictor.zones() {
+        if bound == usize::MAX {
+            println!("  k > 512: {g:.1} GFLOPS");
+        } else {
+            println!("  k <= {bound}: {g:.1} GFLOPS");
+        }
+    }
+
+    // 2. Enumerate candidates that fit the budget AFTER first-layer
+    //    pruning; train none of them yet.
+    let input_dim = 136;
+    let space = SearchSpace::default();
+    let candidates = design_architectures(&predictor, input_dim, budget_us, &space);
+    println!(
+        "\n{} candidate architectures fit the budget; top 10 by expressiveness:",
+        candidates.len()
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>12}",
+        "hidden sizes", "dense us", "L1 impact", "pruned us"
+    );
+    for c in candidates.iter().take(10) {
+        println!(
+            "{:<24} {:>10.2} {:>11.0}% {:>12.2}",
+            format!("{:?}", c.hidden),
+            c.dense_us,
+            c.first_layer_impact * 100.0,
+            c.pruned_us
+        );
+    }
+    let Some(best) = candidates.first() else {
+        println!("no architecture fits — raise the budget");
+        return;
+    };
+
+    // 3. Verify the prediction by timing a real forward pass of the chosen
+    //    architecture (weights are irrelevant for timing).
+    let batch = 1000;
+    let rows: Vec<f32> = (0..batch * input_dim)
+        .map(|i| ((i * 97) % 64) as f32 / 32.0 - 1.0)
+        .collect();
+    let mut b = DatasetBuilder::new(input_dim);
+    b.push_query(1, &rows, &vec![0.0; batch]).unwrap();
+    let normalizer = Normalizer::fit(&b.finish()).unwrap();
+    let mlp = Mlp::from_hidden(input_dim, &best.hidden, 7);
+    let mut scorer = MlpScorer::new(mlp, normalizer, "candidate");
+    let measured = measure_us_per_doc(&mut scorer, &rows, batch, 5);
+    println!(
+        "\nchosen {:?}: predicted dense {:.2} us/doc, measured {:.2} us/doc (ratio {:.2})",
+        best.hidden,
+        best.dense_us,
+        measured,
+        best.dense_us / measured
+    );
+    println!(
+        "after pruning the first layer to >=95% sparsity the predictor expects {:.2} us/doc.",
+        best.pruned_us
+    );
+    println!("\nnext step: distill + prune it (see examples/quickstart.rs).");
+}

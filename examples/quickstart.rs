@@ -1,0 +1,79 @@
+//! Quickstart: the paper's pipeline end to end in ~80 lines.
+//!
+//! Generates an MSN30K-shaped dataset, trains a LambdaMART teacher,
+//! distills a small neural student, prunes its first layer, and compares
+//! the forest (QuickScorer) against the hybrid net on quality and speed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distilled_ltr::prelude::*;
+
+fn main() {
+    // 1. Data: a small synthetic stand-in for MSLR-WEB30K (136 features,
+    //    5-graded labels). Real LETOR files load via `distilled_ltr::data::letor`.
+    let mut cfg = SyntheticConfig::msn30k_like(80);
+    cfg.docs_per_query = 60;
+    let data = cfg.generate();
+    let split = Split::by_query(&data, SplitRatios::PAPER, 42).unwrap();
+    println!(
+        "dataset: {} queries / {} docs / {} features",
+        data.num_queries(),
+        data.num_docs(),
+        data.num_features()
+    );
+
+    // 2. Teacher: a LambdaMART forest (LightGBM-style training).
+    println!("\ntraining LambdaMART teacher (100 trees x 64 leaves)...");
+    let teacher = NeuralEngineering::train_forest(&split.train, Some(&split.valid), 100, 64, 0.1);
+    println!(
+        "teacher kept {} trees after early stopping",
+        teacher.num_trees()
+    );
+
+    // 3. Pipeline: distill a 64x32 student, prune its first layer to 95%.
+    let mut hyper = DistillHyper::msn30k().scaled_down(4); // 25/20/5 epochs
+    hyper.gamma_steps = vec![15, 20];
+    let ne = NeuralEngineering::new(PipelineConfig {
+        distill: DistillConfig {
+            hyper,
+            batch_size: 256,
+            ..Default::default()
+        },
+        prune: PruneConfig::first_layer_level(0.95),
+        timing_reps: 3,
+        ..Default::default()
+    });
+    println!("\ndistilling + pruning a 64x32 student...");
+    let student = ne.distill_and_prune(&teacher, &split.train, &[64, 32]);
+    println!(
+        "first layer sparsity: {:.1}%  ({} of {} weights survive)",
+        student.first_layer_sparsity * 100.0,
+        student.hybrid.first_weights().nnz(),
+        64 * 136,
+    );
+
+    // 4. Compare on the held-out test split.
+    let mut forest_scorer = QuickScorerScorer::compile(&teacher, "LambdaMART + QuickScorer");
+    let mut net_scorer = HybridScorer::new(
+        student.hybrid.clone(),
+        student.dense.normalizer.clone(),
+        "distilled net (sparse L1)",
+    );
+    println!("\n{:<28} {:>8}  {:>12}", "model", "NDCG@10", "us/doc");
+    for scorer in [
+        &mut forest_scorer as &mut dyn DocumentScorer,
+        &mut net_scorer,
+    ] {
+        let (point, _) = ne.evaluate(scorer, &split.test);
+        println!(
+            "{:<28} {:>8.4}  {:>12.2}",
+            point.name, point.ndcg10, point.us_per_doc
+        );
+    }
+    println!("\nthe hybrid student approximates the forest's quality at a fraction of the cost;");
+    println!(
+        "scale the dataset and epochs up to reproduce the paper's tables (see EXPERIMENTS.md)."
+    );
+}

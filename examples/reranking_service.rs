@@ -1,0 +1,100 @@
+//! A simulated query-time reranking service — the deployment scenario the
+//! paper's latency numbers are about.
+//!
+//! Web search rerankers score ~100 candidate documents per query inside a
+//! strict budget. This example builds both model families and replays a
+//! stream of queries through each, reporting per-query latency percentiles
+//! (p50/p95/p99) and the quality delta — the view an SRE actually cares
+//! about, built from the same components as the paper's µs/doc tables.
+//!
+//! ```sh
+//! cargo run --release --example reranking_service
+//! ```
+
+use distilled_ltr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = SyntheticConfig::msn30k_like(120);
+    cfg.docs_per_query = 100; // realistic rerank depth
+    let data = cfg.generate();
+    let split = Split::by_query(&data, SplitRatios::PAPER, 7).unwrap();
+
+    println!("training the forest model (200 trees x 64 leaves)...");
+    let forest = NeuralEngineering::train_forest(&split.train, Some(&split.valid), 200, 64, 0.1);
+
+    println!("distilling + pruning the neural model (128x64x32, 95% sparse L1)...");
+    let mut hyper = DistillHyper::msn30k().scaled_down(4);
+    hyper.gamma_steps = vec![15, 20];
+    let ne = NeuralEngineering::new(PipelineConfig {
+        distill: DistillConfig {
+            hyper,
+            batch_size: 256,
+            ..Default::default()
+        },
+        prune: PruneConfig::first_layer_level(0.95),
+        ..Default::default()
+    });
+    let student = ne.distill_and_prune(&forest, &split.train, &[128, 64, 32]);
+
+    let mut forest_scorer = QuickScorerScorer::compile(&forest, "forest/QuickScorer");
+    let mut net_scorer = HybridScorer::new(
+        student.hybrid.clone(),
+        student.dense.normalizer.clone(),
+        "net/sparse-L1",
+    );
+
+    println!(
+        "\nreplaying {} test queries through each scorer...\n",
+        split.test.num_queries()
+    );
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "model", "NDCG@10", "p50 us", "p95 us", "p99 us", "max us"
+    );
+    for scorer in [
+        &mut forest_scorer as &mut dyn DocumentScorer,
+        &mut net_scorer,
+    ] {
+        let (lat, ndcg) = replay(scorer, &split.test);
+        println!(
+            "{:<20} {:>9.4} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            scorer.name(),
+            ndcg,
+            pct(&lat, 0.50),
+            pct(&lat, 0.95),
+            pct(&lat, 0.99),
+            lat.last().copied().unwrap_or(0.0),
+        );
+    }
+    println!("\nper-QUERY latency = (docs per query) x (us/doc); the paper's 0.5 us/doc");
+    println!("low-latency budget is ~50 us per 100-doc query at rerank time.");
+}
+
+/// Score every query individually (as a service would), returning sorted
+/// per-query latencies (µs) and the mean NDCG@10.
+fn replay(scorer: &mut dyn DocumentScorer, test: &Dataset) -> (Vec<f64>, f64) {
+    let mut all_scores = vec![0.0f32; test.num_docs()];
+    let mut latencies = Vec::with_capacity(test.num_queries());
+    for q in 0..test.num_queries() {
+        let range = test.query_range(q);
+        let query = test.query(q).expect("valid query index");
+        let out = &mut all_scores[range];
+        // Warm pass then timed pass, per query.
+        scorer.score_batch(query.features, out);
+        let t = Instant::now();
+        scorer.score_batch(query.features, out);
+        latencies.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let ndcg = evaluate_scores(&all_scores, test).mean_ndcg10();
+    (latencies, ndcg)
+}
+
+fn pct(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the full paper pipeline at test scale.
+
+use distilled_ltr::prelude::*;
+
+fn small_split() -> Split {
+    let mut cfg = SyntheticConfig::msn30k_like(50);
+    cfg.docs_per_query = 25;
+    cfg.num_features = 20;
+    cfg.num_informative = 8;
+    let data = cfg.generate();
+    Split::by_query(&data, SplitRatios::PAPER, 11).unwrap()
+}
+
+fn small_pipeline() -> NeuralEngineering {
+    let mut hyper = DistillHyper::msn30k().scaled_down(5);
+    hyper.train_epochs = 80;
+    hyper.prune_epochs = 16;
+    hyper.finetune_epochs = 10;
+    hyper.gamma_steps = vec![50, 68];
+    NeuralEngineering::new(PipelineConfig {
+        distill: DistillConfig {
+            hyper,
+            batch_size: 64,
+            ..Default::default()
+        },
+        prune: PruneConfig::first_layer_level(0.9),
+        timing_batch: 256,
+        timing_reps: 2,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn forest_learns_and_quickscorer_agrees_with_traversal() {
+    let split = small_split();
+    let forest = NeuralEngineering::train_forest(&split.train, Some(&split.valid), 40, 16, 0.1);
+    // Learned something: better than a constant scorer on test NDCG@10.
+    let mut forest_scores = vec![0.0f32; split.test.num_docs()];
+    forest.predict_batch(split.test.features(), &mut forest_scores);
+    let forest_ndcg = evaluate_scores(&forest_scores, &split.test).mean_ndcg10();
+    let constant_ndcg =
+        evaluate_scores(&vec![0.0; split.test.num_docs()], &split.test).mean_ndcg10();
+    assert!(
+        forest_ndcg > constant_ndcg + 0.02,
+        "forest {forest_ndcg:.4} vs constant {constant_ndcg:.4}"
+    );
+    // All QuickScorer variants agree with classic traversal.
+    let mut qs = QuickScorerScorer::compile(&forest, "qs");
+    let mut vqs = QuickScorerScorer::compile_vectorized(&forest, "vqs");
+    let mut bw = QuickScorerScorer::compile_blockwise(&forest, 7, "bwqs");
+    for scorer in [&mut qs as &mut dyn DocumentScorer, &mut vqs, &mut bw] {
+        let mut out = vec![0.0f32; split.test.num_docs()];
+        scorer.score_batch(split.test.features(), &mut out);
+        for (a, b) in out.iter().zip(&forest_scores) {
+            assert!((a - b).abs() < 1e-3, "{}: {a} vs {b}", scorer.name());
+        }
+    }
+}
+
+#[test]
+fn distilled_student_approaches_teacher_and_pruning_keeps_quality() {
+    let split = small_split();
+    let ne = small_pipeline();
+    let teacher = NeuralEngineering::train_forest(&split.train, Some(&split.valid), 40, 16, 0.1);
+
+    let mut teacher_scores = vec![0.0f32; split.test.num_docs()];
+    teacher.predict_batch(split.test.features(), &mut teacher_scores);
+    let teacher_ndcg = evaluate_scores(&teacher_scores, &split.test).mean_ndcg10();
+
+    let student = ne.distill_and_prune(&teacher, &split.train, &[32, 16]);
+    assert!((student.first_layer_sparsity - 0.9).abs() < 0.05);
+
+    let mut hybrid = HybridScorer::new(
+        student.hybrid.clone(),
+        student.dense.normalizer.clone(),
+        "student",
+    );
+    let mut student_scores = vec![0.0f32; split.test.num_docs()];
+    hybrid.score_batch(split.test.features(), &mut student_scores);
+    let student_ndcg = evaluate_scores(&student_scores, &split.test).mean_ndcg10();
+    // §3: the student is bounded by the teacher but should land close,
+    // even with the first layer 90% pruned.
+    assert!(
+        student_ndcg > teacher_ndcg - 0.1,
+        "student {student_ndcg:.4} too far below teacher {teacher_ndcg:.4}"
+    );
+
+    // Hybrid and dense paths produce identical rankings (same weights).
+    let mut dense = MlpScorer::new(
+        student.dense.mlp.clone(),
+        student.dense.normalizer.clone(),
+        "dense",
+    );
+    let mut dense_scores = vec![0.0f32; split.test.num_docs()];
+    dense.score_batch(split.test.features(), &mut dense_scores);
+    for (a, b) in student_scores.iter().zip(&dense_scores) {
+        assert!((a - b).abs() < 1e-3, "hybrid {a} vs dense {b}");
+    }
+}
+
+#[test]
+fn better_teacher_does_not_hurt_the_student() {
+    // Table 5's direction, at integration-test scale: distilling from a
+    // clearly stronger teacher must not make the student clearly worse.
+    let split = small_split();
+    let ne = small_pipeline();
+    let weak = NeuralEngineering::train_forest(&split.train, None, 5, 4, 0.1);
+    let strong = NeuralEngineering::train_forest(&split.train, Some(&split.valid), 60, 32, 0.1);
+
+    let eval_student = |teacher: &Ensemble| {
+        let model = ne.distill(teacher, &split.train, &[24, 12]);
+        let mut scores = vec![0.0f32; split.test.num_docs()];
+        model.score_batch(split.test.features(), &mut scores);
+        evaluate_scores(&scores, &split.test).mean_ndcg10()
+    };
+    let from_weak = eval_student(&weak);
+    let from_strong = eval_student(&strong);
+    assert!(
+        from_strong > from_weak - 0.02,
+        "strong-teacher student {from_strong:.4} vs weak-teacher {from_weak:.4}"
+    );
+}
+
+#[test]
+fn evaluation_and_timing_are_consistent_across_scorer_kinds() {
+    let split = small_split();
+    let ne = small_pipeline();
+    let forest = NeuralEngineering::train_forest(&split.train, None, 20, 8, 0.1);
+    let mut qs = QuickScorerScorer::compile(&forest, "forest");
+    let (point, report) = ne.evaluate(&mut qs, &split.test);
+    assert_eq!(point.name, "forest");
+    assert!(point.us_per_doc > 0.0 && point.us_per_doc < 1e6);
+    assert!((point.ndcg10 - report.mean_ndcg10()).abs() < 1e-12);
+    assert_eq!(report.ndcg10.len(), split.test.num_queries());
+}
+
+#[test]
+fn pareto_and_scenario_logic_compose() {
+    let pts = vec![
+        ParetoPoint {
+            name: "slow good".into(),
+            us_per_doc: 8.0,
+            ndcg10: 0.53,
+        },
+        ParetoPoint {
+            name: "fast ok".into(),
+            us_per_doc: 1.0,
+            ndcg10: 0.52,
+        },
+        ParetoPoint {
+            name: "dominated".into(),
+            us_per_doc: 9.0,
+            ndcg10: 0.52,
+        },
+    ];
+    let frontier = pareto_frontier(&pts);
+    assert_eq!(frontier.len(), 2);
+    let hq = Scenario::paper_high_quality();
+    let admitted = hq.filter(0.53, &pts);
+    assert_eq!(
+        admitted.len(),
+        1,
+        "0.52 < 0.99 * 0.53 = 0.5247, so only the 0.53 point passes"
+    );
+}

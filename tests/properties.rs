@@ -1,0 +1,203 @@
+//! Property-based tests over the core data structures and invariants.
+
+use distilled_ltr::data::stats::FeatureStats;
+use distilled_ltr::dense::{gemm, naive_gemm, Matrix};
+use distilled_ltr::gbdt::tree::leaf_ref;
+use distilled_ltr::gbdt::{Ensemble, RegressionTree};
+use distilled_ltr::metrics::ndcg::{ndcg_at, NdcgConfig};
+use distilled_ltr::metrics::rank_by_scores;
+use distilled_ltr::prelude::*;
+use distilled_ltr::prune::magnitude::{level_mask, mask_sparsity};
+use distilled_ltr::sparse::{spmm_naive, spmm_xsmm, CsrMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked GEMM agrees with the reference triple loop on every shape.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..1000
+    ) {
+        let a = Matrix::random(m, k, 2.0, seed);
+        let b = Matrix::random(k, n, 2.0, seed + 1);
+        let blocked = gemm(&a, &b);
+        let reference = naive_gemm(&a, &b);
+        prop_assert!(blocked.max_abs_diff(&reference) < 1e-2);
+    }
+
+    /// CSR round-trips any dense matrix exactly.
+    #[test]
+    fn csr_roundtrip(dense in matrix_strategy(16)) {
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        prop_assert_eq!(csr.to_dense(), dense);
+    }
+
+    /// The SIMD-blocked SDMM kernel agrees with the naive CSR loop.
+    #[test]
+    fn sdmm_kernels_agree(
+        m in 1usize..20, k in 1usize..20, n in 1usize..20,
+        keep in 1usize..6, seed in 0u64..500
+    ) {
+        let mut d = Matrix::random(m, k, 1.0, seed);
+        for (i, v) in d.as_mut_slice().iter_mut().enumerate() {
+            if i % keep != 0 { *v = 0.0; }
+        }
+        let a = CsrMatrix::from_dense(&d, 0.0);
+        let b = Matrix::random(k, n, 1.0, seed + 7);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        spmm_naive(&a, b.as_slice(), n, &mut c1);
+        spmm_xsmm(&a, b.as_slice(), n, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// CSR invariants: nnz, sparsity and active counts are consistent.
+    #[test]
+    fn csr_stats_consistent(dense in matrix_strategy(16)) {
+        let csr = CsrMatrix::from_dense(&dense, 0.0);
+        let zeros = dense.as_slice().iter().filter(|&&v| v == 0.0).count();
+        prop_assert_eq!(csr.nnz() + zeros, dense.rows() * dense.cols());
+        prop_assert!(csr.active_rows() <= dense.rows());
+        prop_assert!(csr.active_cols() <= dense.cols());
+        prop_assert!(csr.nnz() >= csr.active_rows().max(csr.active_cols().min(1)) || csr.nnz() == 0);
+    }
+
+    /// NDCG is always in [0, 1] and equals 1 for the oracle ranking.
+    #[test]
+    fn ndcg_bounds_and_oracle(
+        labels in proptest::collection::vec(0.0f32..=4.0, 1..40),
+        scores in proptest::collection::vec(-5.0f32..5.0, 40),
+    ) {
+        let scores = &scores[..labels.len()];
+        let labels: Vec<f32> = labels.iter().map(|l| l.round()).collect();
+        let n = ndcg_at(scores, &labels, NdcgConfig::at(10)).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n));
+        let oracle = ndcg_at(&labels, &labels, NdcgConfig::at(10)).unwrap();
+        prop_assert!((oracle - 1.0).abs() < 1e-12);
+    }
+
+    /// Rankings are permutations, deterministic, and score-sorted.
+    #[test]
+    fn ranking_is_a_sorted_permutation(
+        scores in proptest::collection::vec(-100.0f32..100.0, 1..64)
+    ) {
+        let order = rank_by_scores(&scores);
+        let mut seen = vec![false; scores.len()];
+        for &i in &order {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in order.windows(2) {
+            prop_assert!(scores[w[0]] >= scores[w[1]]);
+        }
+    }
+
+    /// Level pruning hits exactly the requested sparsity (floor count)
+    /// and never prunes a larger-magnitude weight before a smaller one.
+    #[test]
+    fn level_mask_invariants(
+        weights in proptest::collection::vec(-3.0f32..3.0, 1..128),
+        sparsity in 0.0f64..=1.0
+    ) {
+        let mask = level_mask(&weights, sparsity);
+        let expected = ((weights.len() as f64) * sparsity).floor() as usize;
+        prop_assert_eq!(
+            mask.iter().filter(|&&m| m == 0.0).count(),
+            expected
+        );
+        let kept_min = weights.iter().zip(&mask)
+            .filter(|(_, &m)| m == 1.0)
+            .map(|(w, _)| w.abs())
+            .fold(f32::INFINITY, f32::min);
+        let pruned_max = weights.iter().zip(&mask)
+            .filter(|(_, &m)| m == 0.0)
+            .map(|(w, _)| w.abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(pruned_max <= kept_min + 1e-6);
+        prop_assert!((mask_sparsity(&mask) - expected as f64 / weights.len() as f64).abs() < 1e-12);
+    }
+
+    /// Z-normalization leaves every train column with |mean| ≈ 0 and
+    /// std ∈ {0 (constant), ≈1}.
+    #[test]
+    fn normalizer_standardizes(rows in 2usize..30, seed in 0u64..1000) {
+        let nf = 4;
+        let mut b = distilled_ltr::data::DatasetBuilder::new(nf);
+        let m = Matrix::random(rows, nf, 50.0, seed);
+        b.push_query(1, m.as_slice(), &vec![0.0; rows]).unwrap();
+        let d = b.finish();
+        let norm = Normalizer::fit(&d).unwrap();
+        let nd = norm.normalized(&d);
+        let stats = FeatureStats::compute(&nd).unwrap();
+        for f in 0..nf {
+            prop_assert!(stats.mean[f].abs() < 1e-3, "mean {}", stats.mean[f]);
+            prop_assert!(stats.std[f] < 1.2, "std {}", stats.std[f]);
+        }
+    }
+
+    /// QuickScorer equals classic traversal on random stump ensembles.
+    #[test]
+    fn quickscorer_matches_traversal_on_stumps(
+        stumps in proptest::collection::vec(
+            (0usize..4, -2.0f32..2.0, -1.0f32..1.0, -1.0f32..1.0), 1..20
+        ),
+        docs in proptest::collection::vec(-3.0f32..3.0, 4..40),
+    ) {
+        let mut e = Ensemble::new(4, 0.25);
+        for (f, t, l, r) in stumps {
+            e.push(RegressionTree::from_raw(
+                vec![f as u32], vec![t], vec![leaf_ref(0)], vec![leaf_ref(1)], vec![l, r],
+            ));
+        }
+        let qs = QuickScorer::compile(&e).unwrap();
+        for row in docs.chunks_exact(4) {
+            prop_assert!((e.predict(row) - qs.score(row)).abs() < 1e-4);
+        }
+    }
+
+    /// Pareto frontier points are mutually non-dominated and cover every
+    /// non-dominated input.
+    #[test]
+    fn pareto_frontier_is_exactly_the_nondominated_set(
+        pts in proptest::collection::vec((0.1f64..10.0, 0.0f64..1.0), 1..30)
+    ) {
+        let points: Vec<ParetoPoint> = pts.iter().enumerate().map(|(i, &(us, n))| ParetoPoint {
+            name: format!("p{i}"), us_per_doc: us, ndcg10: n,
+        }).collect();
+        let frontier = pareto_frontier(&points);
+        // `b` dominates-or-equals `a`.
+        let dom_eq = |a: &ParetoPoint, b: &ParetoPoint| {
+            b.us_per_doc <= a.us_per_doc && b.ndcg10 >= a.ndcg10
+        };
+        let strictly = |a: &ParetoPoint, b: &ParetoPoint| {
+            dom_eq(a, b) && (b.us_per_doc < a.us_per_doc || b.ndcg10 > a.ndcg10)
+        };
+        // Frontier members never strictly dominate each other.
+        for &i in &frontier {
+            for &j in &frontier {
+                if i != j {
+                    prop_assert!(!strictly(&points[i], &points[j]));
+                }
+            }
+        }
+        // Every excluded point is dominated-or-equaled by some other point.
+        for (j, q) in points.iter().enumerate() {
+            if !frontier.contains(&j) {
+                prop_assert!(
+                    points.iter().enumerate().any(|(i, p)| i != j && dom_eq(q, p)),
+                    "point {j} excluded but not dominated"
+                );
+            }
+        }
+    }
+}
