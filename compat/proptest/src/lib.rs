@@ -1,0 +1,382 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the subset of the proptest API the workspace's property tests use:
+//! range and collection strategies, `prop_map` / `prop_flat_map`
+//! combinators, tuple strategies, the [`proptest!`] macro with an optional
+//! `#![proptest_config(..)]` header, and the `prop_assert*` macros.
+//!
+//! Cases are generated from a deterministic per-test seed, so failures
+//! reproduce across runs. Unlike upstream there is **no shrinking**: a
+//! failure reports the case index and seed instead of a minimal input.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner state threaded through strategies while generating one case.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Build a runner for one case of one test.
+    pub fn new(seed: u64) -> TestRunner {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A failed `prop_assert*` inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Generates values of an output type from randomness.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+        let intermediate = self.inner.new_value(runner);
+        (self.f)(intermediate).new_value(runner)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T>
+where
+    T: Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        use rand::Rng;
+        runner.rng().random_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Clone,
+{
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        use rand::Rng;
+        runner.rng().random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRunner};
+
+    /// Sizes accepted by [`vec`]: an exact length or a uniform range.
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniform in `[lo, hi)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange::Range(r.start, r.end)
+        }
+    }
+
+    /// `Vec` strategy with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Range(lo, hi) => runner.rng().random_range(lo..hi),
+            };
+            (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Stable per-test seed: FNV-1a over the test path, so case streams stay
+/// fixed across runs and differ between tests.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Fail the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}",
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// Define property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by test
+/// functions whose arguments use `pattern in strategy` syntax. Attributes
+/// (including `#[test]`) written on the functions are passed through
+/// verbatim, matching how this workspace's tests are written.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases as u64 {
+                    let seed = base.wrapping_add(case);
+                    let mut runner = $crate::TestRunner::new(seed);
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), &mut runner);)+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {} (seed {:#x}): {}",
+                            stringify!($name), case, seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_threads_dependencies(v in (1usize..5).prop_flat_map(|n| {
+            collection::vec(0u32..100, n).prop_map(move |data| (n, data))
+        })) {
+            let (n, data) = v;
+            prop_assert_eq!(data.len(), n);
+        }
+
+        #[test]
+        fn tuples_generate_componentwise((a, b) in (0u64..10, 10u64..20)) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_context() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                @cfg (ProptestConfig::with_cases(4))
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("case 0"), "got: {msg}");
+    }
+}

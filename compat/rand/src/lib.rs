@@ -1,0 +1,346 @@
+//! Vendored offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of `rand` it actually uses: [`rngs::StdRng`] (here a
+//! xoshiro256++ generator seeded through SplitMix64 — deterministic and
+//! statistically solid, though not bit-compatible with upstream's
+//! ChaCha12-based `StdRng`), [`SeedableRng::seed_from_u64`],
+//! [`Rng::random`], [`Rng::random_range`] over integer and float ranges,
+//! and [`seq::SliceRandom::shuffle`].
+//!
+//! Everything in the workspace seeds explicitly, so no OS entropy source
+//! is needed or provided.
+
+/// Types that can be sampled uniformly from a range via
+/// [`Rng::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[low, high)`. `high` must be greater than
+    /// `low` (checked by the range wrappers before calling).
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Sample uniformly from `[low, high]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                // Span fits in u64 for every integer type we cover.
+                let span = (high as i128 - low as i128) as u64;
+                let v = rng.next_u64() % span;
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as i128 - low as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64/usize domain.
+                    return rng.next_u64() as $t;
+                }
+                let v = rng.next_u64() % span as u64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty => $unit:ident),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let u = $unit(rng);
+                let v = low + (high - low) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= high { low } else { v }
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                low + (high - low) * $unit(rng)
+            }
+        }
+    )*};
+}
+
+/// Uniform `f32` in `[0, 1)` from the top 24 bits.
+fn unit_f32<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits.
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl_sample_uniform_float!(f32 => unit_f32, f64 => unit_f64);
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    ///
+    /// # Panics
+    /// Panics when the range is empty, matching upstream `rand`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Types producible by [`Rng::random`] (upstream's `StandardUniform`
+/// distribution): uniform over the full domain for integers, `[0, 1)` for
+/// floats, fair coin for `bool`.
+pub trait Standard {
+    /// Draw one sample.
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The generator interface: a `u64` source plus derived samplers.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits (top half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Sample from the standard distribution of `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+
+    /// Sample uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Seed type (`[u8; 32]` for [`rngs::StdRng`], as upstream).
+    type Seed;
+
+    /// Build from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    //! The standard generator.
+
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ generator — deterministic, fast, and adequate for every
+    /// simulation and shuffling job in this workspace. Not bit-compatible
+    /// with upstream `rand`'s ChaCha12 `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s.iter().all(|&w| w == 0) {
+                // xoshiro must not start at the all-zero state.
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+            }
+            StdRng::from_seed(seed)
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice shuffling.
+
+    use super::Rng;
+
+    /// In-place uniform shuffling for slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f32 = rng.random_range(-1.5..1.5);
+            assert!((-1.5..1.5).contains(&f));
+            let u: u32 = rng.random_range(0..=9);
+            assert!(u <= 9);
+            let i: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&i));
+            let unit: f64 = rng.random();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: u64 = rng.random_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn gaussian_via_box_muller_is_finite() {
+        // The workspace builds normals from unit uniforms; ln(0) would be
+        // -inf, so the unit sampler must never return exactly 0 after the
+        // 1.0 - u transform used by callers. Sanity-check the raw range.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100_000 {
+            let u: f64 = rng.random();
+            assert!(u < 1.0);
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! trade the paper's future work targets.
 
 use crate::scoring::DocumentScorer;
+use crate::serve::ScoreError;
 
 /// A two-stage cascade over raw feature rows.
 pub struct CascadeScorer<A, B> {
@@ -28,16 +29,24 @@ pub struct CascadeScorer<A, B> {
 impl<A: DocumentScorer, B: DocumentScorer> CascadeScorer<A, B> {
     /// Build a cascade promoting `rescore_top` documents per scored batch
     /// (callers score one query per batch for the paper's use case).
+    /// `rescore_top` larger than a batch is clamped to the batch size.
     ///
-    /// # Panics
-    /// Panics when the stages disagree on feature count.
-    pub fn new(stage1: A, stage2: B, rescore_top: usize, label: impl Into<String>) -> Self {
-        assert_eq!(
-            stage1.num_features(),
-            stage2.num_features(),
-            "cascade stages must share a feature space"
-        );
-        CascadeScorer {
+    /// # Errors
+    /// [`ScoreError::FeatureSpaceMismatch`] when the stages disagree on
+    /// feature count.
+    pub fn try_new(
+        stage1: A,
+        stage2: B,
+        rescore_top: usize,
+        label: impl Into<String>,
+    ) -> Result<Self, ScoreError> {
+        if stage1.num_features() != stage2.num_features() {
+            return Err(ScoreError::FeatureSpaceMismatch {
+                first: stage1.num_features(),
+                second: stage2.num_features(),
+            });
+        }
+        Ok(CascadeScorer {
             stage1,
             stage2,
             rescore_top,
@@ -45,7 +54,16 @@ impl<A: DocumentScorer, B: DocumentScorer> CascadeScorer<A, B> {
             scratch_scores: Vec::new(),
             scratch_rows: Vec::new(),
             scratch_out: Vec::new(),
-        }
+        })
+    }
+
+    /// [`try_new`](Self::try_new), panicking on feature-space mismatch.
+    ///
+    /// # Panics
+    /// Panics when the stages disagree on feature count.
+    pub fn new(stage1: A, stage2: B, rescore_top: usize, label: impl Into<String>) -> Self {
+        Self::try_new(stage1, stage2, rescore_top, label)
+            .unwrap_or_else(|e| panic!("cascade stages must share a feature space: {e}"))
     }
 }
 
@@ -57,10 +75,15 @@ impl<A: DocumentScorer, B: DocumentScorer> DocumentScorer for CascadeScorer<A, B
     fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
         let f = self.num_features();
         let n = out.len();
+        if n == 0 {
+            // An empty batch has nothing to score at either stage.
+            return;
+        }
         // Stage 1: everyone.
         self.stage1.score_batch(rows, out);
+        // Clamp the promotion depth to the batch.
         let k = self.rescore_top.min(n);
-        if k == 0 || k == n && n == 0 {
+        if k == 0 {
             return;
         }
         // Select the top-k stage-1 documents.
@@ -175,11 +198,10 @@ mod tests {
         cascade.score_batch(&rows, &mut out);
         // Stage-1 top-2 are docs 5 and 4; their final scores beat all others.
         let min_promoted = out[4].min(out[5]);
-        for d in 0..4 {
+        for (d, &score) in out.iter().enumerate().take(4) {
             assert!(
-                out[d] < min_promoted,
-                "doc {d} score {} >= {min_promoted}",
-                out[d]
+                score < min_promoted,
+                "doc {d} score {score} >= {min_promoted}"
             );
         }
     }
@@ -236,6 +258,36 @@ mod tests {
             o
         };
         assert_eq!(rank(&out), rank(&expected));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (cheap, expensive, c1, c2) = counters();
+        let mut cascade = CascadeScorer::new(cheap, expensive, 3, "cascade");
+        let mut out: [f32; 0] = [];
+        cascade.score_batch(&[], &mut out);
+        assert_eq!(c1.get(), 0);
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_mismatch() {
+        let c = std::rc::Rc::new(std::cell::Cell::new(0));
+        let a = Counting {
+            weights: vec![1.0],
+            calls: c.clone(),
+        };
+        let b = Counting {
+            weights: vec![1.0, 2.0],
+            calls: c,
+        };
+        match CascadeScorer::try_new(a, b, 1, "bad") {
+            Err(crate::serve::ScoreError::FeatureSpaceMismatch { first, second }) => {
+                assert_eq!((first, second), (1, 2));
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok(_) => panic!("mismatched stages must be rejected"),
+        }
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! Deterministic fault injection for serving-path tests.
+//!
+//! [`FaultInjectingScorer`] wraps any [`DocumentScorer`] and injects the
+//! failure modes a production reranker actually sees — latency spikes,
+//! NaN scores, panics, and short writes — on a deterministic schedule, so
+//! the integration suite can prove that [`crate::serve::RobustScorer`]
+//! survives each one and that its [`crate::serve::ServeStats`] counters
+//! match the injected fault counts exactly.
+//!
+//! Faults come either from an explicit per-batch schedule
+//! ([`FaultInjectingScorer::with_schedule`], cycled) or from a seeded
+//! generator ([`FaultInjectingScorer::seeded`]) that draws one fault per
+//! batch from configured probabilities. Both are reproducible: the same
+//! schedule or seed yields the same fault sequence for the same batch
+//! order. Injected counts are tracked in shared [`FaultCounters`] readable
+//! after the scorer has been moved into a wrapper.
+
+use crate::scoring::DocumentScorer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One injected failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Score normally.
+    None,
+    /// Score normally, then stall for the given duration.
+    LatencySpike(Duration),
+    /// Score normally, then overwrite the first `count` outputs with NaN.
+    NanOutputs {
+        /// How many leading outputs to poison (clamped to the batch).
+        count: usize,
+    },
+    /// Panic before writing any output.
+    Panic,
+    /// Score only the first `out.len() - missing` documents, leaving the
+    /// tail of the output buffer untouched.
+    ShortWrite {
+        /// How many trailing outputs to leave unwritten.
+        missing: usize,
+    },
+}
+
+/// Shared tallies of injected faults (cloneable handle).
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Batches that ran without an injected fault.
+    pub clean: AtomicU64,
+    /// Injected latency spikes.
+    pub latency_spikes: AtomicU64,
+    /// Batches with poisoned NaN outputs.
+    pub nan_batches: AtomicU64,
+    /// Injected panics.
+    pub panics: AtomicU64,
+    /// Batches with an injected short write.
+    pub short_writes: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Total batches that had any fault injected.
+    pub fn total_faults(&self) -> u64 {
+        self.latency_spikes.load(Ordering::Relaxed)
+            + self.nan_batches.load(Ordering::Relaxed)
+            + self.panics.load(Ordering::Relaxed)
+            + self.short_writes.load(Ordering::Relaxed)
+    }
+}
+
+/// Probabilities for the seeded fault generator. Remaining mass scores
+/// cleanly; the four probabilities must sum to at most 1.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability of a latency spike.
+    pub p_spike: f64,
+    /// Stall duration of an injected spike.
+    pub spike: Duration,
+    /// Probability of NaN outputs.
+    pub p_nan: f64,
+    /// Probability of a panic.
+    pub p_panic: f64,
+    /// Probability of a short write.
+    pub p_short: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            p_spike: 0.05,
+            spike: Duration::from_millis(5),
+            p_nan: 0.05,
+            p_panic: 0.02,
+            p_short: 0.03,
+        }
+    }
+}
+
+/// How the per-batch fault is chosen.
+enum Plan {
+    /// Explicit schedule, cycled by batch index.
+    Schedule(Vec<Fault>),
+    /// Seeded draw per batch.
+    Random(Box<StdRng>, FaultConfig),
+}
+
+/// A [`DocumentScorer`] wrapper that misbehaves on purpose.
+pub struct FaultInjectingScorer<S> {
+    /// The well-behaved scorer underneath.
+    pub inner: S,
+    plan: Plan,
+    batch_idx: usize,
+    counters: Arc<FaultCounters>,
+}
+
+impl<S: DocumentScorer> FaultInjectingScorer<S> {
+    /// Inject faults from an explicit schedule, cycled over batches.
+    /// An empty schedule injects nothing.
+    pub fn with_schedule(inner: S, schedule: Vec<Fault>) -> FaultInjectingScorer<S> {
+        FaultInjectingScorer {
+            inner,
+            plan: Plan::Schedule(schedule),
+            batch_idx: 0,
+            counters: Arc::new(FaultCounters::default()),
+        }
+    }
+
+    /// Inject faults drawn per batch from `config`'s probabilities using a
+    /// seeded generator — deterministic for a fixed seed and batch order.
+    pub fn seeded(inner: S, seed: u64, config: FaultConfig) -> FaultInjectingScorer<S> {
+        let total = config.p_spike + config.p_nan + config.p_panic + config.p_short;
+        assert!(
+            (0.0..=1.0).contains(&total),
+            "fault probabilities must sum to at most 1, got {total}"
+        );
+        FaultInjectingScorer {
+            inner,
+            plan: Plan::Random(Box::new(StdRng::seed_from_u64(seed)), config),
+            batch_idx: 0,
+            counters: Arc::new(FaultCounters::default()),
+        }
+    }
+
+    /// Handle to the injected-fault tallies; stays readable after the
+    /// scorer moves into a wrapper.
+    pub fn counters(&self) -> Arc<FaultCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Which fault the next batch will get (advances the plan).
+    fn next_fault(&mut self) -> Fault {
+        let fault = match &mut self.plan {
+            Plan::Schedule(s) => {
+                if s.is_empty() {
+                    Fault::None
+                } else {
+                    s[self.batch_idx % s.len()]
+                }
+            }
+            Plan::Random(rng, cfg) => {
+                let u: f64 = rng.random();
+                if u < cfg.p_spike {
+                    Fault::LatencySpike(cfg.spike)
+                } else if u < cfg.p_spike + cfg.p_nan {
+                    Fault::NanOutputs { count: 1 }
+                } else if u < cfg.p_spike + cfg.p_nan + cfg.p_panic {
+                    Fault::Panic
+                } else if u < cfg.p_spike + cfg.p_nan + cfg.p_panic + cfg.p_short {
+                    Fault::ShortWrite { missing: 1 }
+                } else {
+                    Fault::None
+                }
+            }
+        };
+        self.batch_idx += 1;
+        fault
+    }
+}
+
+impl<S: DocumentScorer> DocumentScorer for FaultInjectingScorer<S> {
+    fn num_features(&self) -> usize {
+        self.inner.num_features()
+    }
+
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        let nf = self.inner.num_features();
+        match self.next_fault() {
+            Fault::None => {
+                self.counters.clean.fetch_add(1, Ordering::Relaxed);
+                self.inner.score_batch(rows, out);
+            }
+            Fault::LatencySpike(d) => {
+                self.counters.latency_spikes.fetch_add(1, Ordering::Relaxed);
+                self.inner.score_batch(rows, out);
+                std::thread::sleep(d);
+            }
+            Fault::NanOutputs { count } => {
+                self.counters.nan_batches.fetch_add(1, Ordering::Relaxed);
+                self.inner.score_batch(rows, out);
+                let k = count.max(1).min(out.len());
+                out[..k].fill(f32::NAN);
+            }
+            Fault::Panic => {
+                self.counters.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected fault: panic at batch {}", self.batch_idx - 1);
+            }
+            Fault::ShortWrite { missing } => {
+                self.counters.short_writes.fetch_add(1, Ordering::Relaxed);
+                let n = out.len().saturating_sub(missing.max(1));
+                self.inner.score_batch(&rows[..n * nf], &mut out[..n]);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sum;
+
+    impl DocumentScorer for Sum {
+        fn num_features(&self) -> usize {
+            1
+        }
+        fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+            out.copy_from_slice(rows);
+        }
+        fn name(&self) -> String {
+            "sum".into()
+        }
+    }
+
+    #[test]
+    fn schedule_cycles_and_counts() {
+        let mut f = FaultInjectingScorer::with_schedule(
+            Sum,
+            vec![Fault::None, Fault::NanOutputs { count: 1 }],
+        );
+        let counters = f.counters();
+        let mut out = [0.0f32; 2];
+        f.score_batch(&[1.0, 2.0], &mut out);
+        assert_eq!(out, [1.0, 2.0]);
+        f.score_batch(&[1.0, 2.0], &mut out);
+        assert!(out[0].is_nan());
+        assert_eq!(out[1], 2.0);
+        f.score_batch(&[1.0, 2.0], &mut out); // schedule wraps to None
+        assert_eq!(out, [1.0, 2.0]);
+        assert_eq!(counters.clean.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.nan_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.total_faults(), 1);
+    }
+
+    #[test]
+    fn short_write_leaves_tail_untouched() {
+        let mut f =
+            FaultInjectingScorer::with_schedule(Sum, vec![Fault::ShortWrite { missing: 2 }]);
+        let mut out = [7.0f32; 4];
+        f.score_batch(&[1.0, 2.0, 3.0, 4.0], &mut out);
+        assert_eq!(out, [1.0, 2.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn injected_panic_happens_after_counting() {
+        let f = std::sync::Mutex::new(FaultInjectingScorer::with_schedule(Sum, vec![Fault::Panic]));
+        let counters = f.lock().unwrap().counters();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(|| {
+            let mut out = [0.0f32; 1];
+            f.lock().unwrap().score_batch(&[1.0], &mut out);
+        });
+        std::panic::set_hook(prev);
+        assert!(result.is_err());
+        assert_eq!(counters.panics.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let seq = |seed: u64| -> Vec<Fault> {
+            let mut f = FaultInjectingScorer::seeded(Sum, seed, FaultConfig::default());
+            (0..50).map(|_| f.next_fault()).collect()
+        };
+        assert_eq!(seq(9), seq(9));
+        assert_ne!(seq(9), seq(10), "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_probabilities_rejected() {
+        let cfg = FaultConfig {
+            p_spike: 0.5,
+            p_nan: 0.5,
+            p_panic: 0.5,
+            ..Default::default()
+        };
+        FaultInjectingScorer::seeded(Sum, 1, cfg);
+    }
+}

@@ -20,16 +20,22 @@
 //! users need a single `use`.
 
 pub mod cascade;
+pub mod fault;
 pub mod pareto;
 pub mod pipeline;
 pub mod prelude;
 pub mod scenario;
 pub mod scoring;
+pub mod serve;
 pub mod timing;
 
 pub use cascade::CascadeScorer;
+pub use fault::{Fault, FaultConfig, FaultCounters, FaultInjectingScorer};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{NeuralEngineering, PipelineConfig, PrunedStudent};
 pub use scenario::Scenario;
 pub use scoring::{DocumentScorer, EnsembleScorer, HybridScorer, MlpScorer, QuickScorerScorer};
+pub use serve::{
+    DeadlinePolicy, LatencyForecaster, RobustScorer, SanitizePolicy, ScoreError, ServeStats,
+};
 pub use timing::measure_us_per_doc;

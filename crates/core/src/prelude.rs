@@ -9,11 +9,15 @@
 //! ```
 
 pub use crate::cascade::CascadeScorer;
+pub use crate::fault::{Fault, FaultConfig, FaultCounters, FaultInjectingScorer};
 pub use crate::pareto::{frontier_dominates, pareto_frontier, ParetoPoint};
 pub use crate::pipeline::{NeuralEngineering, PipelineConfig, PrunedStudent};
 pub use crate::scenario::Scenario;
 pub use crate::scoring::{
     DocumentScorer, EnsembleScorer, HybridScorer, MlpScorer, QuickScorerScorer,
+};
+pub use crate::serve::{
+    DeadlinePolicy, LatencyForecaster, RobustScorer, SanitizePolicy, ScoreError, ServeStats,
 };
 pub use crate::timing::measure_us_per_doc;
 pub use dlr_data::{
@@ -24,8 +28,8 @@ pub use dlr_gbdt::{Ensemble, GrowthParams, LambdaMartParams, LambdaMartTrainer};
 pub use dlr_metrics::{evaluate_scores, fisher_randomization, EvalReport, FisherOutcome};
 pub use dlr_nn::{HybridMlp, Mlp};
 pub use dlr_predictor::{
-    calibrate_dense, calibrate_sparse, design_architectures, ArchCandidate, CsrShapeStats,
-    DensePredictor, HostCalibration, SearchSpace, SparsePredictor,
+    calibrate_dense, calibrate_sparse, design_architectures, ArchCandidate, BudgetForecast,
+    CsrShapeStats, DensePredictor, HostCalibration, SearchSpace, SparsePredictor,
 };
 pub use dlr_prune::{
     dynamic_sensitivity, prune_first_layer, static_sensitivity, PruneConfig, PruneMethod,

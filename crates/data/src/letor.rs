@@ -19,9 +19,13 @@ use std::io::{BufRead, Write};
 ///
 /// `num_features` fixes the dataset width; feature indices greater than it
 /// are rejected. Consecutive lines with the same `qid` form one query.
+/// Labels and feature values must be finite: NaN or ±Inf (including values
+/// like `1e999` that overflow `f32`) are rejected rather than let into the
+/// scoring path, where they would poison every downstream model.
 ///
 /// # Errors
-/// [`DataError::Parse`] with a 1-based line number on any malformed line.
+/// [`DataError::Parse`] with a 1-based line number on any malformed line
+/// or non-finite value.
 pub fn read_letor<R: BufRead>(reader: R, num_features: usize) -> Result<Dataset, DataError> {
     let mut builder = DatasetBuilder::new(num_features);
     let mut current_qid: Option<u64> = None;
@@ -77,6 +81,9 @@ fn parse_line(content: &str, num_features: usize) -> Result<(f32, u64, Vec<f32>)
         .ok_or_else(|| "empty line".to_string())?
         .parse()
         .map_err(|_| "label is not a number".to_string())?;
+    if !label.is_finite() {
+        return Err(format!("non-finite label {label}"));
+    }
     let qid_tok = tokens.next().ok_or_else(|| "missing qid".to_string())?;
     let qid: u64 = qid_tok
         .strip_prefix("qid:")
@@ -99,6 +106,9 @@ fn parse_line(content: &str, num_features: usize) -> Result<(f32, u64, Vec<f32>)
         let val: f32 = val
             .parse()
             .map_err(|_| format!("bad feature value {val:?}"))?;
+        if !val.is_finite() {
+            return Err(format!("non-finite value {val} for feature {idx}"));
+        }
         row[idx - 1] = val;
     }
     Ok((label, qid, row))
@@ -178,6 +188,39 @@ mod tests {
         }
         let err = read_letor(Cursor::new("1 qid:1 0:0.0"), 3).unwrap_err();
         assert!(matches!(err, DataError::Parse { .. }));
+    }
+
+    #[test]
+    fn non_finite_feature_values_rejected_with_line() {
+        for bad in ["NaN", "nan", "inf", "-inf", "1e999"] {
+            let text = format!("1 qid:1 1:0.5\n0 qid:1 1:{bad}\n");
+            let err = read_letor(Cursor::new(text), 1).unwrap_err();
+            match err {
+                DataError::Parse { line, message } => {
+                    assert_eq!(line, 2, "value {bad:?}");
+                    assert!(message.contains("non-finite"), "value {bad:?}: {message}");
+                }
+                other => panic!("value {bad:?}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_labels_rejected_with_line() {
+        for bad in ["NaN", "inf", "-inf", "1e999"] {
+            let text = format!("{bad} qid:1 1:0.5");
+            let err = read_letor(Cursor::new(text), 1).unwrap_err();
+            match err {
+                DataError::Parse { line, message } => {
+                    assert_eq!(line, 1, "label {bad:?}");
+                    assert!(
+                        message.contains("non-finite label"),
+                        "label {bad:?}: {message}"
+                    );
+                }
+                other => panic!("label {bad:?}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

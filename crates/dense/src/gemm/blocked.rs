@@ -23,7 +23,21 @@
 //! `m̄_c = rnd_up(min(max(m, m_r), m_c), m_r)`, so tiny layers do not pay
 //! for full-size packing buffers.
 
+use super::GemmShapeError;
 use crate::matrix::Matrix;
+
+/// Shape guard shared by the `try_` entry points.
+fn check_shape(what: &'static str, expected: usize, got: usize) -> Result<(), GemmShapeError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(GemmShapeError {
+            what,
+            expected,
+            got,
+        })
+    }
+}
 
 /// Micro-kernel tile height (rows of A per register tile).
 pub const MR: usize = 8;
@@ -121,6 +135,23 @@ pub fn gemm_into(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     gemm_with(m, k, n, a, b, c, GotoParams::default(), &mut ws);
 }
 
+/// [`gemm_into`] returning a typed error instead of panicking on shape
+/// mismatches — the panic-free entry point for serving paths.
+///
+/// # Errors
+/// [`GemmShapeError`] when slice lengths disagree with `(m, k, n)`.
+pub fn try_gemm_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) -> Result<(), GemmShapeError> {
+    let mut ws = GemmWorkspace::default();
+    try_gemm_with(m, k, n, a, b, c, GotoParams::default(), &mut ws)
+}
+
 /// Full-control entry point: explicit parameters and caller-owned
 /// workspace. `c` is overwritten.
 ///
@@ -137,12 +168,31 @@ pub fn gemm_with(
     params: GotoParams,
     ws: &mut GemmWorkspace,
 ) {
-    assert_eq!(a.len(), m * k, "A must be m×k");
-    assert_eq!(b.len(), k * n, "B must be k×n");
-    assert_eq!(c.len(), m * n, "C must be m×n");
+    try_gemm_with(m, k, n, a, b, c, params, ws).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`gemm_with`] returning a typed error instead of panicking on shape
+/// mismatches.
+///
+/// # Errors
+/// [`GemmShapeError`] when slice lengths disagree with `(m, k, n)`.
+#[allow(clippy::too_many_arguments)]
+pub fn try_gemm_with(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    params: GotoParams,
+    ws: &mut GemmWorkspace,
+) -> Result<(), GemmShapeError> {
+    check_shape("A must be m×k", m * k, a.len())?;
+    check_shape("B must be k×n", k * n, b.len())?;
+    check_shape("C must be m×n", m * n, c.len())?;
     c.fill(0.0);
     if m == 0 || n == 0 || k == 0 {
-        return;
+        return Ok(());
     }
     let p = params.effective(m, k, n);
     let (mc, nc, kc) = (p.mc, p.nc, p.kc);
@@ -171,6 +221,7 @@ pub fn gemm_with(
         }
         jc += nc;
     }
+    Ok(())
 }
 
 /// Pack `A[ic..ic+mcb, pc..pc+kcb]` into `m_r`-tall strips, column-major
@@ -427,5 +478,28 @@ mod tests {
             );
             assert!(naive_gemm(&a, &b).max_abs_diff(&c) < 1e-2);
         }
+    }
+
+    #[test]
+    fn try_gemm_into_reports_typed_shape_error() {
+        let mut c = [0.0f32; 4];
+        assert_eq!(
+            try_gemm_into(2, 3, 2, &[0.0; 5], &[0.0; 6], &mut c),
+            Err(GemmShapeError {
+                what: "A must be m×k",
+                expected: 6,
+                got: 5,
+            })
+        );
+        assert!(matches!(
+            try_gemm_into(2, 3, 2, &[0.0; 6], &[0.0; 7], &mut c),
+            Err(GemmShapeError {
+                what: "B must be k×n",
+                ..
+            })
+        ));
+        // Well-shaped input succeeds and zero dims are a no-op.
+        assert!(try_gemm_into(2, 0, 2, &[], &[], &mut c).is_ok());
+        assert!(c.iter().all(|&v| v == 0.0));
     }
 }

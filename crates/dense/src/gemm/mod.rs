@@ -2,3 +2,27 @@
 
 pub mod blocked;
 pub mod naive;
+
+/// Shape/buffer mismatch reported by the `try_` GEMM entry points, so
+/// serving layers can reject a malformed batch instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShapeError {
+    /// Which constraint was violated (e.g. `"A must be m×k"`).
+    pub what: &'static str,
+    /// Required element count.
+    pub expected: usize,
+    /// Element count received.
+    pub got: usize,
+}
+
+impl std::fmt::Display for GemmShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: expected {} elements, got {}",
+            self.what, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for GemmShapeError {}

@@ -21,7 +21,8 @@ pub mod gemm;
 pub mod matrix;
 pub mod measure;
 
-pub use gemm::blocked::{gemm, gemm_into, GotoParams};
+pub use gemm::blocked::{gemm, gemm_into, try_gemm_into, try_gemm_with, GotoParams};
 pub use gemm::naive::naive_gemm;
+pub use gemm::GemmShapeError;
 pub use matrix::Matrix;
 pub use measure::{measure_gemm_gflops, time_gemm};

@@ -22,11 +22,13 @@
 //! enumerate architectures, predict dense and pruned-first-layer times,
 //! and train *only* the candidates that fit the latency budget.
 
+pub mod budget;
 pub mod calibrate;
 pub mod dense_pred;
 pub mod search;
 pub mod sparse_pred;
 
+pub use budget::BudgetForecast;
 pub use calibrate::{calibrate_dense, calibrate_sparse, HostCalibration};
 pub use dense_pred::DensePredictor;
 pub use search::{design_architectures, ArchCandidate, SearchSpace};

@@ -24,6 +24,16 @@ pub enum SparseError {
     },
     /// `values` and `col_idx` lengths differ.
     LengthMismatch,
+    /// A dense operand's buffer length disagrees with the sparse shape
+    /// (reported by the `try_` multiplication entry points).
+    ShapeMismatch {
+        /// Which constraint was violated (e.g. `"B must be k×n"`).
+        what: &'static str,
+        /// Required element count.
+        expected: usize,
+        /// Element count received.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -37,6 +47,13 @@ impl fmt::Display for SparseError {
                 )
             }
             SparseError::LengthMismatch => write!(f, "values and col_idx lengths differ"),
+            SparseError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "{what}: expected {expected} elements, got {got}")
+            }
         }
     }
 }

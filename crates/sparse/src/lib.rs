@@ -18,5 +18,5 @@ pub mod naive;
 pub mod xsmm;
 
 pub use csr::{CsrMatrix, SparseError};
-pub use naive::spmm_naive;
-pub use xsmm::{spmm_xsmm, spmm_xsmm_packed, PackedB, SpmmWorkspace, SIMD_WIDTH};
+pub use naive::{spmm_naive, try_spmm_naive};
+pub use xsmm::{spmm_xsmm, spmm_xsmm_packed, try_spmm_xsmm, PackedB, SpmmWorkspace, SIMD_WIDTH};

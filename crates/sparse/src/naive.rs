@@ -7,7 +7,7 @@
 //! SIMD-width column blocking and accumulator residency of the
 //! LIBXSMM-style kernel.
 
-use crate::csr::CsrMatrix;
+use crate::csr::{CsrMatrix, SparseError};
 
 /// `C = A·B` with `A` sparse CSR `m×k`, `B` dense row-major `k×n`,
 /// `C` dense row-major `m×n` (overwritten).
@@ -15,8 +15,23 @@ use crate::csr::CsrMatrix;
 /// # Panics
 /// Panics when buffer sizes disagree with the shapes.
 pub fn spmm_naive(a: &CsrMatrix, b: &[f32], n: usize, c: &mut [f32]) {
-    assert_eq!(b.len(), a.cols() * n, "B must be k×n");
-    assert_eq!(c.len(), a.rows() * n, "C must be m×n");
+    try_spmm_naive(a, b, n, c).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`spmm_naive`] returning a typed error instead of panicking on shape
+/// mismatches — the panic-free entry point for serving paths.
+///
+/// # Errors
+/// [`SparseError::ShapeMismatch`] when buffer sizes disagree with the
+/// shapes.
+pub fn try_spmm_naive(
+    a: &CsrMatrix,
+    b: &[f32],
+    n: usize,
+    c: &mut [f32],
+) -> Result<(), SparseError> {
+    check_shape("B must be k×n", a.cols() * n, b.len())?;
+    check_shape("C must be m×n", a.rows() * n, c.len())?;
     c.fill(0.0);
     for i in 0..a.rows() {
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -26,6 +41,24 @@ pub fn spmm_naive(a: &CsrMatrix, b: &[f32], n: usize, c: &mut [f32]) {
                 *cv += v * bv;
             }
         }
+    }
+    Ok(())
+}
+
+/// Shape guard shared by the `try_` SpMM entry points.
+pub(crate) fn check_shape(
+    what: &'static str,
+    expected: usize,
+    got: usize,
+) -> Result<(), SparseError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(SparseError::ShapeMismatch {
+            what,
+            expected,
+            got,
+        })
     }
 }
 
@@ -87,5 +120,27 @@ mod tests {
         let a = CsrMatrix::from_dense(&Matrix::zeros(2, 2), 0.0);
         let mut c = vec![0.0; 4];
         spmm_naive(&a, &[0.0; 3], 2, &mut c);
+    }
+
+    #[test]
+    fn try_variant_reports_typed_shape_error() {
+        let a = CsrMatrix::from_dense(&Matrix::zeros(2, 2), 0.0);
+        let mut c = vec![0.0; 4];
+        assert_eq!(
+            try_spmm_naive(&a, &[0.0; 3], 2, &mut c),
+            Err(SparseError::ShapeMismatch {
+                what: "B must be k×n",
+                expected: 4,
+                got: 3,
+            })
+        );
+        let mut short_c = vec![0.0; 3];
+        assert!(matches!(
+            try_spmm_naive(&a, &[0.0; 4], 2, &mut short_c),
+            Err(SparseError::ShapeMismatch {
+                what: "C must be m×n",
+                ..
+            })
+        ));
     }
 }

@@ -19,7 +19,8 @@
 //! generic safe-Rust kernel whose inner loops the compiler vectorizes,
 //! preserving the memory-access pattern the predictor models.
 
-use crate::csr::CsrMatrix;
+use crate::csr::{CsrMatrix, SparseError};
+use crate::naive::check_shape;
 
 /// SIMD lane width the kernel blocks on: 8 × f32 = 256-bit (AVX2).
 pub const SIMD_WIDTH: usize = 8;
@@ -193,9 +194,22 @@ pub fn spmm_xsmm_packed(a: &CsrMatrix, b: &PackedB, c: &mut [f32], ws: &mut Spmm
 /// with several layers or several row-bands of `A`), pack once with
 /// [`PackedB::pack`] and call [`spmm_xsmm_packed`].
 pub fn spmm_xsmm(a: &CsrMatrix, b: &[f32], n: usize, c: &mut [f32]) {
+    try_spmm_xsmm(a, b, n, c).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`spmm_xsmm`] returning a typed error instead of panicking on shape
+/// mismatches — the panic-free entry point for serving paths.
+///
+/// # Errors
+/// [`SparseError::ShapeMismatch`] when buffer sizes disagree with the
+/// shapes.
+pub fn try_spmm_xsmm(a: &CsrMatrix, b: &[f32], n: usize, c: &mut [f32]) -> Result<(), SparseError> {
+    check_shape("B must be k×n", a.cols() * n, b.len())?;
+    check_shape("C must be m×n", a.rows() * n, c.len())?;
     let packed = PackedB::pack(b, a.cols(), n);
     let mut ws = SpmmWorkspace::default();
     spmm_xsmm_packed(a, &packed, c, &mut ws);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -292,5 +306,23 @@ mod tests {
         let packed = PackedB::pack(&[0.0; 8], 4, 2);
         let mut ws = SpmmWorkspace::default();
         spmm_xsmm_packed(&a, &packed, &mut [0.0; 4], &mut ws);
+    }
+
+    #[test]
+    fn try_variant_reports_typed_shape_error() {
+        let a = CsrMatrix::from_dense(&Matrix::zeros(2, 3), 0.0);
+        let mut c = vec![0.0; 4];
+        assert!(matches!(
+            try_spmm_xsmm(&a, &[0.0; 5], 2, &mut c),
+            Err(SparseError::ShapeMismatch {
+                what: "B must be k×n",
+                expected: 6,
+                got: 5,
+            })
+        ));
+        // Well-shaped input still multiplies.
+        let b = Matrix::random(3, 2, 1.0, 2);
+        assert!(try_spmm_xsmm(&a, b.as_slice(), 2, &mut c).is_ok());
+        assert!(c.iter().all(|&v| v == 0.0));
     }
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use distilled_ltr::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut cfg = SyntheticConfig::msn30k_like(120);
@@ -69,6 +69,79 @@ fn main() {
     }
     println!("\nper-QUERY latency = (docs per query) x (us/doc); the paper's 0.5 us/doc");
     println!("low-latency budget is ~50 us per 100-doc query at rerank time.");
+
+    // The same net scorer behind the fault-tolerant serving layer, with
+    // injected faults (latency spikes, NaN outputs, panics, short writes)
+    // standing in for the failures a long-running reranker actually sees.
+    // The forest serves as the always-available fallback, and the
+    // Equation 3 predictor forecasts each batch against the deadline.
+    println!("\nreplaying the same stream through the robust serving layer");
+    println!("with injected faults (net primary, forest fallback)...\n");
+    silence_injected_panic_messages();
+    let faulty_net = FaultInjectingScorer::seeded(
+        HybridScorer::new(
+            student.hybrid.clone(),
+            student.dense.normalizer.clone(),
+            "net/sparse-L1",
+        ),
+        42,
+        FaultConfig {
+            p_spike: 0.10,
+            spike: Duration::from_millis(5),
+            p_nan: 0.08,
+            p_panic: 0.04,
+            p_short: 0.04,
+        },
+    );
+    let injected = faulty_net.counters();
+    let forecast = BudgetForecast::pruned(DensePredictor::paper_i9_9900k(), 136, vec![128, 64, 32])
+        .with_safety_factor(1.5);
+    let mut robust = RobustScorer::new(
+        faulty_net,
+        QuickScorerScorer::compile(&forest, "forest/fallback"),
+        "net/robust",
+    )
+    .with_sanitize(SanitizePolicy::clamp())
+    .with_deadline(DeadlinePolicy::with_deadline(Duration::from_millis(2)))
+    .with_forecaster(forecast.into_forecaster());
+
+    let (lat, ndcg) = replay(&mut robust, &split.test);
+    println!(
+        "{:<20} {:>9.4} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+        robust.name(),
+        ndcg,
+        pct(&lat, 0.50),
+        pct(&lat, 0.95),
+        pct(&lat, 0.99),
+        lat.last().copied().unwrap_or(0.0),
+    );
+    use std::sync::atomic::Ordering;
+    println!(
+        "\ninjected faults: {} (spikes {}, nan batches {}, panics {}, short writes {})",
+        injected.total_faults(),
+        injected.latency_spikes.load(Ordering::Relaxed),
+        injected.nan_batches.load(Ordering::Relaxed),
+        injected.panics.load(Ordering::Relaxed),
+        injected.short_writes.load(Ordering::Relaxed),
+    );
+    println!("serving stats:\n{}", robust.stats());
+}
+
+/// Keep injected-fault panics (caught and absorbed by the robust layer)
+/// from spamming stderr with backtraces; everything else reports normally.
+fn silence_injected_panic_messages() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("injected fault") {
+            default(info);
+        }
+    }));
 }
 
 /// Score every query individually (as a service would), returning sorted

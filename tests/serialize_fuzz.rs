@@ -1,0 +1,117 @@
+//! Fuzz the model deserializers: whatever bytes arrive, `read_ensemble`
+//! and `read_mlp` must return a typed error, never panic.
+//!
+//! Corruptions are built from valid serialized models — truncation at any
+//! byte, arbitrary byte flips (including ones that break UTF-8), garbage
+//! line insertion — plus entirely random byte soup. A serving process
+//! reloads models from disk; a half-written or bit-rotted file must not
+//! take it down.
+
+use distilled_ltr::gbdt::tree::leaf_ref;
+use distilled_ltr::gbdt::{read_ensemble, write_ensemble, Ensemble, RegressionTree};
+use distilled_ltr::nn::{read_mlp, write_mlp, Mlp};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Valid serialized ensemble to corrupt.
+fn ensemble_bytes() -> Vec<u8> {
+    let mut e = Ensemble::new(3, 0.125);
+    e.push(RegressionTree::from_raw(
+        vec![0, 2],
+        vec![0.5, -1.25],
+        vec![1, leaf_ref(0)],
+        vec![leaf_ref(2), leaf_ref(1)],
+        vec![0.1, -0.2, 0.3],
+    ));
+    e.push(RegressionTree::constant(7.5));
+    let mut buf = Vec::new();
+    write_ensemble(&e, &mut buf).unwrap();
+    buf
+}
+
+/// Valid serialized MLP to corrupt.
+fn mlp_bytes() -> Vec<u8> {
+    let mlp = Mlp::from_hidden(5, &[4, 3], 42);
+    let mut buf = Vec::new();
+    write_mlp(&mlp, &mut buf).unwrap();
+    buf
+}
+
+/// Both parsers must complete (Ok or Err) on these bytes. Reaching the
+/// end of this function IS the property: a panic fails the test.
+fn parsers_must_not_panic(bytes: &[u8]) {
+    let _ = read_ensemble(Cursor::new(bytes));
+    let _ = read_mlp(Cursor::new(bytes));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn truncated_models_do_not_panic(cut in 0usize..10_000) {
+        for base in [ensemble_bytes(), mlp_bytes()] {
+            let cut = cut % (base.len() + 1);
+            parsers_must_not_panic(&base[..cut]);
+        }
+    }
+
+    #[test]
+    fn byte_flips_do_not_panic(
+        positions in collection::vec(0usize..10_000, 1..8),
+        values in collection::vec(0u8..=255, 8usize),
+    ) {
+        for base in [ensemble_bytes(), mlp_bytes()] {
+            let mut bytes = base;
+            for (&pos, &val) in positions.iter().zip(&values) {
+                let at = pos % bytes.len();
+                bytes[at] = val; // may break UTF-8 — that must surface as Err, not a panic
+            }
+            parsers_must_not_panic(&bytes);
+        }
+    }
+
+    #[test]
+    fn garbage_line_insertion_does_not_panic(
+        line in collection::vec(32u8..127, 0..40),
+        at in 0usize..10_000,
+    ) {
+        for base in [ensemble_bytes(), mlp_bytes()] {
+            let mut bytes = base;
+            // Insert on a line boundary so the garbage becomes its own line.
+            let newlines: Vec<usize> = bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == b'\n')
+                .map(|(i, _)| i + 1)
+                .collect();
+            let split = newlines[at % newlines.len()];
+            let mut inserted = line.clone();
+            inserted.push(b'\n');
+            bytes.splice(split..split, inserted);
+            parsers_must_not_panic(&bytes);
+        }
+    }
+
+    #[test]
+    fn random_byte_soup_does_not_panic(bytes in collection::vec(0u8..=255, 0..512)) {
+        parsers_must_not_panic(&bytes);
+    }
+
+    #[test]
+    fn random_ascii_lines_do_not_panic(soup in collection::vec(9u8..127, 0..512)) {
+        // All-ASCII soup reaches deeper into the line-oriented parsers
+        // than raw bytes, which usually fail at UTF-8 validation.
+        parsers_must_not_panic(&soup);
+    }
+
+    #[test]
+    fn header_survives_any_tail(tail in collection::vec(0u8..=255, 0..256)) {
+        // A valid header followed by arbitrary bytes exercises the
+        // structural checks past the header fast-path.
+        for header in ["dlr-ensemble v1\n", "dlr-mlp v1\n"] {
+            let mut bytes = header.as_bytes().to_vec();
+            bytes.extend_from_slice(&tail);
+            parsers_must_not_panic(&bytes);
+        }
+    }
+}
