@@ -1,0 +1,322 @@
+//! Smoke benchmark for the parallel batch-scoring engine.
+//!
+//! Times the three hot kernels — blocked GEMM, LIBXSMM-style SpMM and
+//! BWQS — serially and through a [`WorkPool`] at 1/2/4 threads, asserts
+//! the pooled outputs are bit-identical to serial, and emits
+//! `BENCH_scoring.json` with per-kernel throughput, speedups and fitted
+//! Amdahl serial fractions.
+//!
+//! ```text
+//! cargo run --release -p dlr-bench --bin bench-scoring            # full sizes
+//! cargo run --release -p dlr-bench --bin bench-scoring -- --check # CI smoke
+//! ```
+//!
+//! `--check` shrinks the problem sizes and rep counts so CI can verify the
+//! whole path (pool, drivers, JSON emission) in a few seconds. Speedups
+//! are only meaningful when `host_parallelism` in the JSON is ≥ the thread
+//! count: on a single-core host every parallel run degenerates to the
+//! caller draining all chunks itself.
+
+use dlr_core::{par_bwqs, par_gemm, par_spmm, SpeedupSample, WorkPool};
+use dlr_dense::{gemm_with, GemmWorkspace, GotoParams, Matrix, PrepackedB};
+use dlr_gbdt::tree::leaf_ref;
+use dlr_gbdt::{Ensemble, RegressionTree};
+use dlr_quickscorer::blockwise::BlockwiseQuickScorer;
+use dlr_sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Problem sizes: the paper's Istella-S serving shape (220 features,
+/// 4096-document batches) in full mode, toy shapes under `--check`.
+struct Sizes {
+    mode: &'static str,
+    /// Documents per batch (GEMM/SpMM `n`, BWQS batch).
+    docs: usize,
+    /// Input features (GEMM/SpMM reduction dim `k`, BWQS features).
+    feats: usize,
+    /// First-layer width (GEMM/SpMM `m`).
+    hidden: usize,
+    /// Keep one weight in `keep_every` for the sparse layer (~98% sparse).
+    keep_every: usize,
+    trees: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn from_args() -> Sizes {
+        let check = std::env::args().any(|a| a == "--check");
+        if check {
+            Sizes {
+                mode: "check",
+                docs: 256,
+                feats: 32,
+                hidden: 64,
+                keep_every: 8,
+                trees: 20,
+                reps: 2,
+            }
+        } else {
+            Sizes {
+                mode: "full",
+                docs: 4096,
+                feats: 220,
+                hidden: 512,
+                keep_every: 50,
+                trees: 200,
+                reps: 5,
+            }
+        }
+    }
+}
+
+/// Median wall-clock seconds over `reps` runs (after one warm-up).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Run {
+    threads: usize,
+    parallel_secs: f64,
+    speedup: f64,
+    serial_fraction: f64,
+}
+
+struct KernelReport {
+    kernel: &'static str,
+    shape: String,
+    /// Work per call, in `unit`s — divides by seconds for throughput.
+    work: f64,
+    unit: &'static str,
+    serial_secs: f64,
+    runs: Vec<Run>,
+}
+
+impl KernelReport {
+    fn measure(
+        kernel: &'static str,
+        shape: String,
+        work: f64,
+        unit: &'static str,
+        reps: usize,
+        mut serial: impl FnMut(),
+        mut parallel: impl FnMut(&WorkPool),
+    ) -> KernelReport {
+        let serial_secs = median_secs(reps, &mut serial);
+        let runs = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                let pool = WorkPool::new(t);
+                let parallel_secs = median_secs(reps, || parallel(&pool));
+                let sample = SpeedupSample {
+                    threads: t,
+                    serial_secs,
+                    parallel_secs,
+                };
+                Run {
+                    threads: t,
+                    parallel_secs,
+                    speedup: sample.speedup(),
+                    serial_fraction: sample.serial_fraction(),
+                }
+            })
+            .collect();
+        KernelReport {
+            kernel,
+            shape,
+            work,
+            unit,
+            serial_secs,
+            runs,
+        }
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<6} {}  serial {:.3} ms  ({:.1} {}/s)",
+            self.kernel,
+            self.shape,
+            self.serial_secs * 1e3,
+            self.work / self.serial_secs,
+            self.unit
+        );
+        for r in &self.runs {
+            println!(
+                "       {} threads: {:.3} ms  speedup {:.2}x  serial-fraction {:.2}",
+                r.threads,
+                r.parallel_secs * 1e3,
+                r.speedup,
+                r.serial_fraction
+            );
+        }
+    }
+
+    fn json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"threads\":{},\"parallel_secs\":{:.9},\"speedup\":{:.4},\"serial_fraction\":{:.4}}}",
+                    r.threads, r.parallel_secs, r.speedup, r.serial_fraction
+                )
+            })
+            .collect();
+        format!(
+            "{{\"kernel\":\"{}\",\"shape\":\"{}\",\"unit\":\"{}\",\"work_per_call\":{:.6},\"serial_secs\":{:.9},\"runs\":[{}]}}",
+            self.kernel,
+            self.shape,
+            self.unit,
+            self.work,
+            self.serial_secs,
+            runs.join(",")
+        )
+    }
+}
+
+/// A depth-2 tree (three internal nodes, four leaves) with
+/// deterministically varied features, thresholds and leaf values.
+fn synthetic_ensemble(trees: usize, nf: usize) -> Ensemble {
+    let mut e = Ensemble::new(nf, 0.1);
+    for t in 0..trees {
+        let s = t as u64;
+        let f0 = (s * 7 % nf as u64) as u32;
+        let f1 = ((s * 13 + 3) % nf as u64) as u32;
+        let tree = RegressionTree::from_raw(
+            vec![f0, f1, f1],
+            vec![
+                0.2 + (s % 7) as f32 * 0.1,
+                0.1 + (s % 3) as f32 * 0.2,
+                0.5 + (s % 5) as f32 * 0.08,
+            ],
+            vec![1, leaf_ref(0), leaf_ref(2)],
+            vec![2, leaf_ref(1), leaf_ref(3)],
+            vec![0.01 * (s % 11) as f32, -0.2, 0.3, -0.02 * (s % 9) as f32],
+        );
+        e.push(tree);
+    }
+    e
+}
+
+fn assert_bit_identical(expect: &[f32], got: &[f32], kernel: &str) {
+    assert_eq!(
+        expect, got,
+        "{kernel}: pooled output differs from serial — determinism contract broken"
+    );
+}
+
+fn main() {
+    let sz = Sizes::from_args();
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "=== bench-scoring ({} mode, host parallelism {}) ===\n",
+        sz.mode, host
+    );
+
+    let (m, k, n) = (sz.hidden, sz.feats, sz.docs);
+    let params = GotoParams::default();
+
+    // --- GEMM: dense first layer, m×k weights · k×n feature-major batch.
+    let a = Matrix::random(m, k, 1.0, 17);
+    let b = Matrix::random(k, n, 1.0, 18);
+    let pb = PrepackedB::pack(b.as_slice(), k, n, params);
+    let mut expect = vec![0.0f32; m * n];
+    let mut ws = GemmWorkspace::default();
+    gemm_with(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        &mut expect,
+        params,
+        &mut ws,
+    );
+    let mut c = vec![f32::NAN; m * n];
+    par_gemm(&WorkPool::new(2), m, a.as_slice(), &pb, &mut c).expect("par_gemm");
+    assert_bit_identical(&expect, &c, "gemm");
+    let mut c_par = vec![0.0f32; m * n];
+    let gemm = KernelReport::measure(
+        "gemm",
+        format!("{m}x{k} . {k}x{n}"),
+        2.0 * m as f64 * k as f64 * n as f64 / 1e9,
+        "GFLOP",
+        sz.reps,
+        || gemm_with(m, k, n, a.as_slice(), b.as_slice(), &mut c, params, &mut ws),
+        |pool| par_gemm(pool, m, a.as_slice(), &pb, &mut c_par).expect("par_gemm"),
+    );
+    gemm.print();
+
+    // --- SpMM: ~98%-sparse first layer in CSR against the packed batch.
+    let mut dense_w = Matrix::random(m, k, 1.0, 19);
+    for (idx, v) in dense_w.as_mut_slice().iter_mut().enumerate() {
+        if idx % sz.keep_every != 0 {
+            *v = 0.0;
+        }
+    }
+    let csr = CsrMatrix::from_dense(&dense_w, 0.0);
+    let packed = PackedB::pack(b.as_slice(), k, n);
+    let mut sp_ws = SpmmWorkspace::default();
+    spmm_xsmm_packed(&csr, &packed, &mut expect, &mut sp_ws);
+    par_spmm(&WorkPool::new(2), &csr, &packed, &mut c).expect("par_spmm");
+    assert_bit_identical(&expect, &c, "spmm");
+    let spmm = KernelReport::measure(
+        "spmm",
+        format!("{m}x{k} ({:.1}% sparse) . {k}x{n}", csr.sparsity() * 100.0),
+        n as f64,
+        "docs",
+        sz.reps,
+        || spmm_xsmm_packed(&csr, &packed, &mut c, &mut sp_ws),
+        |pool| par_spmm(pool, &csr, &packed, &mut c_par).expect("par_spmm"),
+    );
+    spmm.print();
+
+    // --- BWQS: blockwise tree-ensemble traversal over the document batch.
+    let ensemble = synthetic_ensemble(sz.trees, sz.feats);
+    let bw = BlockwiseQuickScorer::compile(&ensemble, 16).expect("compile BWQS");
+    let docs: Vec<f32> = (0..n * sz.feats)
+        .map(|i| ((i * 31) % 97) as f32 / 97.0)
+        .collect();
+    let mut bw_expect = vec![0.0f32; n];
+    bw.score_batch(&docs, &mut bw_expect);
+    let mut bw_out = vec![f32::NAN; n];
+    par_bwqs(&WorkPool::new(2), &bw, &docs, &mut bw_out).expect("par_bwqs");
+    assert_bit_identical(&bw_expect, &bw_out, "bwqs");
+    let mut bw_par = vec![0.0f32; n];
+    let bwqs = KernelReport::measure(
+        "bwqs",
+        format!("{} trees x {n} docs", sz.trees),
+        n as f64,
+        "docs",
+        sz.reps,
+        || bw.score_batch(&docs, &mut bw_out),
+        |pool| par_bwqs(pool, &bw, &docs, &mut bw_par).expect("par_bwqs"),
+    );
+    bwqs.print();
+
+    // --- Emit BENCH_scoring.json.
+    let kernels: Vec<String> = [&gemm, &spmm, &bwqs].iter().map(|r| r.json()).collect();
+    let json = format!(
+        "{{\"bench\":\"scoring\",\"mode\":\"{}\",\"host_parallelism\":{},\"thread_counts\":[1,2,4],\"docs\":{},\"features\":{},\"kernels\":[{}]}}\n",
+        sz.mode,
+        host,
+        sz.docs,
+        sz.feats,
+        kernels.join(",")
+    );
+    std::fs::write("BENCH_scoring.json", &json).expect("write BENCH_scoring.json");
+    println!("\nwrote BENCH_scoring.json ({} mode)", sz.mode);
+    if host < *THREAD_COUNTS.last().unwrap() {
+        println!(
+            "note: host exposes {host} core(s); multi-thread speedups are bounded by hardware."
+        );
+    }
+}

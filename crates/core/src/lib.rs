@@ -21,8 +21,10 @@
 
 pub mod cascade;
 pub mod fault;
+pub mod parallel;
 pub mod pareto;
 pub mod pipeline;
+pub mod pool;
 pub mod prelude;
 pub mod scenario;
 pub mod scoring;
@@ -31,11 +33,16 @@ pub mod timing;
 
 pub use cascade::CascadeScorer;
 pub use fault::{Fault, FaultConfig, FaultCounters, FaultInjectingScorer};
+pub use parallel::{
+    measure_gemm_speedup, par_bwqs, par_gemm, par_gemm_into, par_spmm, SpeedupSample,
+};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{NeuralEngineering, PipelineConfig, PrunedStudent};
+pub use pool::{PoolError, WorkPool};
 pub use scenario::Scenario;
 pub use scoring::{DocumentScorer, EnsembleScorer, HybridScorer, MlpScorer, QuickScorerScorer};
 pub use serve::{
-    DeadlinePolicy, LatencyForecaster, RobustScorer, SanitizePolicy, ScoreError, ServeStats,
+    DeadlinePolicy, LatencyForecaster, LatencyHistogram, RobustScorer, SanitizePolicy, ScoreError,
+    ServeStats,
 };
 pub use timing::measure_us_per_doc;

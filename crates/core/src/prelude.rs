@@ -10,14 +10,17 @@
 
 pub use crate::cascade::CascadeScorer;
 pub use crate::fault::{Fault, FaultConfig, FaultCounters, FaultInjectingScorer};
+pub use crate::parallel::{par_bwqs, par_gemm, par_gemm_into, par_spmm, SpeedupSample};
 pub use crate::pareto::{frontier_dominates, pareto_frontier, ParetoPoint};
 pub use crate::pipeline::{NeuralEngineering, PipelineConfig, PrunedStudent};
+pub use crate::pool::{PoolError, WorkPool};
 pub use crate::scenario::Scenario;
 pub use crate::scoring::{
     DocumentScorer, EnsembleScorer, HybridScorer, MlpScorer, QuickScorerScorer,
 };
 pub use crate::serve::{
-    DeadlinePolicy, LatencyForecaster, RobustScorer, SanitizePolicy, ScoreError, ServeStats,
+    DeadlinePolicy, LatencyForecaster, LatencyHistogram, RobustScorer, SanitizePolicy, ScoreError,
+    ServeStats,
 };
 pub use crate::timing::measure_us_per_doc;
 pub use dlr_data::{

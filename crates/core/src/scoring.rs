@@ -166,8 +166,12 @@ pub struct MlpScorer {
 }
 
 impl MlpScorer {
-    /// Wrap a trained student and its normalizer.
-    pub fn new(mlp: Mlp, normalizer: Normalizer, label: impl Into<String>) -> MlpScorer {
+    /// Wrap a trained student and its normalizer. The model is frozen for
+    /// serving, so its weight panels are pre-packed here once.
+    pub fn new(mut mlp: Mlp, normalizer: Normalizer, label: impl Into<String>) -> MlpScorer {
+        if !mlp.weights_packed() {
+            mlp.pack_weights();
+        }
         MlpScorer {
             mlp,
             normalizer,

@@ -154,8 +154,88 @@ impl<F: Fn(usize) -> Option<Duration>> LatencyForecaster for F {
     }
 }
 
+/// Lossy histogram of batch latencies with power-of-two microsecond
+/// buckets — constant memory no matter how many batches are served, yet
+/// good enough resolution for tail percentiles (each bucket is at most
+/// 2× wide, so a reported percentile is within 2× of the true value).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `counts[b]` holds latencies whose µs value has bit-length `b`
+    /// (bucket 0 is exactly 0µs; the last bucket absorbs the open tail).
+    counts: [u64; LatencyHistogram::BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            counts: [0; LatencyHistogram::BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 40;
+
+    fn bucket(us: u64) -> usize {
+        ((u64::BITS - us.leading_zeros()) as usize).min(Self::BUCKETS - 1)
+    }
+
+    /// Record one served batch.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket(us)] += 1;
+        self.total += 1;
+    }
+
+    /// Batches recorded so far.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper bound (µs) of the bucket holding the `p`-quantile sample
+    /// (`0.0 < p <= 1.0`), or `None` when nothing was recorded.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if b == 0 { 0 } else { (1u64 << b) - 1 });
+            }
+        }
+        None
+    }
+
+    /// Median batch latency in µs.
+    pub fn p50_us(&self) -> Option<u64> {
+        self.percentile_us(0.50)
+    }
+
+    /// 95th-percentile batch latency in µs.
+    pub fn p95_us(&self) -> Option<u64> {
+        self.percentile_us(0.95)
+    }
+
+    /// 99th-percentile batch latency in µs.
+    pub fn p99_us(&self) -> Option<u64> {
+        self.percentile_us(0.99)
+    }
+}
+
 /// Counters for everything the robust layer did.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality compares the event counters only — the [`latency`]
+/// histogram is measurement noise by nature, so two stat blocks with the
+/// same counters compare equal regardless of recorded timings (the
+/// fault-injection suite relies on exact counter equality).
+///
+/// [`latency`]: ServeStats::latency
+#[derive(Debug, Clone, Default)]
 pub struct ServeStats {
     /// Batches submitted (including rejected ones).
     pub batches: u64,
@@ -183,7 +263,28 @@ pub struct ServeStats {
     /// Batches whose primary output was incomplete or non-finite and was
     /// replaced by a fallback rescore (NaN scores, short writes).
     pub rescued_outputs: u64,
+    /// Wall-clock latency of every served (non-rejected) batch.
+    pub latency: LatencyHistogram,
 }
+
+impl PartialEq for ServeStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.batches == other.batches
+            && self.primary_batches == other.primary_batches
+            && self.fallback_batches == other.fallback_batches
+            && self.deadline_misses == other.deadline_misses
+            && self.forecast_degrades == other.forecast_degrades
+            && self.fallback_activations == other.fallback_activations
+            && self.recoveries == other.recoveries
+            && self.probes == other.probes
+            && self.sanitized_rows == other.sanitized_rows
+            && self.rejected_batches == other.rejected_batches
+            && self.panics_caught == other.panics_caught
+            && self.rescued_outputs == other.rescued_outputs
+    }
+}
+
+impl Eq for ServeStats {}
 
 impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -205,7 +306,19 @@ impl std::fmt::Display for ServeStats {
             f,
             "sanitized rows {} | rejected batches {} | panics caught {} | rescued outputs {}",
             self.sanitized_rows, self.rejected_batches, self.panics_caught, self.rescued_outputs
-        )
+        )?;
+        if let (Some(p50), Some(p95), Some(p99)) = (
+            self.latency.p50_us(),
+            self.latency.p95_us(),
+            self.latency.p99_us(),
+        ) {
+            write!(
+                f,
+                "\nbatch latency us: p50 <= {p50} | p95 <= {p95} | p99 <= {p99} ({} batches)",
+                self.latency.count()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -328,6 +441,7 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
     /// under [`SanitizePolicy::Reject`].
     pub fn try_score_batch(&mut self, rows: &[f32], out: &mut [f32]) -> Result<(), ScoreError> {
         self.stats.batches += 1;
+        let batch_started = Instant::now();
         let rows = match self.validate_and_sanitize(rows, out.len()) {
             Ok(clean) => clean,
             Err(e) => {
@@ -395,6 +509,7 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
                 *batches_until_probe = batches_until_probe.saturating_sub(1);
             }
         }
+        self.stats.latency.record(batch_started.elapsed());
         Ok(())
     }
 
@@ -832,6 +947,54 @@ mod tests {
             assert_eq!(r.stats().probes, 2);
             assert_eq!(r.stats().panics_caught, 2);
         });
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_bound_the_samples() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.p50_us(), None);
+        // 90 fast batches at ~10µs, 10 slow ones at ~1000µs.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(1000));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50_us().unwrap();
+        let p95 = h.p95_us().unwrap();
+        let p99 = h.p99_us().unwrap();
+        // Bucket upper bounds: 10µs → 15, 1000µs → 1023.
+        assert_eq!(p50, 15);
+        assert_eq!(p95, 1023);
+        assert_eq!(p99, 1023);
+        assert!(p50 <= p95 && p95 <= p99);
+        // Zero-duration batches land in the exact-zero bucket.
+        let mut z = LatencyHistogram::default();
+        z.record(Duration::ZERO);
+        assert_eq!(z.p99_us(), Some(0));
+    }
+
+    #[test]
+    fn served_batches_record_latency_but_equality_ignores_it() {
+        let mut r = RobustScorer::new(Stub::new(1, 0.0), Stub::new(1, 0.0), "r");
+        let mut out = [0.0f32; 2];
+        r.try_score_batch(&[1.0, 2.0], &mut out).unwrap();
+        assert_eq!(r.stats().latency.count(), 1);
+        // Rejected batches are not latency samples.
+        let mut empty: [f32; 0] = [];
+        let _ = r.try_score_batch(&[], &mut empty);
+        assert_eq!(r.stats().latency.count(), 1);
+        // Counter equality disregards the histogram.
+        let expected = ServeStats {
+            batches: 2,
+            primary_batches: 1,
+            rejected_batches: 1,
+            ..ServeStats::default()
+        };
+        assert_eq!(r.stats(), &expected);
+        let text = r.stats().to_string();
+        assert!(text.contains("batch latency us"), "got: {text}");
     }
 
     #[test]

@@ -111,6 +111,350 @@ pub struct GemmWorkspace {
     bpack: Vec<f32>,
 }
 
+/// All `(jc, pc)` panels of one `k×n` B operand packed ahead of time
+/// (`B̃` in the Goto decomposition, destined for L3).
+///
+/// Two call sites motivate this: the parallel row-panel driver packs B
+/// **once** and shares it read-only across workers, and a model whose B
+/// operand is fixed across calls packs at load time instead of inside
+/// every `score_batch`. Panels are packed by the same [`pack_b`] the
+/// serial path uses, so any GEMM built on them is bit-identical to
+/// [`gemm_with`].
+#[derive(Debug, Clone, Default)]
+pub struct PrepackedB {
+    k: usize,
+    n: usize,
+    /// Base parameters the packing was built with.
+    params: GotoParams,
+    /// Effective `n_c` (`rnd_up`-refined for this `n`).
+    nc: usize,
+    /// Effective `k_c` (clamped to `k`).
+    kc: usize,
+    /// Start of panel `(jc_idx · num_pc + pc_idx)` in `data`.
+    offsets: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl PrepackedB {
+    /// Pack the row-major `k×n` slice `b` under `params`. The effective
+    /// `n_c`/`k_c` do not depend on `m`, so one packing serves any A.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != k * n`.
+    pub fn pack(b: &[f32], k: usize, n: usize, params: GotoParams) -> PrepackedB {
+        let mut packed = PrepackedB::default();
+        packed.pack_into(b, k, n, params);
+        packed
+    }
+
+    /// Re-pack in place, reusing the existing allocations — the zero-churn
+    /// path for operands that change every call (e.g. activations).
+    ///
+    /// # Panics
+    /// Panics when `b.len() != k * n`.
+    pub fn pack_into(&mut self, b: &[f32], k: usize, n: usize, params: GotoParams) {
+        assert_eq!(b.len(), k * n, "B must be k×n");
+        // `m` only influences the effective `m_c`; pass MR as a stand-in.
+        let p = params.effective(MR, k.max(1), n.max(1));
+        self.k = k;
+        self.n = n;
+        self.params = params;
+        self.nc = p.nc;
+        self.kc = p.kc;
+        self.offsets.clear();
+        self.data.clear();
+        if k == 0 || n == 0 {
+            return;
+        }
+        let mut jc = 0;
+        while jc < n {
+            let ncb = self.nc.min(n - jc);
+            let strips = ncb.div_ceil(NR);
+            let mut pc = 0;
+            while pc < k {
+                let kcb = self.kc.min(k - pc);
+                let start = self.data.len();
+                self.offsets.push(start);
+                self.data.resize(start + strips * NR * kcb, 0.0);
+                pack_b(b, n, pc, kcb, jc, ncb, &mut self.data[start..]);
+                pc += self.kc;
+            }
+            jc += self.nc;
+        }
+    }
+
+    /// Reduction depth (`k`) this packing was built for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column count (`n`) this packing was built for.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Base parameters this packing was built with.
+    #[inline]
+    pub fn params(&self) -> GotoParams {
+        self.params
+    }
+
+    /// Effective `m_c` grid the serial kernel would use for an `m`-row A
+    /// against this packing — the chunk alignment the parallel driver
+    /// must honour for bit-identical output.
+    #[inline]
+    pub fn effective_mc(&self, m: usize) -> usize {
+        self.params.effective(m, self.k.max(1), self.n.max(1)).mc
+    }
+
+    #[inline]
+    fn num_pc(&self) -> usize {
+        self.k.div_ceil(self.kc)
+    }
+
+    /// Packed panel for column block `jc_idx`, reduction block `pc_idx`.
+    #[inline]
+    fn panel(&self, jc_idx: usize, pc_idx: usize) -> &[f32] {
+        let idx = jc_idx * self.num_pc() + pc_idx;
+        let start = self.offsets[idx];
+        let end = self
+            .offsets
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(self.data.len());
+        &self.data[start..end]
+    }
+}
+
+/// All `(ic, pc)` blocks of one `m×k` A operand packed ahead of time
+/// (`Ã`, destined for L2).
+///
+/// An MLP's weight matrices sit in the A slot of every layer GEMM and
+/// never change between batches, yet the plain entry points re-pack them
+/// on every call; packing once at model-load removes that from the hot
+/// path. Uses the same [`pack_a`] as the serial kernel, so
+/// [`gemm_with_prepacked_a`] is bit-identical to [`gemm_with`].
+#[derive(Debug, Clone, Default)]
+pub struct PrepackedA {
+    m: usize,
+    k: usize,
+    /// Base parameters the packing was built with.
+    params: GotoParams,
+    /// Effective `m_c` (`rnd_up`-refined for this `m`).
+    mc: usize,
+    /// Effective `k_c` (clamped to `k`).
+    kc: usize,
+    /// Start of block `(ic_idx · num_pc + pc_idx)` in `data`.
+    offsets: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl PrepackedA {
+    /// Pack the row-major `m×k` slice `a` under `params`. The effective
+    /// `m_c`/`k_c` do not depend on `n`, so one packing serves any B.
+    ///
+    /// # Panics
+    /// Panics when `a.len() != m * k`.
+    pub fn pack(a: &[f32], m: usize, k: usize, params: GotoParams) -> PrepackedA {
+        assert_eq!(a.len(), m * k, "A must be m×k");
+        // `n` only influences the effective `n_c`; pass NR as a stand-in.
+        let p = params.effective(m.max(1), k.max(1), NR);
+        let mut packed = PrepackedA {
+            m,
+            k,
+            params,
+            mc: p.mc,
+            kc: p.kc,
+            offsets: Vec::new(),
+            data: Vec::new(),
+        };
+        if m == 0 || k == 0 {
+            return packed;
+        }
+        let mut ic = 0;
+        while ic < m {
+            let mcb = packed.mc.min(m - ic);
+            let strips = mcb.div_ceil(MR);
+            let mut pc = 0;
+            while pc < k {
+                let kcb = packed.kc.min(k - pc);
+                let start = packed.data.len();
+                packed.offsets.push(start);
+                packed.data.resize(start + strips * MR * kcb, 0.0);
+                pack_a(a, k, ic, mcb, pc, kcb, &mut packed.data[start..]);
+                pc += packed.kc;
+            }
+            ic += packed.mc;
+        }
+        packed
+    }
+
+    /// Row count (`m`) this packing was built for.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Reduction depth (`k`) this packing was built for.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn num_pc(&self) -> usize {
+        self.k.div_ceil(self.kc)
+    }
+
+    /// Packed block for row block `ic_idx`, reduction block `pc_idx`.
+    #[inline]
+    fn block(&self, ic_idx: usize, pc_idx: usize) -> &[f32] {
+        let idx = ic_idx * self.num_pc() + pc_idx;
+        let start = self.offsets[idx];
+        let end = self
+            .offsets
+            .get(idx + 1)
+            .copied()
+            .unwrap_or(self.data.len());
+        &self.data[start..end]
+    }
+}
+
+/// `C = A·B` with A packed ahead of time (weights-as-A fast path).
+/// B is packed into `ws.bpack` per call; `c` is overwritten. Bit-identical
+/// to [`gemm_with`] under the same `GotoParams` the packing was built
+/// with.
+///
+/// # Panics
+/// Panics when slice lengths disagree with `(pa.m(), pa.k(), n)`.
+pub fn gemm_with_prepacked_a(
+    n: usize,
+    pa: &PrepackedA,
+    b: &[f32],
+    c: &mut [f32],
+    ws: &mut GemmWorkspace,
+) {
+    try_gemm_with_prepacked_a(n, pa, b, c, ws).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// [`gemm_with_prepacked_a`] returning a typed error instead of
+/// panicking.
+///
+/// # Errors
+/// [`GemmShapeError`] when slice lengths disagree with
+/// `(pa.m(), pa.k(), n)`.
+pub fn try_gemm_with_prepacked_a(
+    n: usize,
+    pa: &PrepackedA,
+    b: &[f32],
+    c: &mut [f32],
+    ws: &mut GemmWorkspace,
+) -> Result<(), GemmShapeError> {
+    let (m, k) = (pa.m, pa.k);
+    check_shape("B must be k×n", k * n, b.len())?;
+    check_shape("C must be m×n", m * n, c.len())?;
+    c.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+    // Same loop nest as `try_gemm_with`, with `pack_a` replaced by a
+    // lookup; `n_c` comes from the packing's own parameters so the walk
+    // matches `gemm_with` under those parameters exactly.
+    let nc = pa.params.effective(m, k, n).nc;
+    let kc = pa.kc;
+    ws.bpack.resize(kc * nc, 0.0);
+    let mut jc = 0;
+    while jc < n {
+        let ncb = nc.min(n - jc);
+        let mut pc = 0;
+        let mut pc_idx = 0;
+        while pc < k {
+            let kcb = kc.min(k - pc);
+            pack_b(b, n, pc, kcb, jc, ncb, &mut ws.bpack);
+            let mut ic = 0;
+            let mut ic_idx = 0;
+            while ic < m {
+                let mcb = pa.mc.min(m - ic);
+                let apack = pa.block(ic_idx, pc_idx);
+                macro_kernel(apack, &ws.bpack, c, n, ic, mcb, jc, ncb, kcb);
+                ic += pa.mc;
+                ic_idx += 1;
+            }
+            pc += kc;
+            pc_idx += 1;
+        }
+        jc += nc;
+    }
+    Ok(())
+}
+
+/// Compute C rows `[row0, row0 + c_rows.len()/n)` of `C = A·B` against a
+/// shared [`PrepackedB`], writing only into the caller-supplied row slice
+/// — the per-chunk kernel of the parallel GEMM driver.
+///
+/// `a` is the **full** `m×k` operand; `apack` is per-caller scratch
+/// (per-*thread* in the parallel driver), grown as needed and reused
+/// across calls. Accumulation for each output element runs over `pc`
+/// ascending, exactly as in [`gemm_with`], so when the row chunks tile
+/// `0..m` on multiples of the effective `m_c` the concatenated output is
+/// **bit-identical** to the serial kernel.
+///
+/// # Panics
+/// Panics when `a.len() != m * pb.k()`, `c_rows.len()` is not a multiple
+/// of `pb.n()`, or the row range exceeds `m`.
+pub fn gemm_rows_with(
+    m: usize,
+    row0: usize,
+    a: &[f32],
+    pb: &PrepackedB,
+    c_rows: &mut [f32],
+    apack: &mut Vec<f32>,
+) {
+    let (k, n) = (pb.k, pb.n);
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    if n == 0 {
+        assert!(c_rows.is_empty(), "C must be mrows×n");
+        return;
+    }
+    assert_eq!(c_rows.len() % n, 0, "C must be mrows×n");
+    let mrows = c_rows.len() / n;
+    assert!(row0 + mrows <= m, "row range exceeds m");
+    c_rows.fill(0.0);
+    if mrows == 0 || k == 0 {
+        return;
+    }
+    // The effective m_c of the *global* problem, so in-chunk blocks land
+    // on the same grid the serial kernel uses.
+    let mc = pb.params.effective(m, k, n).mc;
+    apack.resize(mc * pb.kc, 0.0);
+    let mut jc = 0;
+    let mut jc_idx = 0;
+    while jc < n {
+        let ncb = pb.nc.min(n - jc);
+        let mut pc = 0;
+        let mut pc_idx = 0;
+        while pc < k {
+            let kcb = pb.kc.min(k - pc);
+            let bpack = pb.panel(jc_idx, pc_idx);
+            let mut ic = row0;
+            while ic < row0 + mrows {
+                let mcb = mc.min(row0 + mrows - ic);
+                pack_a(a, k, ic, mcb, pc, kcb, apack);
+                // Address C by chunk-local rows: the macro kernel sees the
+                // chunk slice as an `mrows×n` matrix starting at row 0.
+                macro_kernel(apack, bpack, c_rows, n, ic - row0, mcb, jc, ncb, kcb);
+                ic += mc;
+            }
+            pc += pb.kc;
+            pc_idx += 1;
+        }
+        jc += pb.nc;
+        jc_idx += 1;
+    }
+}
+
 /// `C = A·B` with the blocked kernel and default parameters.
 ///
 /// # Panics
@@ -478,6 +822,167 @@ mod tests {
             );
             assert!(naive_gemm(&a, &b).max_abs_diff(&c) < 1e-2);
         }
+    }
+
+    #[test]
+    fn prepacked_a_is_bit_identical_to_gemm_with() {
+        for &(m, k, n) in &[(1, 1, 1), (8, 8, 8), (37, 29, 41), (130, 220, 300)] {
+            let a = Matrix::random(m, k, 1.0, 3);
+            let b = Matrix::random(k, n, 1.0, 4);
+            let mut expect = Matrix::zeros(m, n);
+            let mut ws = GemmWorkspace::default();
+            gemm_with(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                expect.as_mut_slice(),
+                GotoParams::default(),
+                &mut ws,
+            );
+            let pa = PrepackedA::pack(a.as_slice(), m, k, GotoParams::default());
+            assert_eq!(pa.m(), m);
+            assert_eq!(pa.k(), k);
+            let mut got = Matrix::zeros(m, n);
+            gemm_with_prepacked_a(n, &pa, b.as_slice(), got.as_mut_slice(), &mut ws);
+            assert_eq!(
+                expect.as_slice(),
+                got.as_slice(),
+                "({m},{k},{n}) prepacked-A diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn prepacked_a_with_tiny_blocking_is_bit_identical() {
+        let params = GotoParams {
+            mc: 16,
+            nc: 16,
+            kc: 8,
+        };
+        let a = Matrix::random(37, 29, 1.0, 5);
+        let b = Matrix::random(29, 41, 1.0, 6);
+        let mut expect = Matrix::zeros(37, 41);
+        let mut ws = GemmWorkspace::default();
+        gemm_with(
+            37,
+            29,
+            41,
+            a.as_slice(),
+            b.as_slice(),
+            expect.as_mut_slice(),
+            params,
+            &mut ws,
+        );
+        let pa = PrepackedA::pack(a.as_slice(), 37, 29, params);
+        let mut got = Matrix::zeros(37, 41);
+        gemm_with_prepacked_a(41, &pa, b.as_slice(), got.as_mut_slice(), &mut ws);
+        assert_eq!(expect.as_slice(), got.as_slice());
+    }
+
+    #[test]
+    fn prepacked_a_rejects_bad_shapes_with_typed_error() {
+        let pa = PrepackedA::pack(&[1.0; 6], 2, 3, GotoParams::default());
+        let mut c = [0.0f32; 4];
+        assert!(matches!(
+            try_gemm_with_prepacked_a(2, &pa, &[0.0; 5], &mut c, &mut GemmWorkspace::default()),
+            Err(GemmShapeError {
+                what: "B must be k×n",
+                ..
+            })
+        ));
+        assert!(matches!(
+            try_gemm_with_prepacked_a(
+                2,
+                &pa,
+                &[0.0; 6],
+                &mut [0.0; 3],
+                &mut GemmWorkspace::default()
+            ),
+            Err(GemmShapeError {
+                what: "C must be m×n",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn gemm_rows_tiled_on_mc_grid_is_bit_identical_to_serial() {
+        for &(m, k, n, params) in &[
+            (37, 29, 41, GotoParams::default()),
+            (
+                300,
+                64,
+                77,
+                GotoParams {
+                    mc: 32,
+                    nc: 24,
+                    kc: 16,
+                },
+            ),
+            (8, 1, 1, GotoParams::default()),
+        ] {
+            let a = Matrix::random(m, k, 1.0, 7);
+            let b = Matrix::random(k, n, 1.0, 8);
+            let mut expect = Matrix::zeros(m, n);
+            let mut ws = GemmWorkspace::default();
+            gemm_with(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                expect.as_mut_slice(),
+                params,
+                &mut ws,
+            );
+            let pb = PrepackedB::pack(b.as_slice(), k, n, params);
+            assert_eq!(pb.k(), k);
+            assert_eq!(pb.n(), n);
+            let mc = pb.effective_mc(m);
+            let mut got = Matrix::zeros(m, n);
+            let mut apack = Vec::new();
+            // Serial walk over the same chunks the parallel driver uses.
+            let mut row0 = 0;
+            while row0 < m {
+                let rows = mc.min(m - row0);
+                gemm_rows_with(
+                    m,
+                    row0,
+                    a.as_slice(),
+                    &pb,
+                    &mut got.as_mut_slice()[row0 * n..(row0 + rows) * n],
+                    &mut apack,
+                );
+                row0 += rows;
+            }
+            assert_eq!(
+                expect.as_slice(),
+                got.as_slice(),
+                "({m},{k},{n}) row-panel GEMM diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn prepacked_b_pack_into_reuses_allocations() {
+        let params = GotoParams::default();
+        let b1 = Matrix::random(12, 9, 1.0, 10);
+        let mut pb = PrepackedB::pack(b1.as_slice(), 12, 9, params);
+        let once = PrepackedB::pack(b1.as_slice(), 12, 9, params);
+        assert_eq!(pb.data, once.data);
+        // Repack with a different operand and shape: must match a fresh
+        // packing exactly.
+        let b2 = Matrix::random(5, 21, 1.0, 11);
+        pb.pack_into(b2.as_slice(), 5, 21, params);
+        let fresh = PrepackedB::pack(b2.as_slice(), 5, 21, params);
+        assert_eq!(pb.data, fresh.data);
+        assert_eq!(pb.offsets, fresh.offsets);
+        // Degenerate shapes pack to nothing and don't panic.
+        pb.pack_into(&[], 0, 4, params);
+        assert_eq!(pb.n(), 4);
+        assert!(pb.data.is_empty());
     }
 
     #[test]

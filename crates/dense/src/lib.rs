@@ -21,7 +21,10 @@ pub mod gemm;
 pub mod matrix;
 pub mod measure;
 
-pub use gemm::blocked::{gemm, gemm_into, try_gemm_into, try_gemm_with, GotoParams};
+pub use gemm::blocked::{
+    gemm, gemm_into, gemm_rows_with, gemm_with, gemm_with_prepacked_a, try_gemm_into,
+    try_gemm_with, try_gemm_with_prepacked_a, GemmWorkspace, GotoParams, PrepackedA, PrepackedB,
+};
 pub use gemm::naive::naive_gemm;
 pub use gemm::GemmShapeError;
 pub use matrix::Matrix;

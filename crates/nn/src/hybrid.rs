@@ -70,14 +70,16 @@ impl HybridMlp {
         let f = self.input_dim();
         let n = out.len();
         assert_eq!(rows.len(), n * f, "rows must be n × input_dim");
-        // Layer 1: SDMM on the packed batch.
+        // Layer 1: SDMM on the packed batch. The packing buffer lives in
+        // the workspace and is re-filled in place — no allocation per
+        // batch after warm-up.
         transpose_into(rows, n, f, &mut ws.input_fm);
-        let packed = PackedB::pack(&ws.input_fm, f, n);
+        ws.packed_b.pack_into(&ws.input_fm, f, n);
         let m = self.first_weights.rows();
         ws.first_out.resize(m * n, 0.0);
         spmm_xsmm_packed(
             &self.first_weights,
-            &packed,
+            &ws.packed_b,
             &mut ws.first_out,
             &mut ws.spmm,
         );
@@ -113,6 +115,8 @@ impl HybridMlp {
 pub struct HybridWorkspace {
     input_fm: Vec<f32>,
     first_out: Vec<f32>,
+    /// In-place re-packed batch for the SDMM first layer.
+    packed_b: PackedB,
     spmm: SpmmWorkspace,
     mlp: MlpWorkspace,
 }

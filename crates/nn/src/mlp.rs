@@ -2,7 +2,9 @@
 
 use crate::activation::Activation;
 use crate::layer::Linear;
-use dlr_dense::gemm::blocked::{gemm_with, GemmWorkspace, GotoParams};
+use dlr_dense::gemm::blocked::{
+    gemm_with, gemm_with_prepacked_a, GemmWorkspace, GotoParams, PrepackedA,
+};
 
 /// A feed-forward network mapping `input_dim` features to one score.
 ///
@@ -10,10 +12,28 @@ use dlr_dense::gemm::blocked::{gemm_with, GemmWorkspace, GotoParams};
 /// `400×200×200×100` over 136 input features means
 /// `136 → 400 → 200 → 200 → 100 → 1`; [`Mlp::from_hidden`] follows that
 /// notation. Hidden layers use ReLU6, the output layer is linear (§6.1).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Weight matrices sit in the GEMM's A slot and never change between
+/// batches, so constructors pack them once ([`PrepackedA`]) and the
+/// forward pass skips per-call re-packing; mutating weights through
+/// [`Mlp::layers_mut`] drops the cache (rebuild with
+/// [`Mlp::pack_weights`]). Packed and unpacked forwards are bit-identical.
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Linear>,
     activations: Vec<Activation>,
+    /// One [`PrepackedA`] per layer when the cache is valid; empty after
+    /// `layers_mut` (training, pruning) until `pack_weights` runs.
+    packs: Vec<PrepackedA>,
+}
+
+/// Equality is semantic — layers and activations only. The weight-pack
+/// cache is a layout detail: a just-trained (unpacked) model and its
+/// packed serialization round-trip must compare equal.
+impl PartialEq for Mlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.layers == other.layers && self.activations == other.activations
+    }
 }
 
 impl Mlp {
@@ -46,10 +66,7 @@ impl Mlp {
                 Activation::Relu6
             });
         }
-        Mlp {
-            layers,
-            activations,
-        }
+        Mlp::from_parts(layers, activations)
     }
 
     /// Build from explicit layers and activations.
@@ -66,10 +83,36 @@ impl Mlp {
                 "layer shapes must chain"
             );
         }
-        Mlp {
+        let mut mlp = Mlp {
             layers,
             activations,
-        }
+            packs: Vec::new(),
+        };
+        mlp.pack_weights();
+        mlp
+    }
+
+    /// (Re)build the per-layer weight-pack cache. Called by the
+    /// constructors; call it again after mutating weights through
+    /// [`Self::layers_mut`] to restore the packed fast path.
+    pub fn pack_weights(&mut self) {
+        self.packs = self
+            .layers
+            .iter()
+            .map(|l| {
+                PrepackedA::pack(
+                    l.weights.as_slice(),
+                    l.out_features(),
+                    l.in_features(),
+                    GotoParams::default(),
+                )
+            })
+            .collect();
+    }
+
+    /// Whether the weight-pack cache is valid (false after `layers_mut`).
+    pub fn weights_packed(&self) -> bool {
+        self.packs.len() == self.layers.len()
     }
 
     /// Expected input features.
@@ -93,9 +136,12 @@ impl Mlp {
         &self.layers
     }
 
-    /// Mutable layer access (pruning, fine-tuning).
+    /// Mutable layer access (pruning, fine-tuning). Invalidates the
+    /// weight-pack cache — the forward pass falls back to per-call
+    /// packing until [`Self::pack_weights`] is called again.
     #[inline]
     pub fn layers_mut(&mut self) -> &mut [Linear] {
+        self.packs.clear();
         &mut self.layers
     }
 
@@ -150,16 +196,21 @@ impl Mlp {
             } else {
                 before[i - 1].as_slice()
             };
-            gemm_with(
-                m,
-                k,
-                n,
-                layer.weights.as_slice(),
-                a,
-                dst,
-                GotoParams::default(),
-                &mut ws.gemm,
-            );
+            match self.packs.get(i) {
+                // Fast path: weights were packed at model-load.
+                Some(pack) => gemm_with_prepacked_a(n, pack, a, dst, &mut ws.gemm),
+                // Fallback after `layers_mut` (mid-training forwards).
+                None => gemm_with(
+                    m,
+                    k,
+                    n,
+                    layer.weights.as_slice(),
+                    a,
+                    dst,
+                    GotoParams::default(),
+                    &mut ws.gemm,
+                ),
+            }
             layer.add_bias(dst, n);
             act.apply_slice(dst);
             src = &[]; // src only used for i == 0
@@ -292,6 +343,37 @@ mod tests {
         let mut fm = Vec::new();
         transpose_into(&rows, 2, 3, &mut fm);
         assert_eq!(fm, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn packed_and_unpacked_forwards_are_bit_identical() {
+        let mut m = Mlp::from_hidden(7, &[13, 5], 3);
+        assert!(m.weights_packed());
+        let rows: Vec<f32> = (0..7 * 9)
+            .map(|i| ((i * 37) % 11) as f32 / 5.0 - 1.0)
+            .collect();
+        let mut packed = vec![0.0f32; 9];
+        m.score_batch(&rows, &mut packed);
+        // Invalidate the cache (a no-op mutation) and rescore.
+        let _ = m.layers_mut();
+        assert!(!m.weights_packed());
+        let mut unpacked = vec![0.0f32; 9];
+        m.score_batch(&rows, &mut unpacked);
+        assert_eq!(packed, unpacked);
+        // Repacking restores the fast path with the same output.
+        m.pack_weights();
+        assert!(m.weights_packed());
+        let mut repacked = vec![0.0f32; 9];
+        m.score_batch(&rows, &mut repacked);
+        assert_eq!(packed, repacked);
+    }
+
+    #[test]
+    fn equality_ignores_the_pack_cache() {
+        let a = Mlp::from_hidden(5, &[4], 1);
+        let mut b = Mlp::from_hidden(5, &[4], 1);
+        let _ = b.layers_mut(); // drops b's cache without changing weights
+        assert_eq!(a, b);
     }
 
     #[test]

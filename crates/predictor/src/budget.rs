@@ -20,6 +20,7 @@ pub struct BudgetForecast {
     hidden: Vec<usize>,
     safety_factor: f64,
     pruned_first_layer: bool,
+    threads: usize,
 }
 
 impl BudgetForecast {
@@ -31,6 +32,7 @@ impl BudgetForecast {
             hidden,
             safety_factor: 1.0,
             pruned_first_layer: false,
+            threads: 1,
         }
     }
 
@@ -56,17 +58,39 @@ impl BudgetForecast {
         self
     }
 
+    /// Forecast for a scoring engine running on `threads` pool workers:
+    /// predictions divide by the predictor's Amdahl
+    /// [`speedup`](DensePredictor::speedup). `threads` is clamped to ≥ 1;
+    /// the default is 1 (serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Pool workers this forecast assumes.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Predicted wall-clock seconds to score a batch of `num_docs`.
     pub fn forecast_batch_secs(&self, num_docs: usize) -> f64 {
         if num_docs == 0 {
             return 0.0;
         }
         let us_per_doc = if self.pruned_first_layer {
-            self.predictor
-                .predict_pruned_us_per_doc(self.input_dim, &self.hidden, num_docs)
+            self.predictor.predict_pruned_us_per_doc_mt(
+                self.input_dim,
+                &self.hidden,
+                num_docs,
+                self.threads,
+            )
         } else {
-            self.predictor
-                .predict_forward_us_per_doc(self.input_dim, &self.hidden, num_docs)
+            self.predictor.predict_forward_us_per_doc_mt(
+                self.input_dim,
+                &self.hidden,
+                num_docs,
+                self.threads,
+            )
         };
         us_per_doc * 1e-6 * num_docs as f64 * self.safety_factor
     }
@@ -131,6 +155,25 @@ mod tests {
         assert!(!f.fits(100, t.saturating_sub(Duration::from_micros(1))));
         let hook = f.into_forecaster();
         assert_eq!(hook(100), Some(t));
+    }
+
+    #[test]
+    fn threads_shrink_the_forecast_by_the_amdahl_speedup() {
+        let serial = forecast();
+        let parallel = forecast().with_threads(4);
+        assert_eq!(parallel.threads(), 4);
+        let n = 512;
+        let speedup = DensePredictor::paper_i9_9900k().speedup(4);
+        let ratio = serial.forecast_batch_secs(n) / parallel.forecast_batch_secs(n);
+        assert!((ratio - speedup).abs() < 1e-9, "ratio {ratio} vs {speedup}");
+        // threads = 0 is clamped to serial.
+        assert_eq!(
+            forecast().with_threads(0).forecast_batch_secs(n),
+            serial.forecast_batch_secs(n)
+        );
+        // The forecaster closure keeps the thread term.
+        let hook = forecast().with_threads(4).into_forecaster();
+        assert_eq!(hook(n), Some(parallel.forecast_batch(n)));
     }
 
     #[test]

@@ -96,12 +96,38 @@ impl BlockwiseQuickScorer {
             out.len() * self.num_features,
             "batch shape mismatch"
         );
+        let mut buf = Vec::new();
+        self.score_chunk_with(features, out, &mut buf);
+    }
+
+    /// Score a document chunk with caller-owned leaf-index scratch — the
+    /// per-chunk kernel of the parallel BWQS driver.
+    ///
+    /// `features` is the chunk's rows (`out.len() × num_features`); `buf`
+    /// is grown to the largest block's tree count and reused across calls
+    /// (per-thread in the parallel driver, so the hot loop never
+    /// allocates). Each document's score is an independent sum over the
+    /// same block sequence, so any tiling of a batch into chunks is
+    /// **bit-identical** to [`Self::score_batch`] over the whole batch.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn score_chunk_with(&self, features: &[f32], out: &mut [f32], buf: &mut Vec<u64>) {
+        assert_eq!(
+            features.len(),
+            out.len() * self.num_features,
+            "batch shape mismatch"
+        );
         out.fill(self.base_score);
         let max_trees = self.blocks.iter().map(|b| b.num_trees()).max().unwrap_or(0);
-        let mut buf = vec![0u64; max_trees];
+        if buf.len() < max_trees {
+            buf.resize(max_trees, 0);
+        }
+        // Blocks outer, documents inner: one block's condition lists and
+        // leaf tables stay cache-resident while the chunk streams through.
         for block in &self.blocks {
             for (row, o) in features.chunks_exact(self.num_features).zip(out.iter_mut()) {
-                *o += block.score_with(row, &mut buf);
+                *o += block.score_with(row, buf);
             }
         }
     }
@@ -154,6 +180,32 @@ mod tests {
         for row in docs.chunks_exact(4) {
             assert!((bw.score(row) - e.predict(row)).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn chunked_scoring_is_bit_identical_to_whole_batch() {
+        let e = random_ensemble(23, 5, 32, 51);
+        let bw = BlockwiseQuickScorer::compile(&e, 7).unwrap();
+        let docs = random_docs(60, 5, 52);
+        let mut expect = vec![0.0f32; 60];
+        bw.score_batch(&docs, &mut expect);
+        for chunk in [1usize, 8, 13, 60] {
+            let mut got = vec![f32::NAN; 60];
+            let mut buf = Vec::new();
+            let mut d0 = 0;
+            while d0 < 60 {
+                let docs_in = chunk.min(60 - d0);
+                bw.score_chunk_with(
+                    &docs[d0 * 5..(d0 + docs_in) * 5],
+                    &mut got[d0..d0 + docs_in],
+                    &mut buf,
+                );
+                d0 += docs_in;
+            }
+            assert_eq!(expect, got, "chunk={chunk}");
+        }
+        // Empty chunk is a no-op.
+        bw.score_chunk_with(&[], &mut [], &mut Vec::new());
     }
 
     #[test]

@@ -19,4 +19,6 @@ pub mod xsmm;
 
 pub use csr::{CsrMatrix, SparseError};
 pub use naive::{spmm_naive, try_spmm_naive};
-pub use xsmm::{spmm_xsmm, spmm_xsmm_packed, try_spmm_xsmm, PackedB, SpmmWorkspace, SIMD_WIDTH};
+pub use xsmm::{
+    spmm_xsmm, spmm_xsmm_packed, spmm_xsmm_rows, try_spmm_xsmm, PackedB, SpmmWorkspace, SIMD_WIDTH,
+};

@@ -27,7 +27,7 @@ pub const SIMD_WIDTH: usize = 8;
 
 /// `B` packed as `k × N_b × n_b` (Figure 8). The last block of each row is
 /// zero-padded so the kernel never branches on `n % n_b`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PackedB {
     k: usize,
     n: usize,
@@ -41,15 +41,32 @@ impl PackedB {
     /// # Panics
     /// Panics when `b.len() != k * n`.
     pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        let mut packed = PackedB::default();
+        packed.pack_into(b, k, n);
+        packed
+    }
+
+    /// Re-pack in place, reusing the existing allocation — the zero-churn
+    /// path when the dense operand changes every batch (e.g. the input
+    /// activations of a hybrid network's sparse first layer).
+    ///
+    /// # Panics
+    /// Panics when `b.len() != k * n`.
+    pub fn pack_into(&mut self, b: &[f32], k: usize, n: usize) {
         assert_eq!(b.len(), k * n, "B must be k×n");
         let blocks = n.div_ceil(SIMD_WIDTH).max(1);
-        let mut data = vec![0.0f32; k * blocks * SIMD_WIDTH];
+        self.k = k;
+        self.n = n;
+        self.blocks = blocks;
+        // clear + resize is a memset over the old capacity: no fresh
+        // allocation after warm-up, and the padding lanes are zeroed.
+        self.data.clear();
+        self.data.resize(k * blocks * SIMD_WIDTH, 0.0);
         for row in 0..k {
             let src = &b[row * n..(row + 1) * n];
-            let dst = &mut data[row * blocks * SIMD_WIDTH..(row + 1) * blocks * SIMD_WIDTH];
+            let dst = &mut self.data[row * blocks * SIMD_WIDTH..(row + 1) * blocks * SIMD_WIDTH];
             dst[..n].copy_from_slice(src);
         }
-        PackedB { k, n, blocks, data }
     }
 
     /// Packed row `j` as `N_b` contiguous SIMD blocks.
@@ -100,15 +117,39 @@ pub struct SpmmWorkspace {
 pub fn spmm_xsmm_packed(a: &CsrMatrix, b: &PackedB, c: &mut [f32], ws: &mut SpmmWorkspace) {
     let _ = ws;
     assert_eq!(a.cols(), b.k(), "A.cols must equal B rows");
+    assert_eq!(c.len(), a.rows() * b.n(), "C must be m×n");
+    spmm_xsmm_rows(a, b, 0, c);
+}
+
+/// Compute C rows `[row0, row0 + c_rows.len()/n)` of `C = A·B` against a
+/// shared [`PackedB`], writing only into the caller-supplied row slice —
+/// the per-chunk kernel of the parallel SpMM driver.
+///
+/// Each CSR row is independent (its accumulators live on the stack and it
+/// stores to its own `C` row exactly once), so any tiling of `0..m` into
+/// row ranges produces output **bit-identical** to [`spmm_xsmm_packed`]
+/// over the full matrix.
+///
+/// # Panics
+/// Panics when `a.cols() != b.k()`, `c_rows.len()` is not a multiple of
+/// `b.n()`, or the row range exceeds `a.rows()`.
+pub fn spmm_xsmm_rows(a: &CsrMatrix, b: &PackedB, row0: usize, c_rows: &mut [f32]) {
+    assert_eq!(a.cols(), b.k(), "A.cols must equal B rows");
     let n = b.n();
-    assert_eq!(c.len(), a.rows() * n, "C must be m×n");
+    if n == 0 {
+        assert!(c_rows.is_empty(), "C must be mrows×n");
+        return;
+    }
+    assert_eq!(c_rows.len() % n, 0, "C must be mrows×n");
+    let rows = c_rows.len() / n;
+    assert!(row0 + rows <= a.rows(), "row range exceeds A.rows");
 
     let row_ptr = a.row_ptr();
     let col_idx = a.col_idx();
     let values = a.values();
-    for i in 0..a.rows() {
+    for (local, i) in (row0..row0 + rows).enumerate() {
         let (start, end) = (row_ptr[i], row_ptr[i + 1]);
-        let c_row = &mut c[i * n..(i + 1) * n];
+        let c_row = &mut c_rows[local * n..(local + 1) * n];
         if start == end {
             // Inactive row: C_i is zero; no loads, no FMAs.
             c_row.fill(0.0);
@@ -297,6 +338,44 @@ mod tests {
             stacked.extend(part);
         }
         assert_eq!(full, stacked);
+    }
+
+    #[test]
+    fn row_range_kernel_is_bit_identical_to_full_product() {
+        let (_, a) = sparse_random(23, 17, 3, 42);
+        let b = Matrix::random(17, 11, 1.0, 43);
+        let packed = PackedB::pack(b.as_slice(), 17, 11);
+        let mut full = vec![0.0; 23 * 11];
+        let mut ws = SpmmWorkspace::default();
+        spmm_xsmm_packed(&a, &packed, &mut full, &mut ws);
+        // Any tiling of the rows must reproduce the full product exactly.
+        for chunk in [1usize, 4, 7, 23] {
+            let mut got = vec![f32::NAN; 23 * 11];
+            let mut row0 = 0;
+            while row0 < 23 {
+                let rows = chunk.min(23 - row0);
+                spmm_xsmm_rows(&a, &packed, row0, &mut got[row0 * 11..(row0 + rows) * 11]);
+                row0 += rows;
+            }
+            assert_eq!(full, got, "chunk={chunk}");
+        }
+        // Empty range is a no-op.
+        spmm_xsmm_rows(&a, &packed, 5, &mut []);
+    }
+
+    #[test]
+    fn pack_into_reuses_allocation_and_matches_fresh_pack() {
+        let b1 = Matrix::random(6, 10, 1.0, 1);
+        let mut p = PackedB::pack(b1.as_slice(), 6, 10);
+        let cap = p.data.capacity();
+        // Repack a smaller operand in place: no new allocation, identical
+        // layout to a fresh pack (including zeroed padding lanes).
+        let b2 = Matrix::random(4, 5, 1.0, 2);
+        p.pack_into(b2.as_slice(), 4, 5);
+        assert_eq!(p.data.capacity(), cap);
+        let fresh = PackedB::pack(b2.as_slice(), 4, 5);
+        assert_eq!(p.data, fresh.data);
+        assert_eq!((p.k(), p.n(), p.blocks()), (4, 5, 1));
     }
 
     #[test]

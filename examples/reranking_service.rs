@@ -125,6 +125,16 @@ fn main() {
         injected.short_writes.load(Ordering::Relaxed),
     );
     println!("serving stats:\n{}", robust.stats());
+    // The robust layer keeps its own constant-memory latency histogram, so
+    // a long-running service gets tail percentiles without storing every
+    // sample the way replay() does above.
+    let hist = &robust.stats().latency;
+    if let (Some(p50), Some(p95), Some(p99)) = (hist.p50_us(), hist.p95_us(), hist.p99_us()) {
+        println!(
+            "\nrobust-layer histogram over {} batches: p50 <= {p50} us, p95 <= {p95} us, p99 <= {p99} us",
+            hist.count()
+        );
+    }
 }
 
 /// Keep injected-fault panics (caught and absorbed by the robust layer)

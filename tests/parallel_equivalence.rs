@@ -1,0 +1,191 @@
+//! Bit-exact serial-vs-parallel equivalence of the three scoring kernels.
+//!
+//! The parallel engine's whole contract is that pooling changes *nothing*
+//! about the numbers: chunks write disjoint output ranges and reproduce
+//! the serial kernel's accumulation order, so `assert_eq!` on raw `f32`
+//! output — not an epsilon — must hold for every shape, including empty
+//! and one-row batches. The pool itself must also survive worker panics
+//! (surfaced as a typed error, no deadlock) and shut down cleanly.
+
+use distilled_ltr::core::pool::{PoolError, WorkPool};
+use distilled_ltr::core::{par_bwqs, par_gemm, par_gemm_into, par_spmm};
+use distilled_ltr::dense::{gemm_with, GemmWorkspace, GotoParams, Matrix, PrepackedB};
+use distilled_ltr::gbdt::tree::leaf_ref;
+use distilled_ltr::gbdt::{Ensemble, RegressionTree};
+use distilled_ltr::quickscorer::blockwise::BlockwiseQuickScorer;
+use distilled_ltr::sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
+use proptest::prelude::*;
+
+fn sparse_matrix(m: usize, k: usize, keep_every: usize, seed: u64) -> CsrMatrix {
+    let mut d = Matrix::random(m, k, 1.0, seed);
+    for (idx, v) in d.as_mut_slice().iter_mut().enumerate() {
+        if idx % keep_every != 0 {
+            *v = 0.0;
+        }
+    }
+    CsrMatrix::from_dense(&d, 0.0)
+}
+
+/// Depth-2 trees (three internal nodes, four leaves) with varied splits.
+fn small_ensemble(trees: usize, nf: usize, seed: u64) -> Ensemble {
+    let mut e = Ensemble::new(nf, 0.2);
+    for t in 0..trees {
+        let s = seed + t as u64;
+        let f0 = (s % nf as u64) as u32;
+        let f1 = ((s * 3 + 1) % nf as u64) as u32;
+        e.push(RegressionTree::from_raw(
+            vec![f0, f1, f1],
+            vec![
+                (s % 9) as f32 * 0.1,
+                (s % 4) as f32 * 0.2 - 0.3,
+                (s % 6) as f32 * 0.15,
+            ],
+            vec![1, leaf_ref(0), leaf_ref(2)],
+            vec![2, leaf_ref(1), leaf_ref(3)],
+            vec![0.05 * (s % 7) as f32, -0.1, 0.2, -0.03 * (s % 5) as f32],
+        ));
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel GEMM is bit-identical to the serial blocked kernel for
+    /// every shape and thread count, including m = 0 and m = 1.
+    #[test]
+    fn par_gemm_bit_identical(
+        m in 0usize..40, k in 1usize..32, n in 1usize..40,
+        threads in 1usize..5, seed in 0u64..500
+    ) {
+        let a = Matrix::random(m, k, 1.0, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 1);
+        let params = GotoParams::default();
+        let mut expect = vec![0.0f32; m * n];
+        gemm_with(m, k, n, a.as_slice(), b.as_slice(), &mut expect,
+                  params, &mut GemmWorkspace::default());
+        let pool = WorkPool::new(threads);
+        let mut got = vec![f32::NAN; m * n];
+        par_gemm_into(&pool, m, k, n, a.as_slice(), b.as_slice(), &mut got, params).unwrap();
+        prop_assert_eq!(expect, got);
+    }
+
+    /// Parallel SpMM is bit-identical to the serial packed kernel,
+    /// including empty (0-row) and one-row CSR operands.
+    #[test]
+    fn par_spmm_bit_identical(
+        m in 0usize..40, k in 1usize..32, n in 1usize..32,
+        keep in 1usize..8, threads in 1usize..5, seed in 0u64..500
+    ) {
+        let a = sparse_matrix(m, k, keep, seed);
+        let b = Matrix::random(k, n, 1.0, seed + 2);
+        let pb = PackedB::pack(b.as_slice(), k, n);
+        let mut expect = vec![0.0f32; m * n];
+        spmm_xsmm_packed(&a, &pb, &mut expect, &mut SpmmWorkspace::default());
+        let pool = WorkPool::new(threads);
+        let mut got = vec![f32::NAN; m * n];
+        par_spmm(&pool, &a, &pb, &mut got).unwrap();
+        prop_assert_eq!(expect, got);
+    }
+
+    /// Parallel BWQS is bit-identical to the serial batch scorer,
+    /// including empty and single-document batches.
+    #[test]
+    fn par_bwqs_bit_identical(
+        docs in 0usize..80, trees in 1usize..30, nf in 1usize..12,
+        block in 1usize..9, threads in 1usize..5, seed in 0u64..500
+    ) {
+        let e = small_ensemble(trees, nf, seed);
+        let bw = BlockwiseQuickScorer::compile(&e, block).unwrap();
+        let features: Vec<f32> = (0..docs * nf)
+            .map(|i| ((i as u64 * 29 + seed) % 101) as f32 / 101.0)
+            .collect();
+        let mut expect = vec![0.0f32; docs];
+        bw.score_batch(&features, &mut expect);
+        let pool = WorkPool::new(threads);
+        let mut got = vec![f32::NAN; docs];
+        par_bwqs(&pool, &bw, &features, &mut got).unwrap();
+        prop_assert_eq!(expect, got);
+    }
+}
+
+/// Reusing one pool across all three kernels and many calls keeps every
+/// result bit-identical — no state leaks between jobs.
+#[test]
+fn one_pool_serves_all_kernels_repeatedly() {
+    let pool = WorkPool::new(3);
+    let (m, k, n) = (23, 17, 31);
+    let a = Matrix::random(m, k, 1.0, 5);
+    let b = Matrix::random(k, n, 1.0, 6);
+    let params = GotoParams::default();
+    let pb = PrepackedB::pack(b.as_slice(), k, n, params);
+    let mut expect = vec![0.0f32; m * n];
+    gemm_with(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        &mut expect,
+        params,
+        &mut GemmWorkspace::default(),
+    );
+    for _ in 0..5 {
+        let mut got = vec![f32::NAN; m * n];
+        par_gemm(&pool, m, a.as_slice(), &pb, &mut got).unwrap();
+        assert_eq!(expect, got);
+
+        let csr = sparse_matrix(m, k, 3, 7);
+        let spb = PackedB::pack(b.as_slice(), k, n);
+        let mut sp_expect = vec![0.0f32; m * n];
+        spmm_xsmm_packed(&csr, &spb, &mut sp_expect, &mut SpmmWorkspace::default());
+        let mut sp_got = vec![f32::NAN; m * n];
+        par_spmm(&pool, &csr, &spb, &mut sp_got).unwrap();
+        assert_eq!(sp_expect, sp_got);
+    }
+}
+
+/// A panic inside one chunk surfaces as [`PoolError::WorkerPanicked`]
+/// without deadlocking, and the same pool keeps working afterwards.
+#[test]
+fn worker_panic_is_surfaced_and_pool_recovers() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let pool = WorkPool::new(4);
+    let mut out = vec![0.0f32; 64];
+    let err = pool.run_chunks(&mut out, 4, |chunk, _start, _slice| {
+        if chunk == 7 {
+            panic!("injected chunk failure");
+        }
+    });
+    std::panic::set_hook(prev);
+    assert_eq!(err, Err(PoolError::WorkerPanicked));
+
+    // The pool is still usable: a clean job after the panic succeeds.
+    let mut ok_out = vec![0.0f32; 64];
+    pool.run_chunks(&mut ok_out, 4, |_chunk, start, slice| {
+        for (i, v) in slice.iter_mut().enumerate() {
+            *v = (start + i) as f32;
+        }
+    })
+    .unwrap();
+    let expect: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    assert_eq!(ok_out, expect);
+}
+
+/// Dropping a pool with live workers joins them promptly — no deadlock,
+/// no leaked threads blocking process exit.
+#[test]
+fn pool_shutdown_joins_without_deadlock() {
+    for threads in [1, 2, 4, 8] {
+        let pool = WorkPool::new(threads);
+        let mut out = vec![0.0f32; 16];
+        pool.run_chunks(&mut out, 2, |_c, start, slice| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (start + i) as f32 * 2.0;
+            }
+        })
+        .unwrap();
+        drop(pool); // joins all workers; a hang here fails the test via timeout
+    }
+}

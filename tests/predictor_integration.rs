@@ -94,6 +94,7 @@ fn architecture_search_candidates_respect_measured_budgets_in_order() {
         widths: vec![50, 100, 200, 400],
         depths: vec![2, 3],
         batch: 1000,
+        threads: 1,
     };
     let candidates = design_architectures(&p, 136, 3.0, &space);
     assert!(!candidates.is_empty());
