@@ -239,6 +239,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Raw generator state, for checkpointing. Restoring through
+        /// [`StdRng::from_state`] continues the stream bit-exactly.
+        ///
+        /// Not part of upstream `rand`'s API — the workspace's training
+        /// checkpoints need to persist and resume RNG streams, which
+        /// upstream only offers through serde features this vendored
+        /// subset does not carry.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by [`StdRng::state`].
+        /// The state is restored verbatim (no re-seeding), so the first
+        /// draw after restoration equals the draw the captured generator
+        /// would have produced next.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;

@@ -20,11 +20,13 @@
 pub mod augment;
 pub mod direct;
 pub mod hyper;
+pub mod resilient;
 pub mod teacher;
 pub mod trainer;
 
 pub use augment::MidpointSampler;
 pub use direct::{train_direct, DirectConfig, DirectModel, DirectObjective};
 pub use hyper::DistillHyper;
+pub use resilient::{EpochPrep, ResilienceConfig, ResilientReport};
 pub use teacher::Teacher;
 pub use trainer::{DistillConfig, DistillSession, DistilledModel};

@@ -1,0 +1,320 @@
+//! Crash-safe, self-healing distillation epochs.
+//!
+//! [`DistillSession::run_epochs_resilient`] wraps the §3 training loop in
+//! the robustness machinery of `dlr-nn`: every epoch boundary can emit an
+//! atomic, checksummed [`Checkpoint`]; every batch runs under the
+//! divergence guard; a non-finite loss or gradient rolls the epoch back
+//! to its last-good state and retries at a backed-off learning rate; and
+//! on startup the driver recovers from the newest *intact* checkpoint in
+//! the directory, skipping corrupt files.
+//!
+//! Determinism contract: a run interrupted at any epoch boundary and
+//! resumed from its checkpoint produces **bit-identical** final weights
+//! to an uninterrupted run, because the checkpoint captures every piece
+//! of mutable loop state — weights, Adam moments, dropout and shuffle RNG
+//! streams, the synthetic-sampler seed, masks, the frozen prune
+//! threshold, and the guard's LR scale. To make the shuffle stream
+//! self-contained, the resilient loop reshuffles a *fresh identity
+//! permutation* each epoch (the RNG state alone then determines the
+//! order), which is why its trajectories differ from the legacy
+//! cumulative-shuffle [`DistillSession::run_epochs_with`].
+
+use crate::trainer::DistillSession;
+use dlr_nn::train::SgdTrainer;
+use dlr_nn::{
+    Checkpoint, CheckpointManager, FaultInjector, GuardConfig, GuardStats, LayerMasks, Mlp, StepLr,
+    TrainError,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// Robustness knobs for the resilient epoch drivers.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Divergence-guard settings (clipping, backoff, rollback budget).
+    pub guard: GuardConfig,
+    /// Checkpoint every this many epochs (the final epoch always
+    /// checkpoints). `0` disables periodic checkpoints entirely.
+    pub checkpoint_every: usize,
+    /// Checkpoints retained on disk (see [`CheckpointManager`]).
+    pub keep_last: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            guard: GuardConfig::default(),
+            checkpoint_every: 1,
+            keep_last: 3,
+        }
+    }
+}
+
+/// What a resilient run did, beyond the trained weights.
+#[derive(Debug, Clone, Default)]
+pub struct ResilientReport {
+    /// Mean minibatch loss per epoch *executed in this invocation*.
+    pub epoch_loss: Vec<f64>,
+    /// Epoch the run resumed from, when a checkpoint was recovered.
+    pub resumed_from: Option<usize>,
+    /// Guard statistics (anomalies, clips, rollbacks) for this invocation.
+    pub stats: GuardStats,
+    /// Corrupt/unreadable checkpoints skipped during recovery.
+    pub checkpoints_skipped: usize,
+}
+
+/// Per-epoch preparation hook: runs once per epoch *inside* the retry
+/// loop, before any batch, so a rollback replays it on the restored
+/// state. The prune schedule uses it to re-derive masks (and freeze the
+/// Distiller threshold into the checkpointed state on first use).
+pub type EpochPrep<'p> =
+    dyn FnMut(usize, &mut Mlp, &mut SgdTrainer, &mut LayerMasks, &mut Option<f32>) + 'p;
+
+/// Mutable loop state owned by the resilient driver; exactly the fields a
+/// [`Checkpoint`] persists (plus scratch).
+struct LoopState {
+    epoch: usize,
+    lr_scale: f32,
+    synth_seed: u64,
+    rng: StdRng,
+    threshold: Option<f32>,
+    masks: LayerMasks,
+    trainer: SgdTrainer,
+}
+
+impl<'a> DistillSession<'a> {
+    /// Resilient counterpart of [`DistillSession::run_epochs`]: run the
+    /// distillation loop from the newest intact checkpoint in `ckpt_dir`
+    /// (or from scratch) up to `total_epochs`, checkpointing at epoch
+    /// boundaries and self-healing from divergence.
+    ///
+    /// `injector`, when armed, drives the deterministic fault plan (NaN
+    /// batches, simulated crashes, checkpoint corruption) for testing.
+    ///
+    /// # Errors
+    /// [`TrainError::Diverged`] when the rollback budget is exhausted,
+    /// [`TrainError::InjectedCrash`] when the plan crashes the run,
+    /// [`TrainError::Checkpoint`] on checkpoint I/O failures, and
+    /// [`TrainError::Incompatible`] when a recovered checkpoint does not
+    /// match `mlp`'s architecture.
+    pub fn run_epochs_resilient(
+        &self,
+        mlp: &mut Mlp,
+        schedule: &StepLr,
+        total_epochs: usize,
+        res: &ResilienceConfig,
+        ckpt_dir: &Path,
+        injector: Option<&mut FaultInjector>,
+    ) -> Result<ResilientReport, TrainError> {
+        self.run_epochs_resilient_with(mlp, schedule, total_epochs, res, ckpt_dir, injector, None)
+    }
+
+    /// Like [`Self::run_epochs_resilient`] with an epoch-preparation hook
+    /// (how the prune/fine-tune schedule rides the same loop).
+    ///
+    /// # Errors
+    /// See [`Self::run_epochs_resilient`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_epochs_resilient_with(
+        &self,
+        mlp: &mut Mlp,
+        schedule: &StepLr,
+        total_epochs: usize,
+        res: &ResilienceConfig,
+        ckpt_dir: &Path,
+        mut injector: Option<&mut FaultInjector>,
+        mut prep: Option<&mut EpochPrep<'_>>,
+    ) -> Result<ResilientReport, TrainError> {
+        let manager = CheckpointManager::new(ckpt_dir, res.keep_last)?;
+        let mut report = ResilientReport::default();
+
+        // Recover or initialize the full loop state.
+        let (recovered, skipped) = manager.load_latest_valid()?;
+        report.checkpoints_skipped = skipped.len();
+        let mut st = match recovered {
+            Some(ck) => {
+                if !same_architecture(mlp, &ck.mlp) {
+                    return Err(TrainError::Incompatible(format!(
+                        "checkpoint in {} holds a different architecture",
+                        ckpt_dir.display()
+                    )));
+                }
+                report.resumed_from = Some(ck.epoch);
+                *mlp = ck.mlp;
+                let trainer =
+                    SgdTrainer::from_state(mlp, &ck.trainer).map_err(TrainError::Incompatible)?;
+                LoopState {
+                    epoch: ck.epoch,
+                    lr_scale: ck.lr_scale,
+                    synth_seed: ck.synth_seed,
+                    rng: StdRng::from_state(ck.shuffle_rng),
+                    threshold: ck.threshold,
+                    masks: ck.masks,
+                    trainer,
+                }
+            }
+            None => LoopState {
+                epoch: 0,
+                lr_scale: 1.0,
+                synth_seed: self.cfg.seed ^ 0x51_17,
+                rng: StdRng::seed_from_u64(self.cfg.seed),
+                threshold: None,
+                masks: LayerMasks::none(mlp.layers().len()),
+                trainer: SgdTrainer::new(mlp, self.cfg.hyper.dropout, self.cfg.seed ^ 0x7e57),
+            },
+        };
+
+        let f = self.num_features;
+        let n_real = self.real_targets.len();
+        let bs = self.cfg.batch_size.max(2);
+        let synth_per_batch = ((bs as f32 * self.cfg.synthetic_fraction) as usize).min(bs - 1);
+        let real_per_batch = bs - synth_per_batch;
+
+        let mut order: Vec<usize> = (0..n_real).collect();
+        let mut batch_rows: Vec<f32> = Vec::with_capacity(bs * f);
+        let mut batch_targets: Vec<f32> = Vec::with_capacity(bs);
+        let mut synth_raw: Vec<f32> = Vec::new();
+        let mut synth_scores: Vec<f32> = Vec::new();
+        let mut global_step = 0u64;
+
+        while st.epoch < total_epochs {
+            let epoch = st.epoch;
+            // Last-good snapshot: everything a retry must restore.
+            let snap_mlp = mlp.clone();
+            let snap_trainer = st.trainer.export_state();
+            let snap_rng = st.rng.state();
+            let snap_synth = st.synth_seed;
+            let snap_masks = st.masks.clone();
+            let snap_threshold = st.threshold;
+            let base_scale = st.lr_scale;
+            let mut attempts = 0u32;
+
+            let epoch_mean = loop {
+                if let Some(prep) = prep.as_mut() {
+                    prep(
+                        epoch,
+                        mlp,
+                        &mut st.trainer,
+                        &mut st.masks,
+                        &mut st.threshold,
+                    );
+                }
+                let use_masks = (!st.masks.is_empty()).then_some(&st.masks);
+                // Fresh identity permutation: the RNG state alone
+                // determines this epoch's order (checkpointable).
+                for (i, o) in order.iter_mut().enumerate() {
+                    *o = i;
+                }
+                order.shuffle(&mut st.rng);
+                let lr = schedule.lr(epoch) * st.lr_scale;
+                let mut epoch_loss = 0.0f64;
+                let mut batches = 0usize;
+                let mut anomaly = None;
+                for chunk in order.chunks(real_per_batch) {
+                    batch_rows.clear();
+                    batch_targets.clear();
+                    for &d in chunk {
+                        batch_rows.extend_from_slice(&self.real_rows[d * f..(d + 1) * f]);
+                        batch_targets.push(self.real_targets[d]);
+                    }
+                    if synth_per_batch > 0 {
+                        synth_raw.clear();
+                        st.synth_seed = st.synth_seed.wrapping_add(0x9e3779b97f4a7c15);
+                        self.sampler
+                            .sample_batch(synth_per_batch, st.synth_seed, &mut synth_raw);
+                        synth_scores.resize(synth_per_batch, 0.0);
+                        self.teacher.score_batch(&synth_raw, &mut synth_scores);
+                        self.normalizer.apply_matrix(&mut synth_raw);
+                        batch_rows.extend_from_slice(&synth_raw);
+                        batch_targets.extend_from_slice(&synth_scores);
+                    }
+                    let poison = injector
+                        .as_mut()
+                        .is_some_and(|inj| inj.poison_step(global_step));
+                    global_step += 1;
+                    match st.trainer.train_batch_guarded(
+                        mlp,
+                        &batch_rows,
+                        &batch_targets,
+                        lr,
+                        use_masks,
+                        &res.guard,
+                        poison,
+                    ) {
+                        Ok(b) => {
+                            epoch_loss += b.loss;
+                            if b.clipped {
+                                report.stats.clipped_batches += 1;
+                            }
+                            batches += 1;
+                        }
+                        Err(a) => {
+                            anomaly = Some(a);
+                            break;
+                        }
+                    }
+                }
+                match anomaly {
+                    None => break epoch_loss / batches.max(1) as f64,
+                    Some(a) => {
+                        report.stats.record(&a);
+                        if attempts == res.guard.max_rollbacks {
+                            return Err(TrainError::Diverged {
+                                epoch,
+                                rollbacks: attempts,
+                                anomaly: a,
+                            });
+                        }
+                        attempts += 1;
+                        report.stats.rollbacks += 1;
+                        *mlp = snap_mlp.clone();
+                        st.trainer
+                            .import_state(&snap_trainer)
+                            .expect("snapshot matches trainer");
+                        st.rng = StdRng::from_state(snap_rng);
+                        st.synth_seed = snap_synth;
+                        st.masks = snap_masks.clone();
+                        st.threshold = snap_threshold;
+                        st.lr_scale = base_scale * res.guard.lr_backoff.powi(attempts as i32);
+                    }
+                }
+            };
+            report.epoch_loss.push(epoch_mean);
+            st.epoch = epoch + 1;
+
+            let boundary = res.checkpoint_every > 0
+                && (st.epoch % res.checkpoint_every == 0 || st.epoch == total_epochs);
+            if boundary {
+                let ck = Checkpoint {
+                    epoch: st.epoch,
+                    lr_scale: st.lr_scale,
+                    synth_seed: st.synth_seed,
+                    shuffle_rng: st.rng.state(),
+                    threshold: st.threshold,
+                    masks: st.masks.clone(),
+                    trainer: st.trainer.export_state(),
+                    mlp: mlp.clone(),
+                };
+                let path = manager.save(&ck)?;
+                if let Some(inj) = injector.as_mut() {
+                    inj.corrupt_checkpoint(epoch, &path)
+                        .map_err(dlr_nn::CheckpointError::from)?;
+                    if inj.should_crash_after(epoch) {
+                        return Err(TrainError::InjectedCrash { epoch });
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Whether two models have identical layer shapes.
+fn same_architecture(a: &Mlp, b: &Mlp) -> bool {
+    a.layers().len() == b.layers().len()
+        && a.layers().iter().zip(b.layers()).all(|(x, y)| {
+            x.weights.rows() == y.weights.rows() && x.weights.cols() == y.weights.cols()
+        })
+}

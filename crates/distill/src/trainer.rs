@@ -70,15 +70,15 @@ impl DistilledModel {
 
 /// Reusable distillation state for one (teacher, training set) pair.
 pub struct DistillSession<'a> {
-    teacher: &'a dyn Teacher,
-    cfg: DistillConfig,
-    normalizer: Normalizer,
-    sampler: MidpointSampler,
+    pub(crate) teacher: &'a dyn Teacher,
+    pub(crate) cfg: DistillConfig,
+    pub(crate) normalizer: Normalizer,
+    pub(crate) sampler: MidpointSampler,
     /// Normalized real training rows, row-major.
-    real_rows: Vec<f32>,
+    pub(crate) real_rows: Vec<f32>,
     /// Teacher scores of the real rows.
-    real_targets: Vec<f32>,
-    num_features: usize,
+    pub(crate) real_targets: Vec<f32>,
+    pub(crate) num_features: usize,
 }
 
 impl<'a> DistillSession<'a> {

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3) over byte payloads.
+//!
+//! The model and checkpoint files guard their payloads with this checksum
+//! so a torn write (power loss mid-`write`) or bit rot surfaces as a typed
+//! load error instead of silently corrupted weights. CRC-32 detects all
+//! single-byte errors and all burst errors up to 32 bits, which covers the
+//! failure modes of a partially flushed text file.
+
+/// Reflected CRC-32 with the IEEE polynomial, init `0xFFFF_FFFF`, final
+/// XOR `0xFFFF_FFFF` — the same function as zlib's `crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // zlib's reference values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_any_single_byte_flip() {
+        let base = b"dlr checkpoint payload 0123456789".to_vec();
+        let good = crc32(&base);
+        for i in 0..base.len() {
+            let mut bad = base.clone();
+            bad[i] ^= 0x40;
+            assert_ne!(crc32(&bad), good, "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let base = b"layers 3\nw 1 2 3\n".to_vec();
+        let good = crc32(&base);
+        for cut in 0..base.len() {
+            assert_ne!(crc32(&base[..cut]), good, "truncation at {cut} undetected");
+        }
+    }
+}

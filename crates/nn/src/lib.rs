@@ -22,6 +22,9 @@
 
 pub mod activation;
 pub mod adam;
+pub mod checkpoint;
+pub mod checksum;
+pub mod fault;
 pub mod hybrid;
 pub mod init;
 pub mod layer;
@@ -32,11 +35,17 @@ pub mod serialize;
 pub mod train;
 
 pub use activation::Activation;
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointManager, SkippedCheckpoint};
+pub use checksum::crc32;
+pub use fault::{CorruptMode, FaultCounters, FaultInjector, FaultPlan};
 pub use hybrid::HybridMlp;
 pub use layer::Linear;
 pub use mlp::{Mlp, MlpWorkspace};
 pub use quant::{QuantizedLinear, QuantizedMlp};
 pub use scheduler::StepLr;
-pub use serialize::{read_mlp, write_mlp, MlpParseError};
-pub use train::{train_mse, LayerMasks, TrainConfig, TrainReport};
+pub use serialize::{read_mlp, read_mlp_bytes, write_mlp, MlpParseError};
+pub use train::{
+    train_mse, train_mse_resilient, BatchAnomaly, GuardConfig, GuardStats, LayerMasks, TrainConfig,
+    TrainError, TrainReport, TrainerState,
+};

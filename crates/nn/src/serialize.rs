@@ -1,17 +1,28 @@
 //! Plain-text (de)serialization of MLPs.
 //!
 //! Line-oriented, dependency-free, exact `f32` round-trips (shortest-exact
-//! formatting). Format:
+//! formatting). Current format (v2) adds a payload checksum so torn writes
+//! and bit rot are rejected at load time with a typed error:
 //!
 //! ```text
-//! dlr-mlp v1
+//! dlr-mlp v2 crc32 <8-hex> len <payload bytes>
 //! layers <n>
 //! layer <in> <out> <relu|relu6|identity>
 //! w <in floats>        (× out rows)
 //! b <out floats>
 //! ```
+//!
+//! The checksum covers every byte after the header line. Legacy v1 files
+//! (no checksum line) are still accepted by [`read_mlp`]; [`write_mlp`]
+//! always emits v2.
+//!
+//! Loading also *validates* the model: non-finite weights or biases and
+//! layer shapes that do not chain are rejected with line/field context —
+//! the same policy as the LETOR parser's non-finite rejection, so a
+//! corrupted model cannot quietly poison every score it produces.
 
 use crate::activation::Activation;
+use crate::checksum::crc32;
 use crate::layer::Linear;
 use crate::mlp::Mlp;
 use dlr_dense::Matrix;
@@ -22,6 +33,27 @@ use std::io::{BufRead, Write};
 pub enum MlpParseError {
     /// Missing or unknown header.
     BadHeader,
+    /// The payload checksum did not match the header's.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum of the payload actually read.
+        found: u32,
+    },
+    /// The payload byte count did not match the header's (torn write).
+    Truncated {
+        /// Payload length recorded in the header.
+        expected_bytes: usize,
+        /// Bytes actually present after the header.
+        actual_bytes: usize,
+    },
+    /// A weight or bias value was NaN or infinite.
+    NonFinite {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based value index within the line.
+        index: usize,
+    },
     /// A structural line was malformed.
     Malformed {
         /// 1-based line number.
@@ -36,7 +68,21 @@ pub enum MlpParseError {
 impl std::fmt::Display for MlpParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MlpParseError::BadHeader => write!(f, "not a dlr-mlp v1 file"),
+            MlpParseError::BadHeader => write!(f, "not a dlr-mlp file"),
+            MlpParseError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "payload checksum {found:08x} does not match header {expected:08x}"
+            ),
+            MlpParseError::Truncated {
+                expected_bytes,
+                actual_bytes,
+            } => write!(
+                f,
+                "payload is {actual_bytes} bytes, header promised {expected_bytes} (torn write?)"
+            ),
+            MlpParseError::NonFinite { line, index } => {
+                write!(f, "line {line}: value {index} is not finite")
+            }
             MlpParseError::Malformed { line, message } => write!(f, "line {line}: {message}"),
             MlpParseError::Io(m) => write!(f, "i/o error: {m}"),
         }
@@ -68,63 +114,109 @@ fn act_parse(s: &str) -> Option<Activation> {
     }
 }
 
-/// Write `mlp` in the text format.
+/// Write `mlp` in the v2 text format (checksummed payload).
 ///
 /// # Errors
 /// Propagates I/O failures.
 pub fn write_mlp<W: Write>(mlp: &Mlp, mut w: W) -> Result<(), MlpParseError> {
-    writeln!(w, "dlr-mlp v1")?;
-    writeln!(w, "layers {}", mlp.layers().len())?;
+    let mut payload = Vec::new();
+    writeln!(payload, "layers {}", mlp.layers().len())?;
     for (layer, act) in mlp.layers().iter().zip(mlp.activations()) {
         writeln!(
-            w,
+            payload,
             "layer {} {} {}",
             layer.in_features(),
             layer.out_features(),
             act_name(*act)
         )?;
         for r in 0..layer.out_features() {
-            write!(w, "w")?;
+            write!(payload, "w")?;
             for &v in layer.weights.row(r) {
-                write!(w, " {v}")?;
+                write!(payload, " {v}")?;
             }
-            writeln!(w)?;
+            writeln!(payload)?;
         }
-        write!(w, "b")?;
+        write!(payload, "b")?;
         for &v in &layer.bias {
-            write!(w, " {v}")?;
+            write!(payload, " {v}")?;
         }
-        writeln!(w)?;
+        writeln!(payload)?;
     }
+    writeln!(
+        w,
+        "dlr-mlp v2 crc32 {:08x} len {}",
+        crc32(&payload),
+        payload.len()
+    )?;
+    w.write_all(&payload)?;
     Ok(())
 }
 
-/// Read an MLP written by [`write_mlp`].
+/// Read an MLP written by [`write_mlp`] (v2, checksummed) or by the
+/// legacy v1 writer (no checksum).
 ///
 /// # Errors
-/// [`MlpParseError`] on any structural problem.
-pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, MlpParseError> {
-    let mut lines = r.lines();
-    let mut lineno = 0usize;
-    let mut next = |lineno: &mut usize| -> Result<String, MlpParseError> {
-        *lineno += 1;
-        match lines.next() {
-            Some(Ok(l)) => Ok(l),
-            Some(Err(e)) => Err(e.into()),
-            None => Err(MlpParseError::Malformed {
-                line: *lineno,
-                message: "unexpected end of file".into(),
-            }),
+/// [`MlpParseError`] on any structural problem, checksum or length
+/// mismatch, non-finite value, or unchained layer shapes.
+pub fn read_mlp<R: BufRead>(mut r: R) -> Result<Mlp, MlpParseError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    read_mlp_bytes(&bytes)
+}
+
+/// [`read_mlp`] over an in-memory byte slice.
+///
+/// # Errors
+/// Same as [`read_mlp`].
+pub fn read_mlp_bytes(bytes: &[u8]) -> Result<Mlp, MlpParseError> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(MlpParseError::BadHeader)?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| MlpParseError::BadHeader)?;
+    let payload = &bytes[nl + 1..];
+    if header == "dlr-mlp v1" {
+        // Legacy: no checksum to verify.
+    } else if let Some(rest) = header.strip_prefix("dlr-mlp v2 crc32 ") {
+        let (crc_hex, len_part) = rest.split_once(" len ").ok_or(MlpParseError::BadHeader)?;
+        let expected = u32::from_str_radix(crc_hex, 16).map_err(|_| MlpParseError::BadHeader)?;
+        let expected_bytes: usize = len_part.parse().map_err(|_| MlpParseError::BadHeader)?;
+        if payload.len() != expected_bytes {
+            return Err(MlpParseError::Truncated {
+                expected_bytes,
+                actual_bytes: payload.len(),
+            });
         }
+        let found = crc32(payload);
+        if found != expected {
+            return Err(MlpParseError::ChecksumMismatch { expected, found });
+        }
+    } else {
+        return Err(MlpParseError::BadHeader);
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| MlpParseError::Io(format!("payload is not valid UTF-8: {e}")))?;
+    parse_mlp_body(text)
+}
+
+/// Parse the line-oriented body shared by v1 and v2 (everything after the
+/// header line). Line numbers in errors count from the start of the file,
+/// i.e. the first body line is line 2.
+fn parse_mlp_body(text: &str) -> Result<Mlp, MlpParseError> {
+    let mut lines = text.lines();
+    let mut lineno = 1usize; // the header was line 1
+    let mut next = |lineno: &mut usize| -> Result<&str, MlpParseError> {
+        *lineno += 1;
+        lines.next().ok_or(MlpParseError::Malformed {
+            line: *lineno,
+            message: "unexpected end of file".into(),
+        })
     };
     let bad = |line: usize, message: &str| MlpParseError::Malformed {
         line,
         message: message.to_string(),
     };
 
-    if next(&mut lineno)? != "dlr-mlp v1" {
-        return Err(MlpParseError::BadHeader);
-    }
     let count_line = next(&mut lineno)?;
     let num_layers: usize = count_line
         .strip_prefix("layers ")
@@ -146,10 +238,16 @@ pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, MlpParseError> {
                 &format!("expected {expected} values, got {}", vals.len()),
             ));
         }
+        if let Some(i) = vals.iter().position(|v| !v.is_finite()) {
+            return Err(MlpParseError::NonFinite {
+                line: lineno,
+                index: i + 1,
+            });
+        }
         Ok(vals)
     };
 
-    let mut layers = Vec::with_capacity(num_layers);
+    let mut layers: Vec<Linear> = Vec::with_capacity(num_layers);
     let mut activations = Vec::with_capacity(num_layers);
     for _ in 0..num_layers {
         let header = next(&mut lineno)?;
@@ -159,14 +257,28 @@ pub fn read_mlp<R: BufRead>(r: R) -> Result<Mlp, MlpParseError> {
         }
         let in_f: usize = p[1].parse().map_err(|_| bad(lineno, "bad in_features"))?;
         let out_f: usize = p[2].parse().map_err(|_| bad(lineno, "bad out_features"))?;
+        if in_f == 0 || out_f == 0 {
+            return Err(bad(lineno, "layer dimensions must be positive"));
+        }
+        if let Some(prev) = layers.last() {
+            if prev.out_features() != in_f {
+                return Err(bad(
+                    lineno,
+                    &format!(
+                        "layer input width {in_f} does not chain with previous output width {}",
+                        prev.out_features()
+                    ),
+                ));
+            }
+        }
         let act = act_parse(p[3]).ok_or_else(|| bad(lineno, "unknown activation"))?;
         let mut weights = Vec::with_capacity(in_f * out_f);
         for _ in 0..out_f {
             let l = next(&mut lineno)?;
-            weights.extend(parse_floats(&l, "w", in_f, lineno)?);
+            weights.extend(parse_floats(l, "w", in_f, lineno)?);
         }
         let l = next(&mut lineno)?;
-        let bias = parse_floats(&l, "b", out_f, lineno)?;
+        let bias = parse_floats(l, "b", out_f, lineno)?;
         layers.push(Linear {
             weights: Matrix::from_vec(out_f, in_f, weights),
             bias,
@@ -216,6 +328,20 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_files_still_load() {
+        let mlp = Mlp::from_hidden(3, &[4], 9);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        // Rebuild the file as a v1 writer would have: plain header, no
+        // checksum, identical body.
+        let text = String::from_utf8(buf).unwrap();
+        let body = text.split_once('\n').unwrap().1;
+        let v1 = format!("dlr-mlp v1\n{body}");
+        let back = read_mlp(Cursor::new(v1.as_bytes())).unwrap();
+        assert_eq!(mlp, back);
+    }
+
+    #[test]
     fn bad_header_rejected() {
         assert_eq!(
             read_mlp(Cursor::new("pytorch\n")).unwrap_err(),
@@ -224,13 +350,84 @@ mod tests {
     }
 
     #[test]
+    fn payload_byte_flip_rejected_by_checksum() {
+        let mlp = Mlp::from_hidden(4, &[3], 7);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let header_end = buf.iter().position(|&b| b == b'\n').unwrap();
+        let mid = header_end + 1 + (buf.len() - header_end - 1) / 2;
+        buf[mid] ^= 0x01;
+        let err = read_mlp(Cursor::new(&buf)).unwrap_err();
+        assert!(
+            matches!(err, MlpParseError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn torn_write_rejected_by_length() {
+        let mlp = Mlp::from_hidden(4, &[3], 7);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        let err = read_mlp(Cursor::new(&buf)).unwrap_err();
+        assert!(
+            matches!(err, MlpParseError::Truncated { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn non_finite_weights_rejected_with_context() {
+        let mlp = Mlp::from_hidden(2, &[2], 1);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let body = text.split_once('\n').unwrap().1;
+        // Poison the second value of the first weight row, keeping the
+        // header legacy so the checksum does not trip first.
+        let poisoned: Vec<String> = body
+            .lines()
+            .map(|l| {
+                if l.starts_with("w ") {
+                    let mut parts: Vec<&str> = l.split_whitespace().collect();
+                    parts[2] = "NaN";
+                    parts.join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect();
+        let v1 = format!("dlr-mlp v1\n{}\n", poisoned.join("\n"));
+        let err = read_mlp(Cursor::new(v1.as_bytes())).unwrap_err();
+        // Line 4 is the first weight row: header, `layers`, `layer`, `w`.
+        assert_eq!(err, MlpParseError::NonFinite { line: 4, index: 2 });
+    }
+
+    #[test]
+    fn unchained_layer_dims_rejected() {
+        // layer 0 is 2→3 but layer 1 claims 4 inputs.
+        let text = "dlr-mlp v1\nlayers 2\nlayer 2 3 relu6\nw 1 2\nw 3 4\nw 5 6\nb 0 0 0\nlayer 4 1 identity\nw 1 2 3 4\nb 0\n";
+        let err = read_mlp(Cursor::new(text.as_bytes())).unwrap_err();
+        match err {
+            MlpParseError::Malformed { line, message } => {
+                assert_eq!(line, 8);
+                assert!(message.contains("chain"), "{message}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn wrong_row_width_rejected() {
         let mlp = Mlp::from_hidden(2, &[2], 1);
         let mut buf = Vec::new();
         write_mlp(&mlp, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
-        // Drop one value from the first weight row.
-        let corrupted: Vec<String> = text
+        let body = text.split_once('\n').unwrap().1;
+        // Drop one value from the first weight row (as a v1 file, so the
+        // structural error is reached rather than the checksum).
+        let corrupted: Vec<String> = body
             .lines()
             .map(|l| {
                 if l.starts_with("w ") {
@@ -242,7 +439,8 @@ mod tests {
                 }
             })
             .collect();
-        let err = read_mlp(Cursor::new(corrupted.join("\n"))).unwrap_err();
+        let v1 = format!("dlr-mlp v1\n{}", corrupted.join("\n"));
+        let err = read_mlp(Cursor::new(v1.as_bytes())).unwrap_err();
         assert!(matches!(err, MlpParseError::Malformed { .. }));
     }
 

@@ -24,5 +24,8 @@ pub mod schedule;
 pub mod sensitivity;
 
 pub use magnitude::{level_mask, threshold_mask, PruneMethod};
-pub use schedule::{prune_first_layer, PruneConfig, PruneOutcome};
+pub use schedule::{
+    prune_first_layer, prune_first_layer_resilient, PruneConfig, PruneOutcome,
+    ResilientPruneOutcome,
+};
 pub use sensitivity::{dynamic_sensitivity, static_sensitivity, SensitivityCurve};

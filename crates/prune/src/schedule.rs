@@ -11,9 +11,9 @@
 //! [`PruneMethod::Level`] — and is frozen for the fine-tuning phase.
 
 use crate::magnitude::{han_threshold, level_mask, mask_below, mask_sparsity, PruneMethod};
-use dlr_distill::DistillSession;
+use dlr_distill::{DistillSession, ResilienceConfig, ResilientReport};
 use dlr_nn::train::SgdTrainer;
-use dlr_nn::{LayerMasks, Mlp, StepLr};
+use dlr_nn::{FaultInjector, LayerMasks, Mlp, StepLr, TrainError};
 
 /// Configuration for [`prune_first_layer`].
 #[derive(Debug, Clone, Copy)]
@@ -103,7 +103,9 @@ pub fn prune_first_layer(
         };
         sparsity_curve.push(mask_sparsity(&mask));
         masks.set(cfg.layer, mask);
-        masks.apply(mlp);
+        // Zeroes the pruned weights AND their Adam moments — stale
+        // momentum must not resurrect a pruned weight on the next step.
+        trainer.apply_masks(mlp, &masks);
         let losses = session.run_epochs_with(mlp, &mut trainer, &schedule, e..e + 1, Some(&masks));
         epoch_loss.extend(losses);
     }
@@ -125,6 +127,96 @@ pub fn prune_first_layer(
         epoch_loss,
         sparsity_curve,
     }
+}
+
+/// Result of a crash-safe prune/fine-tune run.
+#[derive(Debug, Clone)]
+pub struct ResilientPruneOutcome {
+    /// Achieved sparsity of the pruned layer.
+    pub final_sparsity: f64,
+    /// Sparsity after each pruning epoch *executed in this invocation*.
+    pub sparsity_curve: Vec<f64>,
+    /// Losses, guard statistics and resume provenance.
+    pub report: ResilientReport,
+}
+
+/// Crash-safe variant of [`prune_first_layer`]: the same Table 9
+/// prune/fine-tune schedule, driven through
+/// [`DistillSession::run_epochs_resilient_with`] so every epoch boundary
+/// checkpoints (masks, the frozen Distiller threshold, Adam moments, RNG
+/// streams) and divergence rolls back instead of poisoning the weights.
+/// Invoke again with the same `ckpt_dir` after an interruption to resume
+/// bit-exactly.
+///
+/// The mask re-derivation runs as the epoch-preparation hook, *inside*
+/// the rollback scope: a retried epoch re-derives its mask from the
+/// restored weights, so recovery is deterministic.
+///
+/// # Errors
+/// See [`DistillSession::run_epochs_resilient`].
+///
+/// # Panics
+/// Panics when `cfg.layer` is out of range for `mlp`.
+pub fn prune_first_layer_resilient(
+    session: &DistillSession<'_>,
+    mlp: &mut Mlp,
+    cfg: &PruneConfig,
+    res: &ResilienceConfig,
+    ckpt_dir: &std::path::Path,
+    injector: Option<&mut FaultInjector>,
+) -> Result<ResilientPruneOutcome, TrainError> {
+    assert!(
+        cfg.layer < mlp.layers().len(),
+        "layer {} out of range",
+        cfg.layer
+    );
+    let hyper = session.config().hyper.clone();
+    let schedule = StepLr::new(hyper.learning_rate, hyper.gamma, &hyper.gamma_steps);
+    let total = hyper.prune_epochs + hyper.finetune_epochs;
+    let layer = cfg.layer;
+    let method = cfg.method;
+    // epoch → sparsity; a retried epoch's prep simply overwrites.
+    let mut curve: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+    let mut prep = |epoch: usize,
+                    mlp: &mut Mlp,
+                    trainer: &mut SgdTrainer,
+                    masks: &mut LayerMasks,
+                    threshold: &mut Option<f32>| {
+        if epoch >= hyper.prune_epochs {
+            return; // fine-tune phase: the frozen mask rides in `masks`
+        }
+        let weights = mlp.layers()[layer].weights.as_slice();
+        let mask = match method {
+            PruneMethod::Threshold { sensitivity } => {
+                // Frozen on first use and persisted in every checkpoint,
+                // so resumed runs prune against the same bar.
+                let t = *threshold.get_or_insert_with(|| han_threshold(weights, sensitivity));
+                mask_below(weights, t)
+            }
+            PruneMethod::Level { sparsity } => {
+                let ramp = sparsity * (epoch + 1) as f64 / hyper.prune_epochs as f64;
+                level_mask(weights, ramp)
+            }
+        };
+        curve.insert(epoch, mask_sparsity(&mask));
+        masks.set(layer, mask);
+        trainer.apply_masks(mlp, masks);
+    };
+    let report = session.run_epochs_resilient_with(
+        mlp,
+        &schedule,
+        total,
+        res,
+        ckpt_dir,
+        injector,
+        Some(&mut prep),
+    )?;
+    let sparsity_curve = curve.into_values().collect();
+    Ok(ResilientPruneOutcome {
+        final_sparsity: mlp.layers()[cfg.layer].sparsity(),
+        sparsity_curve,
+        report,
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 
 use distilled_ltr::gbdt::tree::leaf_ref;
 use distilled_ltr::gbdt::{read_ensemble, write_ensemble, Ensemble, RegressionTree};
-use distilled_ltr::nn::{read_mlp, write_mlp, Mlp};
+use distilled_ltr::nn::train::{LayerMasks, SgdTrainer};
+use distilled_ltr::nn::{read_mlp, write_mlp, Checkpoint, Mlp};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -34,6 +35,25 @@ fn mlp_bytes() -> Vec<u8> {
     let mlp = Mlp::from_hidden(5, &[4, 3], 42);
     let mut buf = Vec::new();
     write_mlp(&mlp, &mut buf).unwrap();
+    buf
+}
+
+/// Valid serialized checkpoint to corrupt.
+fn checkpoint_bytes() -> Vec<u8> {
+    let mlp = Mlp::from_hidden(4, &[3], 17);
+    let trainer = SgdTrainer::new(&mlp, 0.1, 3);
+    let ck = Checkpoint {
+        epoch: 2,
+        lr_scale: 1.0,
+        synth_seed: 99,
+        shuffle_rng: [5, 6, 7, 8],
+        threshold: None,
+        masks: LayerMasks::none(2),
+        trainer: trainer.export_state(),
+        mlp,
+    };
+    let mut buf = Vec::new();
+    ck.write_to(&mut buf).unwrap();
     buf
 }
 
@@ -108,10 +128,54 @@ proptest! {
     fn header_survives_any_tail(tail in collection::vec(0u8..=255, 0..256)) {
         // A valid header followed by arbitrary bytes exercises the
         // structural checks past the header fast-path.
-        for header in ["dlr-ensemble v1\n", "dlr-mlp v1\n"] {
+        for header in [
+            "dlr-ensemble v1\n",
+            "dlr-mlp v1\n",
+            "dlr-mlp v2 crc32 deadbeef len 8\n",
+            "dlr-ckpt v1 crc32 deadbeef len 8\n",
+        ] {
             let mut bytes = header.as_bytes().to_vec();
             bytes.extend_from_slice(&tail);
             parsers_must_not_panic(&bytes);
+            let _ = Checkpoint::read_from_bytes(&bytes);
         }
+    }
+
+    #[test]
+    fn v2_payload_flip_is_always_a_typed_error(pos in 0usize..10_000, xor in 1u8..=255) {
+        // The checksummed v2 format upgrades the guarantee from "no
+        // panic" to "any payload corruption is rejected": CRC-32 catches
+        // every single-byte error.
+        let base = mlp_bytes();
+        let payload_start = base.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mut bytes = base.clone();
+        let at = payload_start + pos % (bytes.len() - payload_start);
+        bytes[at] ^= xor;
+        prop_assert!(read_mlp(Cursor::new(&bytes[..])).is_err());
+    }
+
+    #[test]
+    fn v2_truncation_is_always_a_typed_error(cut in 0usize..10_000) {
+        // Any strictly-shorter prefix of a v2 file must be rejected (the
+        // header records the exact payload length).
+        let base = mlp_bytes();
+        let cut = cut % base.len();
+        prop_assert!(read_mlp(Cursor::new(&base[..cut])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_corruption_is_always_a_typed_error(
+        pos in 0usize..100_000,
+        xor in 1u8..=255,
+        cut in 0usize..100_000,
+    ) {
+        let base = checkpoint_bytes();
+        let payload_start = base.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let mut flipped = base.clone();
+        let at = payload_start + pos % (flipped.len() - payload_start);
+        flipped[at] ^= xor;
+        prop_assert!(Checkpoint::read_from_bytes(&flipped).is_err());
+        let cut = cut % base.len();
+        prop_assert!(Checkpoint::read_from_bytes(&base[..cut]).is_err());
     }
 }
