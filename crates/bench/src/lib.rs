@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness for the `repro-*` binaries.
 //!
 //! Every table and figure of the paper's evaluation has a binary in

@@ -212,13 +212,17 @@ impl SpeedupSample {
 /// an `m×k · k×n` problem — the measurement half of the thread-aware
 /// Eq. 3 calibration (the fitting half is
 /// [`dlr_predictor::calibrate::fit_serial_fraction`]).
+///
+/// # Errors
+/// [`PoolError`] when a pool worker panics during the parallel timing
+/// passes (the serial measurement cannot fail).
 pub fn measure_gemm_speedup(
     threads: usize,
     m: usize,
     k: usize,
     n: usize,
     reps: usize,
-) -> SpeedupSample {
+) -> Result<SpeedupSample, PoolError> {
     let a = dlr_dense::Matrix::random(m, k, 1.0, 17);
     let b = dlr_dense::Matrix::random(k, n, 1.0, 18);
     let mut c = vec![0.0f32; m * n];
@@ -231,15 +235,21 @@ pub fn measure_gemm_speedup(
 
     let pool = WorkPool::new(threads);
     let pb = PrepackedB::pack(b.as_slice(), k, n, params);
+    let mut worker_err = None;
     let parallel_secs = median_secs(reps, || {
-        par_gemm(&pool, m, a.as_slice(), &pb, &mut c).expect("parallel GEMM");
+        if let Err(e) = par_gemm(&pool, m, a.as_slice(), &pb, &mut c) {
+            worker_err = Some(e);
+        }
     });
+    if let Some(e) = worker_err {
+        return Err(e);
+    }
 
-    SpeedupSample {
+    Ok(SpeedupSample {
         threads: pool.threads(),
         serial_secs,
         parallel_secs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -392,7 +402,7 @@ mod tests {
 
     #[test]
     fn measure_gemm_speedup_produces_positive_times() {
-        let s = measure_gemm_speedup(2, 32, 16, 32, 2);
+        let s = measure_gemm_speedup(2, 32, 16, 32, 2).expect("no worker panics");
         assert_eq!(s.threads, 2);
         assert!(s.serial_secs > 0.0);
         assert!(s.parallel_secs > 0.0);

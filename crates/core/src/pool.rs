@@ -32,7 +32,7 @@
 //! one output buffer, so no two workers alias.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// Typed failures of a pool dispatch.
@@ -101,6 +101,15 @@ struct Shared {
     done_cv: Condvar,
 }
 
+/// Lock the job slot, recovering from poison. A poisoned slot is still
+/// consistent: every write to it is a single field store, and a worker
+/// panic is already reported through `Slot::panicked`, so recovering the
+/// guard is strictly better than propagating a second panic out of the
+/// scoring hot path.
+fn lock_slot(shared: &Shared) -> MutexGuard<'_, Slot> {
+    shared.slot.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A reusable pool of `threads` workers (including the calling thread).
 /// See the module docs for the design.
 pub struct WorkPool {
@@ -134,15 +143,20 @@ impl WorkPool {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let handles = (1..threads)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dlr-pool-{index}"))
-                    .spawn(move || worker_loop(&shared, index))
-                    .expect("spawning a pool worker")
-            })
-            .collect();
+        let mut handles = Vec::with_capacity(threads - 1);
+        for index in 1..threads {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("dlr-pool-{index}"))
+                .spawn(move || worker_loop(&shared, index));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                // Thread exhaustion degrades to a smaller (still correct)
+                // pool instead of aborting construction mid-serve.
+                Err(_) => break,
+            }
+        }
+        let threads = handles.len() + 1;
         WorkPool {
             shared,
             handles,
@@ -189,7 +203,7 @@ impl WorkPool {
             stride,
         };
         {
-            let mut slot = self.shared.slot.lock().expect("pool mutex");
+            let mut slot = lock_slot(&self.shared);
             debug_assert_eq!(slot.remaining, 0, "one job in flight at a time");
             slot.generation = slot.generation.wrapping_add(1);
             slot.job = Some(job);
@@ -208,9 +222,13 @@ impl WorkPool {
         // Always drain the workers before returning/unwinding: they hold a
         // raw pointer into `f`, which dies with this frame.
         let worker_panicked = {
-            let mut slot = self.shared.slot.lock().expect("pool mutex");
+            let mut slot = lock_slot(&self.shared);
             while slot.remaining != 0 {
-                slot = self.shared.done_cv.wait(slot).expect("pool mutex");
+                slot = self
+                    .shared
+                    .done_cv
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             slot.job = None;
             slot.panicked
@@ -297,7 +315,7 @@ impl WorkPool {
 impl Drop for WorkPool {
     fn drop(&mut self) {
         {
-            let mut slot = self.shared.slot.lock().expect("pool mutex");
+            let mut slot = lock_slot(&self.shared);
             slot.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -322,8 +340,13 @@ impl<T> SendPtr<T> {
     }
 }
 
-// SAFETY: see the struct docs — disjointness is enforced by the callers.
+// SAFETY: a SendPtr crosses threads only inside pool dispatches whose
+// callers hand each worker a provably disjoint region (see the call
+// sites), so moving the pointer to another thread cannot create aliasing.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: shared references to SendPtr only ever read the pointer value
+// via `get`; dereferencing it is a separate `unsafe` audited at each call
+// site against the same disjointness argument as `Send`.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> Clone for SendPtr<T> {
@@ -337,16 +360,26 @@ fn worker_loop(shared: &Shared, index: usize) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut slot = shared.slot.lock().expect("pool mutex");
+            let mut slot = lock_slot(shared);
             loop {
                 if slot.shutdown {
                     return;
                 }
                 if slot.generation != seen {
-                    seen = slot.generation;
-                    break slot.job.expect("generation advanced without a job");
+                    if let Some(job) = slot.job {
+                        seen = slot.generation;
+                        break job;
+                    }
+                    // A generation bump always publishes a job; if the
+                    // invariant ever broke, waiting again is safe (the
+                    // publisher times nothing on this worker until it has
+                    // taken a job).
+                    debug_assert!(slot.job.is_some(), "generation advanced without a job");
                 }
-                slot = shared.work_cv.wait(slot).expect("pool mutex");
+                slot = shared
+                    .work_cv
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -359,11 +392,11 @@ fn worker_loop(shared: &Shared, index: usize) {
                 c += job.stride;
             }
         }));
-        let mut slot = shared.slot.lock().expect("pool mutex");
+        let mut slot = lock_slot(shared);
         if outcome.is_err() {
             slot.panicked = true;
         }
-        slot.remaining -= 1;
+        slot.remaining = slot.remaining.saturating_sub(1);
         if slot.remaining == 0 {
             shared.done_cv.notify_all();
         }

@@ -11,7 +11,9 @@ use dlr_data::Normalizer;
 use dlr_gbdt::Ensemble;
 use dlr_nn::hybrid::HybridWorkspace;
 use dlr_nn::{HybridMlp, Mlp, MlpWorkspace};
-use dlr_quickscorer::{BlockwiseQuickScorer, QuickScorer, VectorizedQuickScorer, WideQuickScorer};
+use dlr_quickscorer::{
+    BlockwiseQuickScorer, QsError, QuickScorer, VectorizedQuickScorer, WideQuickScorer,
+};
 
 /// A named document scorer over raw (unnormalized) feature rows.
 pub trait DocumentScorer {
@@ -75,7 +77,14 @@ impl QuickScorerScorer {
     /// Single-word QuickScorer (trees ≤ 64 leaves), or the wide multi-word
     /// fallback when any tree is larger — mirroring how the paper treats
     /// 256-leaf models as traversable but slower.
-    pub fn compile(ensemble: &Ensemble, label: impl Into<String>) -> QuickScorerScorer {
+    ///
+    /// # Errors
+    /// [`QsError`] when even the wide encoding rejects the ensemble
+    /// (it is empty or has no features).
+    pub fn try_compile(
+        ensemble: &Ensemble,
+        label: impl Into<String>,
+    ) -> Result<QuickScorerScorer, QsError> {
         let nf = ensemble.num_features();
         let variant = match QuickScorer::compile(ensemble) {
             Ok(qs) => {
@@ -83,20 +92,62 @@ impl QuickScorerScorer {
                 QsVariant::Plain(qs, vec![0u64; nt])
             }
             Err(_) => {
-                let qs = WideQuickScorer::compile(ensemble)
-                    .expect("wide encoding accepts any non-empty ensemble");
+                let qs = WideQuickScorer::compile(ensemble)?;
                 let words = qs.num_trees() * qs.words();
                 QsVariant::Wide(qs, vec![0u64; words])
             }
         };
-        QuickScorerScorer {
+        Ok(QuickScorerScorer {
             variant,
             num_features: nf,
             label: label.into(),
-        }
+        })
     }
 
     /// Block-wise variant (BWQS) with the given trees per block.
+    ///
+    /// # Errors
+    /// [`QsError`] when the ensemble cannot be encoded (empty, > 64 leaves).
+    pub fn try_compile_blockwise(
+        ensemble: &Ensemble,
+        trees_per_block: usize,
+        label: impl Into<String>,
+    ) -> Result<QuickScorerScorer, QsError> {
+        let bw = BlockwiseQuickScorer::compile(ensemble, trees_per_block)?;
+        Ok(QuickScorerScorer {
+            variant: QsVariant::Blockwise(bw),
+            num_features: ensemble.num_features(),
+            label: label.into(),
+        })
+    }
+
+    /// Vectorized multi-document variant (vQS).
+    ///
+    /// # Errors
+    /// [`QsError`] when the ensemble cannot be encoded (empty, > 64 leaves).
+    pub fn try_compile_vectorized(
+        ensemble: &Ensemble,
+        label: impl Into<String>,
+    ) -> Result<QuickScorerScorer, QsError> {
+        let v = VectorizedQuickScorer::compile(ensemble)?;
+        Ok(QuickScorerScorer {
+            variant: QsVariant::Vectorized(v),
+            num_features: ensemble.num_features(),
+            label: label.into(),
+        })
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_compile`] for model
+    /// setup code and benchmarks, where an unencodable ensemble is a
+    /// programming error.
+    ///
+    /// # Panics
+    /// Panics when [`Self::try_compile`] errors.
+    pub fn compile(ensemble: &Ensemble, label: impl Into<String>) -> QuickScorerScorer {
+        Self::try_compile(ensemble, label).unwrap_or_else(|e| panic!("quickscorer compile: {e}"))
+    }
+
+    /// Panicking convenience wrapper over [`Self::try_compile_blockwise`].
     ///
     /// # Panics
     /// Panics when the ensemble cannot be encoded (empty, > 64 leaves).
@@ -105,26 +156,16 @@ impl QuickScorerScorer {
         trees_per_block: usize,
         label: impl Into<String>,
     ) -> QuickScorerScorer {
-        let bw = BlockwiseQuickScorer::compile(ensemble, trees_per_block)
-            .expect("blockwise encoding failed");
-        QuickScorerScorer {
-            variant: QsVariant::Blockwise(bw),
-            num_features: ensemble.num_features(),
-            label: label.into(),
-        }
+        Self::try_compile_blockwise(ensemble, trees_per_block, label)
+            .unwrap_or_else(|e| panic!("blockwise compile: {e}"))
     }
 
-    /// Vectorized multi-document variant (vQS).
+    /// Panicking convenience wrapper over [`Self::try_compile_vectorized`].
     ///
     /// # Panics
     /// Panics when the ensemble cannot be encoded (empty, > 64 leaves).
     pub fn compile_vectorized(ensemble: &Ensemble, label: impl Into<String>) -> QuickScorerScorer {
-        let v = VectorizedQuickScorer::compile(ensemble).expect("vQS encoding failed");
-        QuickScorerScorer {
-            variant: QsVariant::Vectorized(v),
-            num_features: ensemble.num_features(),
-            label: label.into(),
-        }
+        Self::try_compile_vectorized(ensemble, label).unwrap_or_else(|e| panic!("vQS compile: {e}"))
     }
 }
 

@@ -49,7 +49,7 @@ pub fn measure_us_per_doc<S: DocumentScorer + ?Sized>(
         pass(scorer);
         samples.push(t.elapsed().as_secs_f64());
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2] / n as f64 * 1e6
 }
 

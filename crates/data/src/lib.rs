@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Learning-to-rank dataset substrate.
 //!
 //! This crate provides everything the rest of the workspace needs to talk

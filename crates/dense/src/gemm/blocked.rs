@@ -421,6 +421,13 @@ pub fn gemm_rows_with(
     assert_eq!(c_rows.len() % n, 0, "C must be mrows×n");
     let mrows = c_rows.len() / n;
     assert!(row0 + mrows <= m, "row range exceeds m");
+    debug_assert!(
+        a[row0 * k..(row0 + mrows) * k]
+            .iter()
+            .all(|v| v.is_finite()),
+        "A rows [{row0}, {}) must be finite",
+        row0 + mrows
+    );
     c_rows.fill(0.0);
     if mrows == 0 || k == 0 {
         return;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Dense matrices and high-performance dense-dense matrix multiplication.
 //!
 //! This crate is the workspace's stand-in for oneDNN's `dnnl_sgemm` (§4.1

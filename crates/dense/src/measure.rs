@@ -48,7 +48,7 @@ pub fn time_gemm(m: usize, k: usize, n: usize, warmup: usize, reps: usize) -> f6
         );
         samples.push(t.elapsed().as_secs_f64());
     }
-    samples.sort_by(|x, y| x.partial_cmp(y).expect("durations are finite"));
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Knowledge distillation of tree ensembles into neural rankers.
 //!
 //! Implements "training by scores approximation" (§3, after Cohen et al.,

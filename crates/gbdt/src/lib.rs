@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Gradient-boosted regression tree ensembles for learning to rank.
 //!
 //! This crate is the workspace's stand-in for LightGBM (§6.1 of the

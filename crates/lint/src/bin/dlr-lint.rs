@@ -1,0 +1,92 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! dlr-lint [--check] [--root DIR] [--config FILE]
+//! ```
+//!
+//! Prints one `file:line: [LINT_ID] message` per finding. Exits 0 when
+//! clean, 2 when there are findings (or the config is invalid). `--check`
+//! is the CI entry point — identical, but spelled out so invocations
+//! self-document intent. Without `--root`, the workspace root is found by
+//! walking up from the current directory to the nearest `lint.toml`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dlr_lint::{lint_workspace, Config};
+
+fn find_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {} // explicit CI spelling; behaviour is identical
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: dlr-lint [--check] [--root DIR] [--config FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dlr-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| find_root(std::env::current_dir().ok()?)) {
+        Some(r) => r,
+        None => {
+            eprintln!("dlr-lint: no lint.toml found here or in any parent directory");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dlr-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dlr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dlr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "dlr-lint: {} finding(s), {} suppressed by allowlist, {} file(s) scanned",
+        report.diagnostics.len(),
+        report.suppressed,
+        report.files_scanned
+    );
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

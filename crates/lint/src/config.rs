@@ -1,0 +1,345 @@
+//! Hand-rolled parser for `lint.toml`.
+//!
+//! The linter is dependency-free, so this is not a general TOML
+//! implementation — it covers exactly the subset the config uses:
+//!
+//! ```toml
+//! [section]
+//! key = "string"
+//! key = [
+//!     "item",        # comment
+//!     "item",
+//! ]
+//!
+//! [[allow]]
+//! lint = "HOTPATH_PANIC"
+//! file = "crates/dense/src/gemm/blocked.rs"
+//! pattern = "unwrap_or_else(|e| panic!"
+//! reason = "documented legacy panicking wrapper; serving uses try_*"
+//! ```
+//!
+//! Unknown sections or keys are errors: a typo in the config must not
+//! silently disable a lint.
+
+use std::fmt;
+
+/// One allowlist entry: suppresses diagnostics of `lint` in `file` whose
+/// source line contains `pattern`. `reason` is mandatory — an allowlist
+/// entry without a justification is itself a config error.
+#[derive(Debug, Clone, Default)]
+pub struct AllowEntry {
+    /// Lint ID string, e.g. `HOTPATH_PANIC`.
+    pub lint: String,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Substring the offending source line must contain.
+    pub pattern: String,
+    /// Why the violation is intended.
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories (relative to the workspace root) to scan.
+    pub include: Vec<String>,
+    /// Path prefixes to skip (vendored code, build output).
+    pub exclude: Vec<String>,
+    /// Hot-path files: panic-freedom lints apply here.
+    pub hot_path: Vec<String>,
+    /// Deterministic files: wall-clock / hash-order / unseeded-RNG lints.
+    pub deterministic: Vec<String>,
+    /// Kernel files: numeric-cast hygiene.
+    pub kernels: Vec<String>,
+    /// Allowlist entries.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// A config parse/validation failure with its `lint.toml` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strip a trailing `# comment` that is outside any quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1, // skip escaped char inside strings
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parse a `"quoted string"`, rejecting anything else.
+fn parse_string(raw: &str, line: u32) -> Result<String, ConfigError> {
+    let raw = raw.trim();
+    let inner = raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| {
+            err(
+                line,
+                format!("expected a double-quoted string, got `{raw}`"),
+            )
+        })?;
+    // The only escape the config needs is `\"`; pass everything else
+    // through verbatim (patterns contain `|`, `!`, `(`…).
+    Ok(inner.replace("\\\"", "\""))
+}
+
+impl Config {
+    /// Parse the config text. See the module docs for the grammar.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Scan,
+            HotPath,
+            Deterministic,
+            Kernels,
+            Allow,
+        }
+        let mut section = Section::None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                section = Section::Allow;
+                cfg.allow.push(AllowEntry::default());
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = match name {
+                    "scan" => Section::Scan,
+                    "hot_path" => Section::HotPath,
+                    "deterministic" => Section::Deterministic,
+                    "kernels" => Section::Kernels,
+                    other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
+                };
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            // Array values may continue over following lines until `]`.
+            let items = if value.starts_with('[') {
+                let mut buf = String::from(value);
+                let mut end = lineno;
+                while !buf.trim_end().ends_with(']') {
+                    match lines.next() {
+                        Some((j, cont)) => {
+                            end = j as u32 + 1;
+                            buf.push(' ');
+                            buf.push_str(strip_comment(cont).trim());
+                        }
+                        None => return Err(err(end, "unterminated array")),
+                    }
+                }
+                let inner = buf
+                    .trim()
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| err(lineno, "malformed array"))?;
+                let mut out = Vec::new();
+                for piece in inner.split(',') {
+                    let piece = piece.trim();
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    out.push(parse_string(piece, lineno)?);
+                }
+                Some(out)
+            } else {
+                None
+            };
+            match (&section, key) {
+                (Section::Scan, "include") => {
+                    cfg.include = items.ok_or_else(|| err(lineno, "include must be an array"))?;
+                }
+                (Section::Scan, "exclude") => {
+                    cfg.exclude = items.ok_or_else(|| err(lineno, "exclude must be an array"))?;
+                }
+                (Section::HotPath, "files") => {
+                    cfg.hot_path = items.ok_or_else(|| err(lineno, "files must be an array"))?;
+                }
+                (Section::Deterministic, "files") => {
+                    cfg.deterministic =
+                        items.ok_or_else(|| err(lineno, "files must be an array"))?;
+                }
+                (Section::Kernels, "files") => {
+                    cfg.kernels = items.ok_or_else(|| err(lineno, "files must be an array"))?;
+                }
+                (Section::Allow, k @ ("lint" | "file" | "pattern" | "reason")) => {
+                    let entry = cfg
+                        .allow
+                        .last_mut()
+                        .ok_or_else(|| err(lineno, "allow key outside [[allow]]"))?;
+                    let v = parse_string(value, lineno)?;
+                    match k {
+                        "lint" => entry.lint = v,
+                        "file" => entry.file = v,
+                        "pattern" => entry.pattern = v,
+                        _ => entry.reason = v,
+                    }
+                }
+                (Section::None, _) => {
+                    return Err(err(lineno, format!("`{key}` outside any section")));
+                }
+                _ => return Err(err(lineno, format!("unknown key `{key}` in this section"))),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        for (i, a) in self.allow.iter().enumerate() {
+            if a.lint.is_empty() || a.file.is_empty() || a.pattern.is_empty() {
+                return Err(err(
+                    0,
+                    format!(
+                        "allow entry #{}: lint, file and pattern are all required",
+                        i + 1
+                    ),
+                ));
+            }
+            if a.reason.trim().is_empty() {
+                return Err(err(
+                    0,
+                    format!(
+                        "allow entry #{} ({} in {}): a non-empty reason is required",
+                        i + 1,
+                        a.lint,
+                        a.file
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Does `path` fall in `set`? Entries ending in `/` are directory
+/// prefixes; anything else must match exactly.
+pub fn in_set(path: &str, set: &[String]) -> bool {
+    set.iter().any(|entry| {
+        if let Some(prefix) = entry.strip_suffix('/') {
+            path.strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with('/'))
+        } else {
+            path == entry
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# comment
+[scan]
+include = ["crates", "src"]
+exclude = ["compat"]
+
+[hot_path]
+files = [
+    "crates/core/src/serve.rs",   # trailing comment
+    "crates/dense/src/",
+]
+
+[deterministic]
+files = ["crates/nn/src/checkpoint.rs"]
+
+[kernels]
+files = []
+
+[[allow]]
+lint = "HOTPATH_PANIC"
+file = "crates/dense/src/gemm/blocked.rs"
+pattern = "unwrap_or_else(|e| panic!"
+reason = "documented legacy wrapper"
+"##;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(SAMPLE).expect("parse");
+        assert_eq!(cfg.include, vec!["crates", "src"]);
+        assert_eq!(cfg.exclude, vec!["compat"]);
+        assert_eq!(cfg.hot_path.len(), 2);
+        assert_eq!(cfg.deterministic, vec!["crates/nn/src/checkpoint.rs"]);
+        assert!(cfg.kernels.is_empty());
+        assert_eq!(cfg.allow.len(), 1);
+        assert_eq!(cfg.allow[0].pattern, "unwrap_or_else(|e| panic!");
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let bad = "[[allow]]\nlint = \"X\"\nfile = \"a.rs\"\npattern = \"p\"\n";
+        let e = Config::parse(bad).expect_err("must fail");
+        assert!(e.message.contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn unknown_section_is_rejected() {
+        let e = Config::parse("[typo]\nfiles = []\n").expect_err("must fail");
+        assert!(e.message.contains("unknown section"), "{e}");
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let e = Config::parse("[hot_path]\nfile = []\n").expect_err("must fail");
+        assert!(e.message.contains("unknown key"), "{e}");
+    }
+
+    #[test]
+    fn set_membership_prefix_vs_exact() {
+        let set = vec!["crates/dense/src/".to_string(), "src/lib.rs".to_string()];
+        assert!(in_set("crates/dense/src/gemm/blocked.rs", &set));
+        assert!(in_set("src/lib.rs", &set));
+        assert!(!in_set("crates/dense/srcx/foo.rs", &set));
+        assert!(!in_set("src/lib2.rs", &set));
+        assert!(!in_set("crates/dense/src", &set));
+    }
+
+    #[test]
+    fn hash_inside_pattern_string_survives() {
+        let cfg = Config::parse(
+            "[[allow]]\nlint = \"L\"\nfile = \"f.rs\"\npattern = \"x # y\"\nreason = \"r\"\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.allow[0].pattern, "x # y");
+    }
+}

@@ -1,0 +1,111 @@
+//! Diagnostics: lint IDs and the machine-readable output format.
+
+use std::fmt;
+
+/// Every lint the checker can emit, with its stable ID string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintId {
+    /// `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in a hot-path
+    /// module.
+    HotpathPanic,
+    /// Slice indexed by an integer literal in a hot-path module.
+    HotpathIndex,
+    /// `unsafe` without a preceding `// SAFETY:` comment.
+    UnsafeNoSafety,
+    /// Crate has no unsafe code but does not `#![forbid(unsafe_code)]`.
+    ForbidUnsafeMissing,
+    /// Wall-clock, hash-order or unseeded-RNG nondeterminism in a
+    /// deterministic path.
+    Nondeterminism,
+    /// Bare `as` float cast in a kernel.
+    FloatCast,
+    /// Float `==`/`!=` against a literal outside tests.
+    FloatEq,
+    /// Allowlist entry that matched nothing (stale config).
+    UnusedAllow,
+}
+
+impl LintId {
+    /// The stable ID string printed between brackets.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintId::HotpathPanic => "HOTPATH_PANIC",
+            LintId::HotpathIndex => "HOTPATH_INDEX",
+            LintId::UnsafeNoSafety => "UNSAFE_NO_SAFETY",
+            LintId::ForbidUnsafeMissing => "FORBID_UNSAFE_MISSING",
+            LintId::Nondeterminism => "NONDETERMINISM",
+            LintId::FloatCast => "FLOAT_CAST",
+            LintId::FloatEq => "FLOAT_EQ",
+            LintId::UnusedAllow => "UNUSED_ALLOW",
+        }
+    }
+
+    /// Every ID, for documentation and config validation.
+    pub const ALL: [LintId; 8] = [
+        LintId::HotpathPanic,
+        LintId::HotpathIndex,
+        LintId::UnsafeNoSafety,
+        LintId::ForbidUnsafeMissing,
+        LintId::Nondeterminism,
+        LintId::FloatCast,
+        LintId::FloatEq,
+        LintId::UnusedAllow,
+    ];
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, formatted as `file:line: [LINT_ID] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Which lint fired.
+    pub lint: LintId,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_machine_readable() {
+        let d = Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 42,
+            lint: LintId::HotpathPanic,
+            message: "`.unwrap()` in a hot-path module".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:42: [HOTPATH_PANIC] `.unwrap()` in a hot-path module"
+        );
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        for (i, a) in LintId::ALL.iter().enumerate() {
+            for b in &LintId::ALL[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! A minimal Rust tokenizer for lint passes.
+//!
+//! The container has no registry access, so `dlr-lint` cannot lean on
+//! `syn` or `proc-macro2`; this hand-rolled lexer covers exactly what the
+//! passes need: identifiers, numeric literals (int vs float), operators,
+//! and brackets, each with a 1-based line number — with string literals
+//! (including raw/byte/C strings), char literals, lifetimes, and comments
+//! stripped out of the token stream so a `panic!` inside a string never
+//! trips a lint. Comments are kept on the side, per line, because the
+//! unsafe-hygiene pass must find `// SAFETY:` text above `unsafe` sites.
+//!
+//! It is a *lexer*, not a parser: passes match on small token windows
+//! (`.` `unwrap`, `as` `f32`, `#` `[` `cfg` `(` `test` …) which is robust
+//! exactly because Rust's token-level grammar is stable even where its
+//! type system is out of reach for a dependency-free tool.
+
+/// What a token is, as far as the lint passes care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `unsafe`, `f32`, …).
+    Ident,
+    /// Integer literal (`0`, `0x1F`, `1_000`, `7usize`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f32`).
+    Float,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Operator or punctuation; multi-char only for `==` / `!=`.
+    Op,
+}
+
+/// One token with its source text and 1-based line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Per-line facts the passes need alongside the token stream.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Line carries at least one token (code, not just comment/blank).
+    pub has_code: bool,
+    /// Line carries (part of) a comment whose text contains `safety`
+    /// case-insensitively (`// SAFETY:`, `/// # Safety`, …).
+    pub safety_comment: bool,
+    /// Line carries (part of) any comment.
+    pub has_comment: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// Indexed by 1-based line number (entry 0 unused).
+    pub lines: Vec<LineInfo>,
+}
+
+impl Lexed<'_> {
+    /// Line info for a 1-based line, or a default for out-of-range lines.
+    pub fn line(&self, line: u32) -> LineInfo {
+        self.lines.get(line as usize).cloned().unwrap_or_default()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    /// Advance past a char boundary-safe identifier starting at `pos`.
+    fn eat_ident(&mut self) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.src[self.pos..].chars().next() {
+            if is_ident_continue(c) {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        &self.src[start..self.pos]
+    }
+}
+
+/// Tokenize `src`, stripping comments/strings/chars and recording
+/// per-line comment facts.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let line_count = src.lines().count() + 2;
+    let mut out = Lexed {
+        tokens: Vec::new(),
+        lines: vec![LineInfo::default(); line_count],
+    };
+    let mut cur = Cursor {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => lex_line_comment(&mut cur, &mut out),
+            b'/' if cur.peek_at(1) == Some(b'*') => lex_block_comment(&mut cur, &mut out),
+            b'"' => lex_string(&mut cur, false, 0),
+            b'\'' => lex_char_or_lifetime(&mut cur, &mut out),
+            b'0'..=b'9' => lex_number(&mut cur, &mut out),
+            _ => {
+                let c = match cur.src[cur.pos..].chars().next() {
+                    Some(c) => c,
+                    None => break,
+                };
+                if is_ident_start(c) {
+                    lex_ident_or_prefixed_string(&mut cur, &mut out);
+                } else {
+                    // Operator/punctuation; fuse `==` and `!=`.
+                    let start = cur.pos;
+                    cur.bump();
+                    if (b == b'=' || b == b'!') && cur.peek() == Some(b'=') {
+                        cur.bump();
+                    }
+                    push(&mut out, TokKind::Op, &cur.src[start..cur.pos], line);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push<'a>(out: &mut Lexed<'a>, kind: TokKind, text: &'a str, line: u32) {
+    if let Some(info) = out.lines.get_mut(line as usize) {
+        info.has_code = true;
+    }
+    out.tokens.push(Token { kind, text, line });
+}
+
+fn mark_comment(out: &mut Lexed<'_>, line: u32, text: &str) {
+    let safety = text.to_ascii_lowercase().contains("safety");
+    if let Some(info) = out.lines.get_mut(line as usize) {
+        info.has_comment = true;
+        info.safety_comment |= safety;
+    }
+}
+
+fn lex_line_comment<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let start = cur.pos;
+    let line = cur.line;
+    while let Some(b) = cur.peek() {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    mark_comment(out, line, &cur.src[start..cur.pos]);
+}
+
+fn lex_block_comment<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    // Nested block comments, marking every covered line.
+    let mut depth = 0usize;
+    let mut line_start = cur.pos;
+    loop {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+                if depth == 0 {
+                    break;
+                }
+            }
+            (Some(b'\n'), _) => {
+                let line = cur.line;
+                mark_comment(out, line, &cur.src[line_start..cur.pos]);
+                cur.bump();
+                line_start = cur.pos;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break, // unterminated; tolerate
+        }
+    }
+    let line = cur.line;
+    mark_comment(out, line, &cur.src[line_start..cur.pos]);
+}
+
+/// A string literal body starting at the opening quote. `raw` disables
+/// escape processing; raw strings end at `"` followed by `hashes` `#`s.
+fn lex_string(cur: &mut Cursor<'_>, raw: bool, hashes: usize) {
+    cur.bump(); // opening quote
+    if raw {
+        while cur.peek().is_some() {
+            if cur.peek() == Some(b'"') {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if cur.peek_at(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return;
+                }
+            }
+            cur.bump();
+        }
+        return;
+    }
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump(); // skip escaped char
+            }
+            b'"' => return,
+            _ => {}
+        }
+    }
+}
+
+fn lex_char_or_lifetime<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    // `'a` / `'static` are lifetimes; `'a'`, `'\n'`, `'\u{1F600}'` chars.
+    let line = cur.line;
+    let start = cur.pos;
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal.
+            cur.bump();
+            cur.bump(); // escape head (n, ', u, x, …)
+            while let Some(b) = cur.peek() {
+                cur.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+        }
+        Some(_) => {
+            let c = cur.src[cur.pos..].chars().next().unwrap_or('\0');
+            if is_ident_start(c) && cur.peek_at(c.len_utf8()) != Some(b'\'') {
+                // Lifetime: consume the identifier.
+                cur.eat_ident();
+                push(out, TokKind::Lifetime, &cur.src[start..cur.pos], line);
+            } else {
+                // Plain char literal like 'a' or '€'.
+                cur.pos += c.len_utf8();
+                if cur.peek() == Some(b'\'') {
+                    cur.bump();
+                }
+            }
+        }
+        None => {}
+    }
+}
+
+fn lex_number<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let line = cur.line;
+    let start = cur.pos;
+    let radix_prefixed = cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        );
+    if radix_prefixed {
+        cur.bump();
+        cur.bump();
+        while let Some(b) = cur.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        push(out, TokKind::Int, &cur.src[start..cur.pos], line);
+        return;
+    }
+    let mut is_float = false;
+    while let Some(b) = cur.peek() {
+        if b.is_ascii_digit() || b == b'_' {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part — only when followed by a digit, so `1..n` ranges
+    // and `x.0` tuple fields (lexed after a previous `.` token) stay ints.
+    let after_dot_is_digit =
+        cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit());
+    let prev_is_dot = matches!(
+        out.tokens.last(),
+        Some(Token {
+            kind: TokKind::Op,
+            text: ".",
+            ..
+        })
+    );
+    if after_dot_is_digit && !prev_is_dot {
+        is_float = true;
+        cur.bump(); // the dot
+        while let Some(b) = cur.peek() {
+            if b.is_ascii_digit() || b == b'_' {
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e' | b'E')) {
+        let sign = matches!(cur.peek_at(1), Some(b'+' | b'-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek_at(digit_at).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            while let Some(b) = cur.peek() {
+                if b.is_ascii_digit() || b == b'_' {
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Suffix (`f32`, `usize`, …) — attaches to the literal.
+    if cur.src[cur.pos..]
+        .chars()
+        .next()
+        .is_some_and(is_ident_start)
+    {
+        let suffix = cur.eat_ident();
+        if suffix.starts_with('f') {
+            is_float = true;
+        }
+    }
+    let kind = if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    };
+    push(out, kind, &cur.src[start..cur.pos], line);
+}
+
+fn lex_ident_or_prefixed_string<'a>(cur: &mut Cursor<'a>, out: &mut Lexed<'a>) {
+    let line = cur.line;
+    let start = cur.pos;
+    let ident = cur.eat_ident();
+    // String prefixes: r"", r#""#, b"", br#""#, c"", cr#""#.
+    if matches!(ident, "r" | "b" | "br" | "c" | "cr") {
+        let raw = ident.contains('r') && ident != "c";
+        let mut hashes = 0usize;
+        if raw {
+            while cur.peek_at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+        }
+        if cur.peek_at(hashes) == Some(b'"') {
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            lex_string(cur, raw, hashes);
+            return;
+        }
+        if ident == "r" && hashes >= 1 {
+            // Raw identifier `r#ident`: skip the `#`, lex the identifier.
+            cur.bump();
+            let raw_ident = cur.eat_ident();
+            push(out, TokKind::Ident, raw_ident, line);
+            return;
+        }
+    }
+    push(out, TokKind::Ident, &cur.src[start..cur.pos], line);
+}
+
+/// 1-based line ranges (inclusive) covered by `#[cfg(test)] mod … { … }`
+/// blocks, used by passes that only apply outside tests.
+pub fn test_mod_ranges(lx: &Lexed<'_>) -> Vec<(u32, u32)> {
+    let toks = &lx.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].text == "#"
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+            && toks[i + 4].text == "test"
+            && toks[i + 5].text == ")"
+            && toks[i + 6].text == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Scan forward to `mod <name> {`, skipping further attributes.
+        let mut j = i + 7;
+        while j < toks.len() && toks[j].text != "mod" && toks[j].text != "fn" {
+            j += 1;
+        }
+        // Find the opening brace of the item, then match it.
+        while j < toks.len() && toks[j].text != "{" {
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let mut depth = 0i64;
+        let mut end_line = toks[j].line;
+        while j < toks.len() {
+            match toks[j].text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = toks[j].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+/// True when `line` falls in any of `ranges` (inclusive).
+pub fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().map(|t| t.text.to_string()).collect()
+    }
+
+    #[test]
+    fn strings_chars_comments_are_stripped() {
+        let src = r####"
+            let a = "has panic! inside"; // a panic! comment
+            let b = 'x';
+            let c = r#"raw "panic!" body"#;
+            /* block panic!
+               over lines */
+            let d = b"bytes";
+        "####;
+        let t = texts(src);
+        assert!(!t.iter().any(|s| s.contains("panic")), "{t:?}");
+        assert!(t.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<&str> = t
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let t = lex("let x = 1 + 2.0 + 1e-3 + 0x1F + 7usize + 2f32 + v.0;");
+        let kinds: Vec<(String, TokKind)> = t
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.to_string(), t.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("1".into(), TokKind::Int),
+                ("2.0".into(), TokKind::Float),
+                ("1e-3".into(), TokKind::Float),
+                ("0x1F".into(), TokKind::Int),
+                ("7usize".into(), TokKind::Int),
+                ("2f32".into(), TokKind::Float),
+                ("0".into(), TokKind::Int), // tuple field, not 0.;
+            ]
+        );
+    }
+
+    #[test]
+    fn tuple_field_chains_stay_integers() {
+        let t = lex("let y = x.0.1;");
+        let nums: Vec<(String, TokKind)> = t
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.to_string(), t.kind))
+            .collect();
+        assert_eq!(
+            nums,
+            vec![("0".into(), TokKind::Int), ("1".into(), TokKind::Int)]
+        );
+    }
+
+    #[test]
+    fn line_numbers_and_comment_flags() {
+        let src = "let a = 1;\n// SAFETY: fine\nunsafe { x() }\n";
+        let t = lex(src);
+        let unsafe_tok = t.tokens.iter().find(|t| t.text == "unsafe").expect("tok");
+        assert_eq!(unsafe_tok.line, 3);
+        assert!(t.line(2).safety_comment);
+        assert!(!t.line(2).has_code);
+        assert!(t.line(1).has_code);
+    }
+
+    #[test]
+    fn eq_ops_are_fused() {
+        let t = lex("if a == 1.0 || b != 2 {}");
+        let ops: Vec<&str> = t
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Op)
+            .map(|t| t.text)
+            .collect();
+        assert!(ops.contains(&"=="));
+        assert!(ops.contains(&"!="));
+    }
+
+    #[test]
+    fn cfg_test_mod_ranges_cover_the_block() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lx = lex(src);
+        let r = test_mod_ranges(&lx);
+        assert_eq!(r, vec![(2, 5)]);
+        assert!(in_ranges(&r, 4));
+        assert!(!in_ranges(&r, 6));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_identifiers() {
+        let t = texts("let r#type = 1;");
+        assert!(t.contains(&"type".to_string()));
+    }
+}

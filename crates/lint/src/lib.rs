@@ -1,0 +1,46 @@
+#![forbid(unsafe_code)]
+//! `dlr-lint` — a dependency-free workspace invariant checker.
+//!
+//! The paper's pipeline only works because every stage is bit-reproducible
+//! (distill → prune → fine-tune replays exactly; resume equals
+//! uninterrupted; parallel equals serial) and because the serving hot path
+//! never panics. Those invariants used to live in tests and reviewer
+//! memory; this crate makes them machine-checked on every commit.
+//!
+//! Four passes, configured by `lint.toml` at the workspace root:
+//!
+//! | Lint ID | What it enforces |
+//! |---|---|
+//! | `HOTPATH_PANIC` | No `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in hot-path modules |
+//! | `HOTPATH_INDEX` | No slice-indexing-by-literal in hot-path modules |
+//! | `UNSAFE_NO_SAFETY` | Every `unsafe` preceded by a `// SAFETY:` comment |
+//! | `FORBID_UNSAFE_MISSING` | Crates with zero unsafe declare `#![forbid(unsafe_code)]` |
+//! | `NONDETERMINISM` | No wall clock / hash-order / unseeded RNG in deterministic paths |
+//! | `FLOAT_CAST` | No bare `as` float casts in kernels (use `dlr-num`) |
+//! | `FLOAT_EQ` | No float `==` against literals outside tests |
+//! | `UNUSED_ALLOW` | Allowlist entries must match something |
+//!
+//! The container has no registry access, so there is no `syn` here: a
+//! [`lexer`] strips strings/chars/comments and hands the passes plain
+//! tokens with `file:line` spans. Diagnostics print as
+//! `file:line: [LINT_ID] message` — greppable, CI-parseable.
+//!
+//! Run it over the workspace:
+//!
+//! ```text
+//! cargo run -p dlr-lint --release -- --check
+//! ```
+//!
+//! Library entry points: [`Config::parse`], [`lint_file`] (one file,
+//! pass-selection by path), [`lint_workspace`] (the full sweep with
+//! allowlist filtering and cross-file checks).
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod workspace;
+
+pub use config::{AllowEntry, Config, ConfigError};
+pub use diag::{Diagnostic, LintId};
+pub use workspace::{apply_allowlist, collect_files, lint_file, lint_workspace, Report};

@@ -1,0 +1,412 @@
+//! The four lint passes, each a pure function over one file's tokens.
+//!
+//! Every pass receives the lexed file, the set of `#[cfg(test)]` line
+//! ranges, and pushes [`Diagnostic`]s. Whether a pass applies to a file
+//! at all is decided by the caller from `lint.toml`'s module sets; the
+//! passes themselves are config-free and unit-testable on snippets.
+
+use crate::diag::{Diagnostic, LintId};
+use crate::lexer::{in_ranges, Lexed, TokKind, Token};
+
+fn diag(out: &mut Vec<Diagnostic>, file: &str, line: u32, lint: LintId, message: String) {
+    out.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        lint,
+        message,
+    });
+}
+
+/// Integer-type names for cast detection.
+const INT_TYPES: [&str; 12] = [
+    "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+];
+
+/// **Pass 1 — hot-path panic-freedom.**
+///
+/// In designated hot-path modules, flags `.unwrap()` / `.expect(…)`,
+/// `panic!` / `todo!` / `unimplemented!`, and slices indexed by integer
+/// literals. Shape `assert!`s are deliberately allowed: they encode input
+/// contracts, while the banned forms encode *absence* of error handling.
+/// Test modules are exempt.
+pub fn panic_freedom(lx: &Lexed<'_>, file: &str, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_ranges(tests, t.line) {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].kind == TokKind::Op && toks[i - 1].text == ".";
+        let next_bang = toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Op && n.text == "!");
+        match t.text {
+            "unwrap" | "expect" if prev_dot => diag(
+                out,
+                file,
+                t.line,
+                LintId::HotpathPanic,
+                format!(
+                    "`.{}()` can panic in a hot-path module; use the try_* typed-error API \
+                     (or add a justified [[allow]] entry in lint.toml)",
+                    t.text
+                ),
+            ),
+            "panic" | "todo" | "unimplemented" if next_bang => diag(
+                out,
+                file,
+                t.line,
+                LintId::HotpathPanic,
+                format!(
+                    "`{}!` in a hot-path module; return a typed error instead \
+                     (or add a justified [[allow]] entry in lint.toml)",
+                    t.text
+                ),
+            ),
+            _ => {}
+        }
+    }
+    // Slice indexing by literal: `expr[<int>]` where expr ends in an
+    // identifier, `)` or `]`.
+    for i in 1..toks.len() {
+        let t = toks[i];
+        if t.kind != TokKind::Op || t.text != "[" || in_ranges(tests, t.line) {
+            continue;
+        }
+        let prev = toks[i - 1];
+        let indexable = prev.kind == TokKind::Ident
+            || (prev.kind == TokKind::Op && (prev.text == ")" || prev.text == "]"));
+        let lit_index = toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Int)
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokKind::Op && n.text == "]");
+        if indexable && lit_index {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::HotpathIndex,
+                format!(
+                    "slice indexed by literal `[{}]` can panic in a hot-path module; \
+                     use .first()/.get()/array patterns",
+                    toks[i + 1].text
+                ),
+            );
+        }
+    }
+}
+
+/// **Pass 2 — unsafe hygiene (per-file half).**
+///
+/// Every `unsafe` block, fn, or impl must be preceded by a comment
+/// containing `SAFETY` (accepting `// SAFETY:` and `/// # Safety` doc
+/// sections). The search walks upward from the `unsafe` token, skipping
+/// blank lines and lines of the same unfinished statement, and stops at
+/// the previous statement boundary (`;`, `{` or `}` on a code line).
+/// `unsafe fn(...)` *pointer types* are not flagged — they declare a
+/// contract, they don't discharge one.
+pub fn unsafe_hygiene(lx: &Lexed<'_>, file: &str, raw_lines: &[&str], out: &mut Vec<Diagnostic>) {
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe fn(` is a function-pointer type, not a definition.
+        let next = toks.get(i + 1);
+        let next2 = toks.get(i + 2);
+        if next.is_some_and(|n| n.text == "fn") && next2.is_some_and(|n| n.text == "(") {
+            continue;
+        }
+        if has_preceding_safety_comment(lx, raw_lines, t.line) {
+            continue;
+        }
+        diag(
+            out,
+            file,
+            t.line,
+            LintId::UnsafeNoSafety,
+            "`unsafe` without a preceding `// SAFETY:` comment explaining why the \
+             invariants hold"
+                .to_string(),
+        );
+    }
+}
+
+fn has_preceding_safety_comment(lx: &Lexed<'_>, raw_lines: &[&str], line: u32) -> bool {
+    // Same line: `// SAFETY: …` above a wrapped statement still ends up
+    // on an earlier line, so only look upward.
+    let mut l = line.saturating_sub(1);
+    let floor = line.saturating_sub(10).max(1);
+    while l >= floor && l >= 1 {
+        let info = lx.line(l);
+        if info.safety_comment {
+            return true;
+        }
+        if info.has_code {
+            // A code line that completes an earlier statement ends the
+            // search; a continuation line (e.g. `let slice =`) does not.
+            let text = raw_lines.get(l as usize - 1).copied().unwrap_or("");
+            if text.contains(';') || text.contains('}') || text.contains('{') {
+                return false;
+            }
+        }
+        if l == 1 {
+            break;
+        }
+        l -= 1;
+    }
+    false
+}
+
+/// **Pass 3 — determinism.**
+///
+/// In kernel / serialization / checkpoint paths, wall-clock reads,
+/// hash-order iteration, and unseeded RNG construction all break the
+/// bit-exact replay guarantees (resume-equals-uninterrupted, parallel-
+/// equals-serial). Test modules are exempt — tests may time things.
+pub fn determinism(lx: &Lexed<'_>, file: &str, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    for t in &lx.tokens {
+        if t.kind != TokKind::Ident || in_ranges(tests, t.line) {
+            continue;
+        }
+        let message = match t.text {
+            "Instant" | "SystemTime" => format!(
+                "`{}` reads the wall clock in a deterministic path; inject time from the \
+                 caller or move the timing out of this module",
+                t.text
+            ),
+            "HashMap" | "HashSet" => format!(
+                "`{}` iteration order is nondeterministic; use a Vec, BTreeMap or BTreeSet \
+                 so replay stays bit-exact",
+                t.text
+            ),
+            "thread_rng" | "from_entropy" => format!(
+                "`{}` constructs an unseeded RNG; use StdRng::seed_from_u64 with a recorded \
+                 seed",
+                t.text
+            ),
+            _ => continue,
+        };
+        diag(out, file, t.line, LintId::Nondeterminism, message);
+    }
+}
+
+/// **Pass 4 — numeric hygiene.**
+///
+/// `float_casts` (kernel modules only): bare `as f32` / `as f64`, and
+/// float-literal → integer `as` casts; kernels must use the audited
+/// helpers in `dlr-num`. `float_eq` (everywhere outside tests): `==` /
+/// `!=` against a float literal compares bit patterns.
+pub fn float_casts(lx: &Lexed<'_>, file: &str, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || in_ranges(tests, t.line) {
+            continue;
+        }
+        let target = match toks.get(i + 1) {
+            Some(n) if n.kind == TokKind::Ident => n.text,
+            _ => continue,
+        };
+        if target == "f32" || target == "f64" {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::FloatCast,
+                format!(
+                    "bare `as {target}` cast in a kernel; use the audited dlr-num helpers \
+                     (approx_f32/approx_f64/ratio_f64) so rounding is explicit"
+                ),
+            );
+            continue;
+        }
+        let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+        if prev_float && INT_TYPES.contains(&target) {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::FloatCast,
+                format!(
+                    "float literal truncated with `as {target}` in a kernel; use the audited \
+                     dlr-num helpers (trunc_usize) so saturation/NaN behaviour is explicit"
+                ),
+            );
+        }
+    }
+}
+
+/// Float `==` / `!=` against a literal. See [`float_casts`].
+pub fn float_eq(lx: &Lexed<'_>, file: &str, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let toks = &lx.tokens;
+    let is_float = |t: Option<&Token<'_>>| t.is_some_and(|t| t.kind == TokKind::Float);
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Op || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        if in_ranges(tests, t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|j| toks.get(j));
+        let next = toks.get(i + 1);
+        // Allow a leading minus: `x == -1.0`.
+        let next_after_minus = if next.is_some_and(|n| n.kind == TokKind::Op && n.text == "-") {
+            toks.get(i + 2)
+        } else {
+            next
+        };
+        if is_float(prev) || is_float(next_after_minus) {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::FloatEq,
+                format!(
+                    "float `{}` against a literal compares bit patterns; use a tolerance, or \
+                     allowlist if this is an exact sentinel (e.g. a prune mask)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_mod_ranges};
+
+    type Pass = fn(&Lexed<'_>, &str, &[(u32, u32)], &mut Vec<Diagnostic>);
+
+    fn run(src: &str, pass: Pass) -> Vec<Diagnostic> {
+        let lx = lex(src);
+        let tests = test_mod_ranges(&lx);
+        let mut out = Vec::new();
+        pass(&lx, "f.rs", &tests, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_in_code_but_not_in_tests_or_strings() {
+        let src = "fn a(x: Option<u8>) { x.unwrap(); }\n\
+                   fn b() { let _ = \".unwrap()\"; }\n\
+                   #[cfg(test)]\nmod tests { fn c(x: Option<u8>) { x.unwrap(); } }\n";
+        let d = run(src, panic_freedom);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].lint, LintId::HotpathPanic);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let d = run(
+            "fn a(x: Option<u8>) { x.unwrap_or_else(|| 0); }",
+            panic_freedom,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn literal_index_flags_but_ranges_and_attrs_do_not() {
+        let src = "#[derive(Clone)]\nfn a(v: &[u8]) { let _ = v[0]; let _ = &v[1..3]; }\n\
+                   fn b() { let t: [u8; 4] = [0; 4]; }\n";
+        let d = run(src, panic_freedom);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::HotpathIndex);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn determinism_catches_clock_and_hash() {
+        let src = "use std::time::Instant;\nfn t() { let m = HashMap::new(); }\n";
+        let d = run(src, determinism);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn float_cast_catches_as_f32() {
+        let d = run("fn k(n: usize) -> f32 { n as f32 }", float_casts);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::FloatCast);
+    }
+
+    #[test]
+    fn int_to_int_casts_are_fine() {
+        let d = run("fn k(n: u32) -> usize { n as usize }", float_casts);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparison() {
+        let src = "fn f(x: f32) -> bool { x == 0.0 }\nfn g(x: f32) -> bool { -1.0 != x }\n";
+        let d = run(src, float_eq);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn int_eq_is_fine() {
+        let d = run("fn f(x: u8) -> bool { x == 0 }", float_eq);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_without_comment_flags() {
+        let src = "fn f(p: *mut u8) { unsafe { *p = 1; } }\n";
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, LintId::UnsafeNoSafety);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: p is valid by contract.\n    unsafe { *p = 1; }\n}\n";
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unsafe_comment_across_wrapped_statement_passes() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: disjoint.\n    let q =\n        unsafe { p.add(1) };\n}\n";
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stale_comment_across_statement_boundary_fails() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: covers only this one.\n    unsafe { *p = 1; }\n    unsafe { *p = 2; }\n}\n";
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_is_not_flagged() {
+        let src = "struct J { call: unsafe fn(*const (), usize) }\n";
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn doc_safety_section_counts() {
+        let src = "/// Does things.\n///\n/// # Safety\n/// p must be valid.\nunsafe fn f(p: *mut u8) { }\n";
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

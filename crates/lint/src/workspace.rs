@@ -1,0 +1,282 @@
+//! Workspace sweep: file discovery, per-file pass dispatch, allowlist
+//! filtering, and the crate-level `#![forbid(unsafe_code)]` check.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{in_set, Config};
+use crate::diag::{Diagnostic, LintId};
+use crate::lexer::{lex, test_mod_ranges, TokKind};
+use crate::passes;
+
+/// Outcome of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings that survived the allowlist, in path/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint one file's source. `rel_path` selects which passes apply (via the
+/// config's module sets); files under `tests/` are treated as all-test.
+/// Returns raw findings — allowlist filtering happens in
+/// [`lint_workspace`] (or [`apply_allowlist`] directly).
+pub fn lint_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lx = lex(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut tests = test_mod_ranges(&lx);
+    if rel_path.starts_with("tests/") || rel_path.contains("/tests/") {
+        // Integration-test files are test code end to end.
+        tests.push((0, u32::MAX));
+    }
+    let mut out = Vec::new();
+    if in_set(rel_path, &cfg.hot_path) {
+        passes::panic_freedom(&lx, rel_path, &tests, &mut out);
+    }
+    passes::unsafe_hygiene(&lx, rel_path, &raw_lines, &mut out);
+    if in_set(rel_path, &cfg.deterministic) {
+        passes::determinism(&lx, rel_path, &tests, &mut out);
+    }
+    if in_set(rel_path, &cfg.kernels) {
+        passes::float_casts(&lx, rel_path, &tests, &mut out);
+    }
+    passes::float_eq(&lx, rel_path, &tests, &mut out);
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Filter `raw` through the allowlist: a diagnostic is suppressed when an
+/// entry's lint ID and file match and the offending source line contains
+/// the entry's pattern. Marks used entries in `used` (parallel to
+/// `cfg.allow`). Returns (kept, suppressed_count).
+pub fn apply_allowlist(
+    raw: Vec<Diagnostic>,
+    source: &str,
+    cfg: &Config,
+    used: &mut [bool],
+) -> (Vec<Diagnostic>, usize) {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    'diags: for d in raw {
+        let line_text = lines.get(d.line as usize - 1).copied().unwrap_or("");
+        for (i, a) in cfg.allow.iter().enumerate() {
+            if a.lint == d.lint.as_str() && a.file == d.file && line_text.contains(&a.pattern) {
+                if let Some(slot) = used.get_mut(i) {
+                    *slot = true;
+                }
+                suppressed += 1;
+                continue 'diags;
+            }
+        }
+        kept.push(d);
+    }
+    (kept, suppressed)
+}
+
+/// Recursively collect `.rs` files under `root/<include dirs>`, skipping
+/// excluded prefixes. Paths come back workspace-relative with forward
+/// slashes, sorted — directory traversal order must not leak into output.
+pub fn collect_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for inc in &cfg.include {
+        let dir = root.join(inc);
+        if dir.is_file() {
+            files.push(inc.clone());
+            continue;
+        }
+        if dir.is_dir() {
+            walk(root, &dir, cfg, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if cfg
+            .exclude
+            .iter()
+            .any(|ex| rel == *ex || rel.starts_with(&format!("{ex}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            // Never descend into build output.
+            if rel == "target" || rel.ends_with("/target") {
+                continue;
+            }
+            walk(root, &path, cfg, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace at `root` with `cfg`.
+///
+/// Beyond the per-file passes this adds the two cross-file checks:
+/// crates with zero `unsafe` must declare `#![forbid(unsafe_code)]`
+/// ([`LintId::ForbidUnsafeMissing`]), and allowlist entries that matched
+/// nothing are reported ([`LintId::UnusedAllow`]) so the allowlist can
+/// never rot.
+///
+/// # Errors
+/// I/O errors reading the tree.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = collect_files(root, cfg)?;
+    let mut report = Report::default();
+    let mut used = vec![false; cfg.allow.len()];
+    // crate root dir (e.g. "crates/dense") -> has any `unsafe` token.
+    let mut crates: Vec<(String, bool)> = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        let raw = lint_file(rel, &source, cfg);
+        let (kept, suppressed) = apply_allowlist(raw, &source, cfg, &mut used);
+        report.suppressed += suppressed;
+        report.diagnostics.extend(kept);
+        report.files_scanned += 1;
+
+        if let Some(crate_root) = crate_root_of(rel) {
+            let has_unsafe = lex(&source)
+                .tokens
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == "unsafe");
+            match crates.iter_mut().find(|(c, _)| *c == crate_root) {
+                Some((_, flag)) => *flag |= has_unsafe,
+                None => crates.push((crate_root, has_unsafe)),
+            }
+        }
+    }
+    for (crate_root, has_unsafe) in &crates {
+        if *has_unsafe {
+            continue;
+        }
+        let lib_rel = if crate_root == "." {
+            "src/lib.rs".to_string()
+        } else {
+            format!("{crate_root}/src/lib.rs")
+        };
+        let lib_path = root.join(&lib_rel);
+        if !lib_path.is_file() {
+            continue; // bin-only crate roots have no lib to annotate
+        }
+        let lib_src = fs::read_to_string(&lib_path)?;
+        if !lib_src.contains("#![forbid(unsafe_code)]") {
+            report.diagnostics.push(Diagnostic {
+                file: lib_rel,
+                line: 1,
+                lint: LintId::ForbidUnsafeMissing,
+                message: format!(
+                    "crate `{crate_root}` has no unsafe code; declare #![forbid(unsafe_code)] \
+                     so none can creep in"
+                ),
+            });
+        }
+    }
+    for (i, a) in cfg.allow.iter().enumerate() {
+        if !used[i] {
+            report.diagnostics.push(Diagnostic {
+                file: "lint.toml".to_string(),
+                line: 0,
+                lint: LintId::UnusedAllow,
+                message: format!(
+                    "allow entry #{} ({} in {}, pattern `{}`) matched nothing; remove it",
+                    i + 1,
+                    a.lint,
+                    a.file,
+                    a.pattern
+                ),
+            });
+        }
+    }
+    report.diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.lint.as_str()).cmp(&(b.file.as_str(), b.line, b.lint.as_str()))
+    });
+    Ok(report)
+}
+
+/// The crate directory a workspace-relative path belongs to:
+/// `crates/<name>/…` → `crates/<name>`; `src/…` → `` (the root package).
+fn crate_root_of(rel: &str) -> Option<String> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let name = rest.split('/').next()?;
+        return Some(format!("crates/{name}"));
+    }
+    if rel.starts_with("src/") {
+        return Some(".".to_string()); // root package; lib at src/lib.rs
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_hot(file: &str) -> Config {
+        Config {
+            hot_path: vec![file.to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn lint_file_applies_only_configured_passes() {
+        let src = "fn a(x: Option<u8>) { x.unwrap(); }\n";
+        let hot = lint_file("hot.rs", src, &cfg_hot("hot.rs"));
+        assert_eq!(hot.len(), 1);
+        let cold = lint_file("cold.rs", src, &cfg_hot("hot.rs"));
+        assert!(cold.is_empty(), "{cold:?}");
+    }
+
+    #[test]
+    fn tests_dir_files_are_fully_exempt_from_panic_lints() {
+        let src = "fn a(x: Option<u8>) { x.unwrap(); }\n";
+        let d = lint_file("tests/foo.rs", src, &cfg_hot("tests/foo.rs"));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_line_pattern_and_marks_used() {
+        let src = "fn a(x: Option<u8>) { x.unwrap(); // deliberate\n}\n";
+        let mut cfg = cfg_hot("hot.rs");
+        cfg.allow.push(crate::config::AllowEntry {
+            lint: "HOTPATH_PANIC".into(),
+            file: "hot.rs".into(),
+            pattern: "// deliberate".into(),
+            reason: "test".into(),
+        });
+        let raw = lint_file("hot.rs", src, &cfg);
+        assert_eq!(raw.len(), 1);
+        let mut used = vec![false];
+        let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 1);
+        assert!(used[0]);
+    }
+
+    #[test]
+    fn crate_root_mapping() {
+        assert_eq!(
+            crate_root_of("crates/dense/src/gemm/blocked.rs").as_deref(),
+            Some("crates/dense")
+        );
+        assert_eq!(crate_root_of("src/lib.rs").as_deref(), Some("."));
+        assert_eq!(crate_root_of("examples/quickstart.rs"), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Fixture tests: one per lint, a positive case asserting the exact
+//! `file:line` of the diagnostic plus an allowlisted (or out-of-set)
+//! negative case proving the suppression path works.
+
+use dlr_lint::{apply_allowlist, lint_file, lint_workspace, Config, LintId};
+
+const BASE_CFG: &str = r#"
+[scan]
+include = ["crates", "src"]
+exclude = []
+
+[hot_path]
+files = ["crates/hot/src/"]
+
+[deterministic]
+files = ["crates/det/src/"]
+
+[kernels]
+files = ["crates/kern/src/"]
+"#;
+
+fn cfg() -> Config {
+    Config::parse(BASE_CFG).expect("base fixture config parses")
+}
+
+fn cfg_with_allow(lint: &str, file: &str, pattern: &str) -> Config {
+    let toml = format!(
+        "{BASE_CFG}\n[[allow]]\nlint = \"{lint}\"\nfile = \"{file}\"\npattern = \"{pattern}\"\nreason = \"fixture\"\n"
+    );
+    Config::parse(&toml).expect("allow fixture config parses")
+}
+
+#[test]
+fn hotpath_panic_flags_unwrap_with_exact_location() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n";
+    let diags = lint_file("crates/hot/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::HotpathPanic);
+    assert_eq!(diags[0].file, "crates/hot/src/lib.rs");
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(
+        diags[0].to_string(),
+        format!(
+            "crates/hot/src/lib.rs:2: [HOTPATH_PANIC] {}",
+            diags[0].message
+        )
+    );
+}
+
+#[test]
+fn hotpath_panic_ignores_cold_files_and_test_mods() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n    v.first().copied().unwrap()\n}\n";
+    assert!(lint_file("crates/cold/src/lib.rs", src, &cfg()).is_empty());
+
+    let test_src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        panic!(\"fine in tests\");\n    }\n}\n";
+    assert!(lint_file("crates/hot/src/lib.rs", test_src, &cfg()).is_empty());
+}
+
+#[test]
+fn hotpath_panic_allowlist_suppresses_and_marks_used() {
+    let src = "pub fn f() {\n    try_f().unwrap_or_else(|e| panic!(\"{e}\"));\n}\n";
+    let cfg = cfg_with_allow(
+        "HOTPATH_PANIC",
+        "crates/hot/src/lib.rs",
+        "unwrap_or_else(|e| panic!",
+    );
+    let raw = lint_file("crates/hot/src/lib.rs", src, &cfg);
+    assert_eq!(raw.len(), 1);
+    let mut used = vec![false; cfg.allow.len()];
+    let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+    assert!(kept.is_empty());
+    assert_eq!(suppressed, 1);
+    assert_eq!(used, vec![true]);
+}
+
+#[test]
+fn hotpath_index_flags_literal_indexing_only() {
+    let src = "pub fn f(v: &[u32], i: usize) -> u32 {\n    let a = v[i];\n    let b = v[0];\n    a + b\n}\n";
+    let diags = lint_file("crates/hot/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::HotpathIndex);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    let diags = lint_file("crates/cold/src/ptr.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::UnsafeNoSafety);
+    assert_eq!(diags[0].file, "crates/cold/src/ptr.rs");
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn unsafe_with_safety_comment_passes() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+    assert!(lint_file("crates/cold/src/ptr.rs", src, &cfg()).is_empty());
+}
+
+#[test]
+fn nondeterminism_flags_instant_and_hashmap_in_deterministic_set() {
+    let src = "use std::time::Instant;\nuse std::collections::HashMap;\npub fn f() {\n    let t = Instant::now();\n    let m: HashMap<u32, u32> = HashMap::new();\n    drop((t, m));\n}\n";
+    let diags = lint_file("crates/det/src/kernel.rs", src, &cfg());
+    assert!(
+        diags.iter().all(|d| d.lint == LintId::Nondeterminism),
+        "{diags:?}"
+    );
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert!(lines.contains(&4), "Instant::now at line 4: {lines:?}");
+    assert!(lines.contains(&5), "HashMap::new at line 5: {lines:?}");
+    // The same source outside the deterministic set is fine.
+    assert!(lint_file("crates/cold/src/kernel.rs", src, &cfg()).is_empty());
+}
+
+#[test]
+fn float_cast_flags_bare_as_in_kernels_only() {
+    let src = "pub fn f(n: usize) -> f32 {\n    n as f32\n}\n";
+    let diags = lint_file("crates/kern/src/gemm.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::FloatCast);
+    assert_eq!(diags[0].line, 2);
+    assert!(lint_file("crates/cold/src/gemm.rs", src, &cfg()).is_empty());
+}
+
+#[test]
+fn float_eq_flags_literal_comparison_and_respects_allowlist() {
+    let src = "pub fn f(x: f32) -> bool {\n    x == 0.0\n}\n";
+    let diags = lint_file("crates/cold/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::FloatEq);
+    assert_eq!(diags[0].line, 2);
+
+    let cfg = cfg_with_allow("FLOAT_EQ", "crates/cold/src/lib.rs", "x == 0.0");
+    let raw = lint_file("crates/cold/src/lib.rs", src, &cfg);
+    let mut used = vec![false; cfg.allow.len()];
+    let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+    assert!(kept.is_empty());
+    assert_eq!(suppressed, 1);
+}
+
+/// Build a scratch one-crate workspace under `CARGO_TARGET_TMPDIR`.
+fn scratch_workspace(name: &str, lib_src: &str) -> std::path::PathBuf {
+    let root = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src_dir = root.join("crates/foo/src");
+    std::fs::create_dir_all(&src_dir).expect("create scratch workspace");
+    std::fs::write(src_dir.join("lib.rs"), lib_src).expect("write scratch lib.rs");
+    root
+}
+
+#[test]
+fn forbid_unsafe_missing_fires_at_crate_root_line_1() {
+    let root = scratch_workspace("forbid-missing", "pub fn f() {}\n");
+    let report = lint_workspace(&root, &cfg()).expect("lint scratch workspace");
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.lint, LintId::ForbidUnsafeMissing);
+    assert_eq!(d.file, "crates/foo/src/lib.rs");
+    assert_eq!(d.line, 1);
+}
+
+#[test]
+fn forbid_unsafe_present_passes() {
+    let root = scratch_workspace("forbid-present", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+    let report = lint_workspace(&root, &cfg()).expect("lint scratch workspace");
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn unused_allow_entry_is_reported() {
+    let root = scratch_workspace("unused-allow", "#![forbid(unsafe_code)]\npub fn f() {}\n");
+    let cfg = cfg_with_allow("HOTPATH_PANIC", "crates/foo/src/lib.rs", "never matches");
+    let report = lint_workspace(&root, &cfg).expect("lint scratch workspace");
+    assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.lint, LintId::UnusedAllow);
+    assert_eq!(d.file, "lint.toml");
+}

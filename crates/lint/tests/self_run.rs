@@ -1,0 +1,31 @@
+//! The linter's own acceptance test: the workspace it ships in must lint
+//! clean with the checked-in `lint.toml`. Any new violation (or newly
+//! unused allowlist entry) fails this test, so `cargo test` alone catches
+//! invariant regressions even without the CI lint job.
+
+use dlr_lint::{lint_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean_with_checked_in_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml");
+    let cfg = Config::parse(&toml).expect("lint.toml parses");
+    let report = lint_workspace(&root, &cfg).expect("lint the workspace");
+    assert!(
+        report.diagnostics.is_empty(),
+        "dlr-lint found violations:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the scan actually covered the tree.
+    assert!(report.files_scanned > 100, "{} files", report.files_scanned);
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ranking quality metrics and statistical significance testing.
 //!
 //! Implements the three effectiveness measures reported in the paper —

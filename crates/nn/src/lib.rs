@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Feed-forward networks for document scoring.
 //!
 //! The workspace's PyTorch stand-in: multi-layer perceptrons with ReLU6

@@ -1,0 +1,97 @@
+#![forbid(unsafe_code)]
+//! Audited numeric conversions for kernel code.
+//!
+//! `dlr-lint`'s `FLOAT_CAST` pass bans bare `as` float casts in kernel
+//! modules, because `as` hides three decisions that matter in numeric
+//! code: rounding (int → float above the mantissa), truncation toward
+//! zero (float → int), and saturation/NaN handling. Each helper here
+//! makes exactly one of those decisions and documents it, so a reviewer
+//! reading a kernel sees *which* behaviour was chosen rather than
+//! whatever `as` happens to do.
+//!
+//! All helpers are `#[inline]`, total (no panics for any input), and
+//! deterministic.
+
+/// `usize` → `f32`, rounding to nearest even above 2^24.
+///
+/// Use for sizes that feed ratios or time models where ±1 ulp is
+/// irrelevant (loop trip counts, element totals). Not for exact
+/// accounting — `f32` holds integers exactly only up to 16 777 216.
+#[inline]
+#[must_use]
+pub fn approx_f32(x: usize) -> f32 {
+    x as f32
+}
+
+/// `usize` → `f64`, exact for every value below 2^53.
+///
+/// On 64-bit hosts a `usize` above 2^53 (9e15) rounds to nearest even;
+/// no realistic element count in this workspace gets there.
+#[inline]
+#[must_use]
+pub fn approx_f64(x: usize) -> f64 {
+    x as f64
+}
+
+/// `num / den` as `f64`, defined as `0.0` when `den == 0`.
+///
+/// The division-by-zero policy is the audited part: sparsity/density
+/// ratios of empty matrices read as zero instead of NaN, which keeps
+/// downstream predictors finite.
+#[inline]
+#[must_use]
+pub fn ratio_f64(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        approx_f64(num) / approx_f64(den)
+    }
+}
+
+/// `f64` → `usize`, truncating toward zero; NaN and negatives map to 0,
+/// values beyond `usize::MAX` saturate.
+///
+/// This is the behaviour of `as` since Rust 1.45 (saturating casts) with
+/// the NaN → 0 case made explicit in the name.
+#[inline]
+#[must_use]
+pub fn trunc_usize(x: f64) -> usize {
+    if x.is_nan() {
+        0
+    } else {
+        x as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_f32_is_exact_below_2_pow_24() {
+        assert_eq!(approx_f32(0), 0.0);
+        assert_eq!(approx_f32(16_777_216), 16_777_216.0);
+        assert_eq!(approx_f32(12345), 12345.0);
+    }
+
+    #[test]
+    fn approx_f64_is_exact_for_workspace_scales() {
+        assert_eq!(approx_f64(0), 0.0);
+        assert_eq!(approx_f64(1 << 40), (1u64 << 40) as f64);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio_f64(3, 4), 0.75);
+        assert_eq!(ratio_f64(5, 0), 0.0);
+        assert_eq!(ratio_f64(0, 7), 0.0);
+    }
+
+    #[test]
+    fn trunc_usize_is_total() {
+        assert_eq!(trunc_usize(3.9), 3);
+        assert_eq!(trunc_usize(-1.5), 0);
+        assert_eq!(trunc_usize(f64::NAN), 0);
+        assert_eq!(trunc_usize(f64::INFINITY), usize::MAX);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Analytic scoring-time predictors for neural rankers (§4.2, §4.4).
 //!
 //! The paper's methodological contribution: estimate the forward-pass time

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Magnitude pruning and sensitivity analysis (§2.3, §5.2).
 //!
 //! The paper's efficiency-oriented pruning is *element-wise magnitude

@@ -118,6 +118,10 @@ impl BlockwiseQuickScorer {
             out.len() * self.num_features,
             "batch shape mismatch"
         );
+        debug_assert!(
+            features.iter().all(|v| v.is_finite()),
+            "feature chunk must be finite (traversal compares against finite thresholds)"
+        );
         out.fill(self.base_score);
         let max_trees = self.blocks.iter().map(|b| b.num_trees()).max().unwrap_or(0);
         if buf.len() < max_trees {
@@ -136,7 +140,8 @@ impl BlockwiseQuickScorer {
     pub fn score(&self, x: &[f32]) -> f32 {
         let mut out = [0.0f32];
         self.score_batch(x, &mut out);
-        out[0]
+        let [score] = out;
+        score
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! QuickScorer: fast interleaved traversal of tree ensembles (§2.2).
 //!
 //! QuickScorer (Lucchese et al., SIGIR'15) replaces per-tree root-to-leaf

@@ -97,11 +97,7 @@ impl QuickScorer {
         let mut feat_offsets = Vec::with_capacity(num_features + 1);
         let mut conditions = Vec::new();
         for mut list in per_feature {
-            list.sort_by(|a, b| {
-                a.threshold
-                    .partial_cmp(&b.threshold)
-                    .expect("finite thresholds")
-            });
+            list.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
             feat_offsets.push(conditions.len());
             conditions.extend_from_slice(&list);
         }

@@ -79,11 +79,7 @@ impl WideQuickScorer {
         let mut conditions = Vec::new();
         let mut mask_pool = Vec::new();
         for mut list in per_feature {
-            list.sort_by(|a, b| {
-                a.0.threshold
-                    .partial_cmp(&b.0.threshold)
-                    .expect("finite thresholds")
-            });
+            list.sort_by(|a, b| a.0.threshold.total_cmp(&b.0.threshold));
             feat_offsets.push(conditions.len());
             for (mut cond, mask) in list {
                 cond.mask_start = mask_pool.len() as u32;
@@ -152,7 +148,13 @@ impl WideQuickScorer {
         let mut score = self.base_score;
         for t in 0..self.num_trees {
             let bits = &leafidx[t * w..(t + 1) * w];
-            let leaf = first_set_bit(bits).expect("at least one leaf survives");
+            // Mask construction guarantees at least one surviving leaf per
+            // tree; a tree whose bitvector somehow emptied contributes
+            // nothing rather than aborting the whole batch.
+            let Some(leaf) = first_set_bit(bits) else {
+                debug_assert!(false, "at least one leaf survives per tree");
+                continue;
+            };
             score += self.leaf_values[self.leaf_offsets[t] + leaf];
         }
         score

@@ -86,15 +86,15 @@ impl CsrMatrix {
             return Err(SparseError::LengthMismatch);
         }
         if row_ptr.len() != rows + 1
-            || row_ptr[0] != 0
-            || *row_ptr.last().expect("len >= 1") != values.len()
-            || row_ptr.windows(2).any(|w| w[0] > w[1])
+            || row_ptr.first() != Some(&0)
+            || row_ptr.last() != Some(&values.len())
+            || !row_ptr.is_sorted()
         {
             return Err(SparseError::BadRowPtr);
         }
         for i in 0..rows {
             let cols_of_row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
-            let increasing = cols_of_row.windows(2).all(|w| w[0] < w[1]);
+            let increasing = cols_of_row.is_sorted_by(|a, b| a < b);
             let in_range = cols_of_row.iter().all(|&c| (c as usize) < cols);
             if !increasing || !in_range {
                 return Err(SparseError::BadColumnIndex { row: i });
@@ -165,12 +165,13 @@ impl CsrMatrix {
     }
 
     /// Fraction of zero entries (the paper's definition of sparsity).
+    /// Empty matrices read as fully dense (sparsity `0.0`).
     pub fn sparsity(&self) -> f64 {
         let total = self.rows * self.cols;
         if total == 0 {
             0.0
         } else {
-            1.0 - self.nnz() as f64 / total as f64
+            1.0 - dlr_num::ratio_f64(self.nnz(), total)
         }
     }
 

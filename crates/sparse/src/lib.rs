@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! CSR sparse matrices and sparse-dense matrix multiplication (SDMM).
 //!
 //! Stand-in for the sparse stack of §4.3: the Compressed Sparse Row format

@@ -147,6 +147,17 @@ pub fn spmm_xsmm_rows(a: &CsrMatrix, b: &PackedB, row0: usize, c_rows: &mut [f32
     let row_ptr = a.row_ptr();
     let col_idx = a.col_idx();
     let values = a.values();
+    debug_assert!(
+        values[row_ptr[row0]..row_ptr[row0 + rows]]
+            .iter()
+            .all(|v| v.is_finite()),
+        "A values in rows [{row0}, {}) must be finite",
+        row0 + rows
+    );
+    debug_assert!(
+        b.data.iter().all(|v| v.is_finite()),
+        "packed B must be finite"
+    );
     for (local, i) in (row0..row0 + rows).enumerate() {
         let (start, end) = (row_ptr[i], row_ptr[i + 1]);
         let c_row = &mut c_rows[local * n..(local + 1) * n];

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # distilled-ltr
 //!
 //! A Rust reproduction of *"Distilled Neural Networks for Efficient
