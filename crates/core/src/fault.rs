@@ -218,6 +218,174 @@ impl<S: DocumentScorer> DocumentScorer for FaultInjectingScorer<S> {
     }
 }
 
+/// One injected *server-level* failure mode — the things that go wrong
+/// around the scorer rather than inside it: a stalled dispatcher, a slow
+/// response consumer, a poisoned batch, or a storm of requests whose
+/// deadlines are already hopeless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerFault {
+    /// Dispatch normally.
+    None,
+    /// Stall the dispatcher for the given duration after the batch is
+    /// taken from the queue — queued requests age (and may expire).
+    QueueStall(Duration),
+    /// Stall between scoring and response delivery — a slow consumer on
+    /// the response path.
+    SlowConsumer(Duration),
+    /// Panic inside the batch execution scope. A well-built server fails
+    /// only this batch's requests.
+    BatchPanic,
+    /// Collapse this batch's propagated deadline budget to zero, as if
+    /// every request in it arrived already out of time.
+    DeadlineStorm,
+}
+
+/// Shared tallies of injected server faults (cloneable handle).
+#[derive(Debug, Default)]
+pub struct ServerFaultCounters {
+    /// Batches dispatched without an injected fault.
+    pub clean: AtomicU64,
+    /// Injected dispatcher stalls.
+    pub queue_stalls: AtomicU64,
+    /// Injected slow-consumer stalls.
+    pub slow_consumers: AtomicU64,
+    /// Injected batch panics.
+    pub batch_panics: AtomicU64,
+    /// Injected deadline storms.
+    pub deadline_storms: AtomicU64,
+}
+
+impl ServerFaultCounters {
+    /// Total batches that had any server fault injected.
+    pub fn total_faults(&self) -> u64 {
+        self.queue_stalls.load(Ordering::Relaxed)
+            + self.slow_consumers.load(Ordering::Relaxed)
+            + self.batch_panics.load(Ordering::Relaxed)
+            + self.deadline_storms.load(Ordering::Relaxed)
+    }
+}
+
+/// Probabilities for the seeded server-fault generator. Remaining mass
+/// dispatches cleanly; the four probabilities must sum to at most 1.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerFaultConfig {
+    /// Probability of a dispatcher stall.
+    pub p_stall: f64,
+    /// Stall duration of an injected dispatcher stall.
+    pub stall: Duration,
+    /// Probability of a slow consumer.
+    pub p_slow: f64,
+    /// Stall duration of an injected slow consumer.
+    pub slow: Duration,
+    /// Probability of a batch panic.
+    pub p_panic: f64,
+    /// Probability of a deadline storm.
+    pub p_storm: f64,
+}
+
+impl Default for ServerFaultConfig {
+    fn default() -> ServerFaultConfig {
+        ServerFaultConfig {
+            p_stall: 0.03,
+            stall: Duration::from_millis(2),
+            p_slow: 0.03,
+            slow: Duration::from_millis(2),
+            p_panic: 0.02,
+            p_storm: 0.02,
+        }
+    }
+}
+
+/// How the per-batch server fault is chosen.
+enum ServerPlan {
+    /// Explicit schedule, indexed by batch (batches past the end of the
+    /// schedule dispatch cleanly — a schedule is a finite script, not a
+    /// cycle, so a test can poison exactly batch `k`).
+    Schedule(Vec<ServerFault>),
+    /// Seeded draw per batch.
+    Random(Box<StdRng>, ServerFaultConfig),
+}
+
+/// A deterministic per-batch plan of [`ServerFault`]s that a serving
+/// front-end consults at dispatch time — the server-level counterpart of
+/// [`FaultInjectingScorer`]. The plan is advanced once per dispatched
+/// batch; injected counts land in shared [`ServerFaultCounters`] readable
+/// after the plan has been moved into the server.
+pub struct ServerFaultPlan {
+    plan: ServerPlan,
+    batch_idx: usize,
+    counters: Arc<ServerFaultCounters>,
+}
+
+impl ServerFaultPlan {
+    /// Inject faults from an explicit per-batch schedule; batches beyond
+    /// the schedule dispatch cleanly.
+    pub fn from_schedule(schedule: Vec<ServerFault>) -> ServerFaultPlan {
+        ServerFaultPlan {
+            plan: ServerPlan::Schedule(schedule),
+            batch_idx: 0,
+            counters: Arc::new(ServerFaultCounters::default()),
+        }
+    }
+
+    /// Inject faults drawn per batch from `config`'s probabilities using
+    /// a seeded generator — deterministic for a fixed seed and batch
+    /// order.
+    ///
+    /// # Panics
+    /// Panics when the probabilities sum above 1.
+    pub fn seeded(seed: u64, config: ServerFaultConfig) -> ServerFaultPlan {
+        let total = config.p_stall + config.p_slow + config.p_panic + config.p_storm;
+        assert!(
+            (0.0..=1.0).contains(&total),
+            "server fault probabilities must sum to at most 1, got {total}"
+        );
+        ServerFaultPlan {
+            plan: ServerPlan::Random(Box::new(StdRng::seed_from_u64(seed)), config),
+            batch_idx: 0,
+            counters: Arc::new(ServerFaultCounters::default()),
+        }
+    }
+
+    /// Handle to the injected-fault tallies; stays readable after the
+    /// plan moves into a server.
+    pub fn counters(&self) -> Arc<ServerFaultCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Which fault the next dispatched batch gets (advances the plan and
+    /// counts the draw).
+    pub fn next_fault(&mut self) -> ServerFault {
+        let fault = match &mut self.plan {
+            ServerPlan::Schedule(s) => s.get(self.batch_idx).copied().unwrap_or(ServerFault::None),
+            ServerPlan::Random(rng, cfg) => {
+                let u: f64 = rng.random();
+                if u < cfg.p_stall {
+                    ServerFault::QueueStall(cfg.stall)
+                } else if u < cfg.p_stall + cfg.p_slow {
+                    ServerFault::SlowConsumer(cfg.slow)
+                } else if u < cfg.p_stall + cfg.p_slow + cfg.p_panic {
+                    ServerFault::BatchPanic
+                } else if u < cfg.p_stall + cfg.p_slow + cfg.p_panic + cfg.p_storm {
+                    ServerFault::DeadlineStorm
+                } else {
+                    ServerFault::None
+                }
+            }
+        };
+        self.batch_idx += 1;
+        let counter = match fault {
+            ServerFault::None => &self.counters.clean,
+            ServerFault::QueueStall(_) => &self.counters.queue_stalls,
+            ServerFault::SlowConsumer(_) => &self.counters.slow_consumers,
+            ServerFault::BatchPanic => &self.counters.batch_panics,
+            ServerFault::DeadlineStorm => &self.counters.deadline_storms,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        fault
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +456,50 @@ mod tests {
         };
         assert_eq!(seq(9), seq(9));
         assert_ne!(seq(9), seq(10), "different seeds should differ");
+    }
+
+    #[test]
+    fn server_schedule_is_a_finite_script_with_exact_counts() {
+        let mut p = ServerFaultPlan::from_schedule(vec![
+            ServerFault::None,
+            ServerFault::BatchPanic,
+            ServerFault::DeadlineStorm,
+            ServerFault::QueueStall(Duration::from_millis(1)),
+            ServerFault::SlowConsumer(Duration::from_millis(1)),
+        ]);
+        let counters = p.counters();
+        let drawn: Vec<ServerFault> = (0..8).map(|_| p.next_fault()).collect();
+        assert_eq!(drawn[1], ServerFault::BatchPanic);
+        assert_eq!(drawn[2], ServerFault::DeadlineStorm);
+        // Past the end of the script the plan is clean, not cyclic.
+        assert_eq!(drawn[5..], [ServerFault::None; 3]);
+        assert_eq!(counters.batch_panics.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.deadline_storms.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.queue_stalls.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.slow_consumers.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.clean.load(Ordering::Relaxed), 4);
+        assert_eq!(counters.total_faults(), 4);
+    }
+
+    #[test]
+    fn seeded_server_plan_is_deterministic() {
+        let seq = |seed: u64| -> Vec<ServerFault> {
+            let mut p = ServerFaultPlan::seeded(seed, ServerFaultConfig::default());
+            (0..100).map(|_| p.next_fault()).collect()
+        };
+        assert_eq!(seq(3), seq(3));
+        assert_ne!(seq(3), seq(4), "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_server_probabilities_rejected() {
+        let cfg = ServerFaultConfig {
+            p_stall: 0.6,
+            p_panic: 0.6,
+            ..Default::default()
+        };
+        ServerFaultPlan::seeded(1, cfg);
     }
 
     #[test]

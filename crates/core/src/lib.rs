@@ -32,7 +32,10 @@ pub mod serve;
 pub mod timing;
 
 pub use cascade::CascadeScorer;
-pub use fault::{Fault, FaultConfig, FaultCounters, FaultInjectingScorer};
+pub use fault::{
+    Fault, FaultConfig, FaultCounters, FaultInjectingScorer, ServerFault, ServerFaultConfig,
+    ServerFaultCounters, ServerFaultPlan,
+};
 pub use parallel::{
     measure_gemm_speedup, par_bwqs, par_gemm, par_gemm_into, par_spmm, SpeedupSample,
 };
@@ -43,6 +46,6 @@ pub use scenario::Scenario;
 pub use scoring::{DocumentScorer, EnsembleScorer, HybridScorer, MlpScorer, QuickScorerScorer};
 pub use serve::{
     DeadlinePolicy, LatencyForecaster, LatencyHistogram, RobustScorer, SanitizePolicy, ScoreError,
-    ServeStats,
+    ServeStats, ServedBy,
 };
 pub use timing::measure_us_per_doc;

@@ -9,7 +9,10 @@
 //! ```
 
 pub use crate::cascade::CascadeScorer;
-pub use crate::fault::{Fault, FaultConfig, FaultCounters, FaultInjectingScorer};
+pub use crate::fault::{
+    Fault, FaultConfig, FaultCounters, FaultInjectingScorer, ServerFault, ServerFaultConfig,
+    ServerFaultCounters, ServerFaultPlan,
+};
 pub use crate::parallel::{par_bwqs, par_gemm, par_gemm_into, par_spmm, SpeedupSample};
 pub use crate::pareto::{frontier_dominates, pareto_frontier, ParetoPoint};
 pub use crate::pipeline::{NeuralEngineering, PipelineConfig, PrunedStudent};
@@ -20,7 +23,7 @@ pub use crate::scoring::{
 };
 pub use crate::serve::{
     DeadlinePolicy, LatencyForecaster, LatencyHistogram, RobustScorer, SanitizePolicy, ScoreError,
-    ServeStats,
+    ServeStats, ServedBy,
 };
 pub use crate::timing::measure_us_per_doc;
 pub use dlr_data::{

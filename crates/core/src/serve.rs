@@ -88,6 +88,21 @@ impl std::fmt::Display for ScoreError {
 
 impl std::error::Error for ScoreError {}
 
+/// Which scorer produced the batch's final output.
+///
+/// Returned by [`RobustScorer::try_score_batch_deadline`] so a serving
+/// front-end can account degradation per batch: [`ServedBy::Fallback`]
+/// covers every path where the fallback's scores were delivered —
+/// deadline degradation, a forecaster veto, a primary panic, or an
+/// output rescue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// The primary scorer's output was delivered.
+    Primary,
+    /// The fallback scorer's output was delivered.
+    Fallback,
+}
+
 /// What to do with NaN/Inf feature values.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SanitizePolicy {
@@ -225,6 +240,13 @@ impl LatencyHistogram {
     pub fn p99_us(&self) -> Option<u64> {
         self.percentile_us(0.99)
     }
+
+    /// 99.9th-percentile batch latency in µs — the tail a serving layer's
+    /// SLO actually bounds. Like every quantile here it is a bucket upper
+    /// bound, within 2× of the true sample.
+    pub fn p999_us(&self) -> Option<u64> {
+        self.percentile_us(0.999)
+    }
 }
 
 /// Counters for everything the robust layer did.
@@ -307,14 +329,15 @@ impl std::fmt::Display for ServeStats {
             "sanitized rows {} | rejected batches {} | panics caught {} | rescued outputs {}",
             self.sanitized_rows, self.rejected_batches, self.panics_caught, self.rescued_outputs
         )?;
-        if let (Some(p50), Some(p95), Some(p99)) = (
+        if let (Some(p50), Some(p95), Some(p99), Some(p999)) = (
             self.latency.p50_us(),
             self.latency.p95_us(),
             self.latency.p99_us(),
+            self.latency.p999_us(),
         ) {
             write!(
                 f,
-                "\nbatch latency us: p50 <= {p50} | p95 <= {p95} | p99 <= {p99} ({} batches)",
+                "\nbatch latency us: p50 <= {p50} | p95 <= {p95} | p99 <= {p99} | p999 <= {p999} ({} batches)",
                 self.latency.count()
             )?;
         }
@@ -348,7 +371,7 @@ pub struct RobustScorer<P, F> {
     pub fallback: F,
     policy: SanitizePolicy,
     deadline: Option<DeadlinePolicy>,
-    forecaster: Option<Box<dyn LatencyForecaster>>,
+    forecaster: Option<Box<dyn LatencyForecaster + Send>>,
     mode: Mode,
     stats: ServeStats,
     label: String,
@@ -411,7 +434,8 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
 
     /// Consult `forecaster` before each primary batch; a forecast above
     /// the deadline routes the batch to the fallback preemptively.
-    pub fn with_forecaster(mut self, forecaster: impl LatencyForecaster + 'static) -> Self {
+    /// (`Send` so a robust scorer can serve as a server batch engine.)
+    pub fn with_forecaster(mut self, forecaster: impl LatencyForecaster + Send + 'static) -> Self {
         self.forecaster = Some(Box::new(forecaster));
         self
     }
@@ -440,8 +464,43 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
     /// malformed batches; [`ScoreError::NonFinite`] for NaN/Inf features
     /// under [`SanitizePolicy::Reject`].
     pub fn try_score_batch(&mut self, rows: &[f32], out: &mut [f32]) -> Result<(), ScoreError> {
+        self.try_score_batch_deadline(rows, out, None).map(|_| ())
+    }
+
+    /// [`try_score_batch`](Self::try_score_batch) with a per-batch
+    /// deadline propagated from the caller (e.g. the tightest remaining
+    /// request deadline in a coalesced micro-batch).
+    ///
+    /// The effective budget for this batch is the *minimum* of the
+    /// configured [`DeadlinePolicy`] deadline and `deadline`; when no
+    /// policy is configured, `deadline` alone drives the degradation
+    /// state machine with the default hysteresis
+    /// ([`DeadlinePolicy::with_deadline`]). Both the forecaster veto and
+    /// miss accounting use the effective budget, so a serving layer's
+    /// per-request deadlines flow into the same degrade/probe/recover
+    /// path as the static policy.
+    ///
+    /// Returns which scorer's output was delivered.
+    ///
+    /// # Errors
+    /// See [`try_score_batch`](Self::try_score_batch).
+    pub fn try_score_batch_deadline(
+        &mut self,
+        rows: &[f32],
+        out: &mut [f32],
+        deadline: Option<Duration>,
+    ) -> Result<ServedBy, ScoreError> {
         self.stats.batches += 1;
         let batch_started = Instant::now();
+        let effective = match (self.deadline, deadline) {
+            (Some(p), Some(d)) => Some(DeadlinePolicy {
+                deadline: p.deadline.min(d),
+                ..p
+            }),
+            (Some(p), None) => Some(p),
+            (None, Some(d)) => Some(DeadlinePolicy::with_deadline(d)),
+            (None, None) => None,
+        };
         let rows = match self.validate_and_sanitize(rows, out.len()) {
             Ok(clean) => clean,
             Err(e) => {
@@ -456,7 +515,7 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
 
         let run_primary = match self.mode {
             Mode::Primary { .. } => {
-                if self.forecast_exceeds_deadline(n) {
+                if self.forecast_exceeds_deadline(n, effective) {
                     self.stats.forecast_degrades += 1;
                     false
                 } else {
@@ -469,7 +528,7 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
             } => batches_until_probe == 0,
         };
 
-        if run_primary {
+        let served_by = if run_primary {
             if let Mode::Degraded { .. } = self.mode {
                 self.stats.probes += 1;
             }
@@ -498,7 +557,12 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
             if !healthy {
                 self.run_fallback(rows.original, use_scratch, out);
             }
-            self.note_primary_result(healthy, elapsed);
+            self.note_primary_result(healthy, elapsed, effective);
+            if healthy {
+                ServedBy::Primary
+            } else {
+                ServedBy::Fallback
+            }
         } else {
             self.run_fallback(rows.original, use_scratch, out);
             if let Mode::Degraded {
@@ -508,16 +572,23 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
             {
                 *batches_until_probe = batches_until_probe.saturating_sub(1);
             }
-        }
+            ServedBy::Fallback
+        };
         self.stats.latency.record(batch_started.elapsed());
-        Ok(())
+        Ok(served_by)
     }
 
     /// Advance the degradation state machine after a primary run.
     /// `healthy` means no panic and finite output; a miss is an over-
-    /// deadline run or an unhealthy one.
-    fn note_primary_result(&mut self, healthy: bool, elapsed: Duration) {
-        let Some(policy) = self.deadline else {
+    /// deadline run or an unhealthy one. `policy` is the effective policy
+    /// for this batch (static config merged with the per-batch deadline).
+    fn note_primary_result(
+        &mut self,
+        healthy: bool,
+        elapsed: Duration,
+        policy: Option<DeadlinePolicy>,
+    ) {
+        let Some(policy) = policy else {
             return;
         };
         let on_time = healthy && elapsed <= policy.deadline;
@@ -661,9 +732,10 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
         }
     }
 
-    /// Whether the forecaster predicts this batch to overrun the deadline.
-    fn forecast_exceeds_deadline(&self, num_docs: usize) -> bool {
-        let (Some(policy), Some(fc)) = (self.deadline.as_ref(), self.forecaster.as_ref()) else {
+    /// Whether the forecaster predicts this batch to overrun the
+    /// effective deadline for this batch.
+    fn forecast_exceeds_deadline(&self, num_docs: usize, policy: Option<DeadlinePolicy>) -> bool {
+        let (Some(policy), Some(fc)) = (policy, self.forecaster.as_ref()) else {
             return false;
         };
         matches!(fc.forecast(num_docs), Some(t) if t > policy.deadline)
@@ -950,6 +1022,68 @@ mod tests {
     }
 
     #[test]
+    fn per_batch_deadline_drives_the_forecaster_veto_without_a_policy() {
+        // No static DeadlinePolicy: the per-batch deadline alone must
+        // arm the forecaster veto and report Fallback.
+        let mut r = RobustScorer::new(Stub::new(1, 0.0), Stub::new(1, 100.0), "r")
+            .with_forecaster(|n: usize| Some(Duration::from_micros(n as u64)));
+        let rows = vec![1.0f32; 100];
+        let mut out = [0.0f32; 100];
+        let by = r
+            .try_score_batch_deadline(&rows, &mut out, Some(Duration::from_micros(50)))
+            .unwrap();
+        assert_eq!(by, ServedBy::Fallback);
+        assert_eq!(r.stats().forecast_degrades, 1);
+        assert_eq!(out[0], 101.0);
+        // A generous per-batch deadline lets the primary through.
+        let by = r
+            .try_score_batch_deadline(&rows, &mut out, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(by, ServedBy::Primary);
+        assert_eq!(out[0], 1.0);
+        // No deadline at all: plain primary serving.
+        let by = r.try_score_batch_deadline(&rows, &mut out, None).unwrap();
+        assert_eq!(by, ServedBy::Primary);
+    }
+
+    #[test]
+    fn per_batch_deadline_tightens_but_never_loosens_the_policy() {
+        let mut r = RobustScorer::new(Stub::new(1, 0.0), Stub::new(1, 100.0), "r")
+            .with_deadline(DeadlinePolicy::with_deadline(Duration::from_micros(80)))
+            .with_forecaster(|_n: usize| Some(Duration::from_micros(100)));
+        let mut out = [0.0f32; 1];
+        // Forecast 100µs > policy 80µs: vetoed even with a loose 1s
+        // per-batch deadline (the policy still binds).
+        let by = r
+            .try_score_batch_deadline(&[1.0], &mut out, Some(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(by, ServedBy::Fallback);
+        assert_eq!(r.stats().forecast_degrades, 1);
+    }
+
+    #[test]
+    fn per_batch_deadline_misses_trip_the_default_hysteresis() {
+        quiet_panics(|| {
+            // Primary panics; a per-batch deadline (no static policy) must
+            // still drive the trip-after-2 default state machine.
+            let mut r = RobustScorer::new(Panicky { nf: 1 }, Stub::new(1, 100.0), "r");
+            let mut out = [0.0f32; 1];
+            let d = Some(Duration::from_secs(1));
+            assert_eq!(
+                r.try_score_batch_deadline(&[1.0], &mut out, d).unwrap(),
+                ServedBy::Fallback
+            );
+            assert!(!r.is_degraded());
+            assert_eq!(
+                r.try_score_batch_deadline(&[1.0], &mut out, d).unwrap(),
+                ServedBy::Fallback
+            );
+            assert!(r.is_degraded(), "two unhealthy batches must trip");
+            assert_eq!(r.stats().fallback_activations, 1);
+        });
+    }
+
+    #[test]
     fn latency_histogram_percentiles_bound_the_samples() {
         let mut h = LatencyHistogram::default();
         assert_eq!(h.p50_us(), None);
@@ -968,7 +1102,9 @@ mod tests {
         assert_eq!(p50, 15);
         assert_eq!(p95, 1023);
         assert_eq!(p99, 1023);
-        assert!(p50 <= p95 && p95 <= p99);
+        let p999 = h.p999_us().unwrap();
+        assert_eq!(p999, 1023);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
         // Zero-duration batches land in the exact-zero bucket.
         let mut z = LatencyHistogram::default();
         z.record(Duration::ZERO);

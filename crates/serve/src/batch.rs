@@ -1,0 +1,195 @@
+//! Pure micro-batching arithmetic: flush deadlines, expiry, deadline
+//! propagation, and the admission-control shed rule.
+//!
+//! Everything here is a function of its arguments — timestamps come in
+//! as server nanos, never from a clock — so the coalescing invariants
+//! are unit-testable with hand-picked times and the module stays inside
+//! the `NONDETERMINISM` lint fence.
+
+use crate::queue::Admitted;
+use crate::request::SubmitError;
+use dlr_core::serve::LatencyForecaster;
+use std::time::Duration;
+
+/// Micro-batch formation policy: flush on size or age, whichever first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many documents are queued. A single request
+    /// larger than this forms its own oversized batch.
+    pub max_batch_docs: usize,
+    /// Flush when the oldest queued request has waited this long, even if
+    /// the batch is not full — the latency cost of coalescing is bounded
+    /// by this knob.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            max_batch_docs: 256,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Server nanos at which a batch whose oldest request was admitted at
+    /// `oldest_queued_nanos` must flush regardless of fill.
+    pub(crate) fn flush_deadline_nanos(&self, oldest_queued_nanos: u64) -> u64 {
+        let wait = u64::try_from(self.max_wait.as_nanos()).unwrap_or(u64::MAX);
+        oldest_queued_nanos.saturating_add(wait)
+    }
+}
+
+/// Split a taken batch into (live, expired): a request is expired when
+/// its absolute deadline is at or before `now_nanos`. Expired requests
+/// are answered without scoring; live ones proceed to assembly.
+pub(crate) fn split_expired(
+    items: Vec<Admitted>,
+    now_nanos: u64,
+) -> (Vec<Admitted>, Vec<Admitted>) {
+    let mut live = Vec::with_capacity(items.len());
+    let mut expired = Vec::new();
+    for item in items {
+        match item.deadline_nanos {
+            Some(d) if d <= now_nanos => expired.push(item),
+            _ => live.push(item),
+        }
+    }
+    (live, expired)
+}
+
+/// The batch's propagated budget: the tightest remaining request
+/// deadline at `now_nanos`, or `None` when no live request has one.
+/// Expired requests must be split off first; a deadline exactly at `now`
+/// propagates as a zero budget.
+pub(crate) fn batch_budget(items: &[Admitted], now_nanos: u64) -> Option<Duration> {
+    items
+        .iter()
+        .filter_map(|i| i.deadline_nanos)
+        .min()
+        .map(|d| Duration::from_nanos(d.saturating_sub(now_nanos)))
+}
+
+/// Concatenated row-major features of the live requests, plus each
+/// request's document range `(start_doc, docs)` into the batch.
+pub(crate) fn assemble(items: &[Admitted]) -> (Vec<f32>, Vec<(usize, usize)>) {
+    let total: usize = items.iter().map(|i| i.request.features.len()).sum();
+    let mut rows = Vec::with_capacity(total);
+    let mut ranges = Vec::with_capacity(items.len());
+    let mut start = 0usize;
+    for item in items {
+        rows.extend_from_slice(&item.request.features);
+        ranges.push((start, item.docs));
+        start += item.docs;
+    }
+    (rows, ranges)
+}
+
+/// The admission-control shed rule: refuse a request whose response is
+/// already predicted to miss its deadline behind the queued work.
+///
+/// `forecast` estimates service time for a document count; the predicted
+/// completion is the forecast for everything queued ahead *plus* this
+/// request (a conservative single-server estimate that ignores batching
+/// overlap). Requests without a deadline are never shed, and a
+/// forecaster that returns `None` admits.
+pub(crate) fn shed_verdict(
+    forecast: Option<&(dyn LatencyForecaster + Send + Sync)>,
+    queued_docs: usize,
+    request_docs: usize,
+    budget: Option<Duration>,
+) -> Result<(), SubmitError> {
+    let (Some(forecast), Some(budget)) = (forecast, budget) else {
+        return Ok(());
+    };
+    let Some(predicted) = forecast.forecast(queued_docs + request_docs) else {
+        return Ok(());
+    };
+    if predicted > budget {
+        return Err(SubmitError::Shed { predicted, budget });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ScoreRequest, Slot};
+    use std::sync::Arc;
+
+    fn item(docs: usize, deadline_nanos: Option<u64>) -> Admitted {
+        Admitted {
+            docs,
+            request: ScoreRequest::new((0..docs).map(|d| d as f32).collect()),
+            deadline_nanos,
+            queued_nanos: 0,
+            slot: Arc::new(Slot::default()),
+        }
+    }
+
+    #[test]
+    fn flush_deadline_is_oldest_plus_max_wait_saturating() {
+        let cfg = BatchConfig {
+            max_batch_docs: 8,
+            max_wait: Duration::from_nanos(100),
+        };
+        assert_eq!(cfg.flush_deadline_nanos(40), 140);
+        assert_eq!(cfg.flush_deadline_nanos(u64::MAX - 10), u64::MAX);
+    }
+
+    #[test]
+    fn split_expired_is_boundary_inclusive() {
+        let items = vec![item(1, Some(50)), item(2, None), item(3, Some(51))];
+        let (live, expired) = split_expired(items, 50);
+        // deadline == now counts as expired (the budget would be zero).
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired.first().map(|i| i.docs), Some(1));
+        assert_eq!(live.len(), 2);
+    }
+
+    #[test]
+    fn batch_budget_is_the_tightest_remaining_deadline() {
+        let items = vec![item(1, Some(900)), item(2, None), item(3, Some(400))];
+        assert_eq!(batch_budget(&items, 100), Some(Duration::from_nanos(300)));
+        assert_eq!(
+            batch_budget(&items[..2], 100),
+            Some(Duration::from_nanos(800))
+        );
+        let no_deadlines = vec![item(1, None)];
+        assert_eq!(batch_budget(&no_deadlines, 100), None);
+    }
+
+    #[test]
+    fn assemble_concatenates_in_order_with_correct_ranges() {
+        let items = vec![item(2, None), item(3, None), item(1, None)];
+        let (rows, ranges) = assemble(&items);
+        assert_eq!(rows, [0.0, 1.0, 0.0, 1.0, 2.0, 0.0]);
+        assert_eq!(ranges, [(0, 2), (2, 3), (5, 1)]);
+    }
+
+    #[test]
+    fn shed_rule_refuses_only_predicted_misses() {
+        let forecast = |docs: usize| Some(Duration::from_micros(docs as u64));
+        let fc: &(dyn LatencyForecaster + Send + Sync) = &forecast;
+        // 40 queued + 10 new = 50µs predicted versus a 30µs budget: shed.
+        let err = shed_verdict(Some(fc), 40, 10, Some(Duration::from_micros(30)))
+            .expect_err("predicted miss");
+        assert_eq!(
+            err,
+            SubmitError::Shed {
+                predicted: Duration::from_micros(50),
+                budget: Duration::from_micros(30),
+            }
+        );
+        // Fits the budget: admitted.
+        shed_verdict(Some(fc), 10, 10, Some(Duration::from_micros(30))).expect("fits");
+        // No deadline, or no forecaster: never shed.
+        shed_verdict(Some(fc), 1000, 10, None).expect("no deadline");
+        shed_verdict(None, 1000, 10, Some(Duration::from_nanos(1))).expect("no forecaster");
+        // Forecaster abstains: admitted.
+        let silent = |_docs: usize| None;
+        let fc: &(dyn LatencyForecaster + Send + Sync) = &silent;
+        shed_verdict(Some(fc), 1000, 10, Some(Duration::from_nanos(1))).expect("abstained");
+    }
+}

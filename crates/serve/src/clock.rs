@@ -1,0 +1,84 @@
+//! The one place this crate reads the wall clock.
+//!
+//! Every other module works in *server nanos* — `u64` nanoseconds on a
+//! monotonic timeline whose zero is the server's start — so the queueing
+//! and coalescing logic stays deterministic and testable with hand-fed
+//! timestamps (and lintable by the `NONDETERMINISM` pass, which bans
+//! clock reads from those modules). Only this module touches `Instant`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's epoch. Must never decrease.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since construction, via [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        let n = self.epoch.elapsed().as_nanos();
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `nanos`.
+    pub fn at(nanos: u64) -> ManualClock {
+        ManualClock {
+            nanos: AtomicU64::new(nanos),
+        }
+    }
+
+    /// Advance the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_decreases() {
+        let c = MonotonicClock::default();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_by_hand() {
+        let c = ManualClock::at(5);
+        assert_eq!(c.now_nanos(), 5);
+        c.advance(10);
+        assert_eq!(c.now_nanos(), 15);
+    }
+}

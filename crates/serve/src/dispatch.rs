@@ -1,0 +1,191 @@
+//! The dispatcher: the single consumer that coalesces queued requests
+//! into micro-batches, executes them, and delivers every response.
+//!
+//! One dispatcher thread owns the engine. Each turn it waits for work,
+//! coalesces until the batch is full or the oldest request has waited
+//! `max_wait`, takes the batch, and executes it with per-batch panic
+//! isolation: a panicking engine fails only the requests coalesced into
+//! that batch, and the loop keeps serving. Requests whose deadline
+//! expired while queued are answered [`Response::Expired`] without being
+//! scored; the tightest surviving deadline propagates to the engine as
+//! the batch budget.
+//!
+//! This module computes with server nanos handed to it by the queue and
+//! the injected [`Clock`] — it is inside both lint fences (no panicking
+//! calls, no ambient time), which is why injected faults panic via
+//! `panic_any` and every slice access is checked.
+
+use crate::batch::{assemble, batch_budget, split_expired, BatchConfig};
+use crate::clock::Clock;
+use crate::engine::BatchEngine;
+use crate::queue::{AdmissionQueue, Admitted, Ready};
+use crate::request::{Delivery, Response};
+use crate::stats::ServerStats;
+use dlr_core::fault::{ServerFault, ServerFaultPlan};
+use dlr_core::serve::ServedBy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// State shared between the submitting front-end and the dispatcher.
+pub(crate) struct Shared {
+    /// The bounded admission queue.
+    pub(crate) queue: AdmissionQueue,
+    /// Lifetime counters; the dispatcher and submitters both write here.
+    pub(crate) stats: Mutex<ServerStats>,
+    /// The server's one clock (all other modules see only its nanos).
+    pub(crate) clock: Box<dyn Clock>,
+}
+
+/// Lock the stats, recovering from poison: counters are plain integers,
+/// always consistent, and the dispatcher must keep serving.
+pub(crate) fn lock_stats(shared: &Shared) -> MutexGuard<'_, ServerStats> {
+    shared.stats.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The dispatcher loop. Runs until the queue is closed *and* fully
+/// drained, so every admitted request is answered before this returns —
+/// the server's drain guarantee.
+pub(crate) fn run<E: BatchEngine>(
+    shared: &Shared,
+    engine: &mut E,
+    cfg: BatchConfig,
+    mut faults: Option<ServerFaultPlan>,
+) {
+    loop {
+        match shared.queue.wait_nonempty() {
+            Ready::Drained => return,
+            Ready::Items => {}
+        }
+        coalesce(shared, cfg);
+        let items = shared.queue.take_batch(cfg.max_batch_docs);
+        if items.is_empty() {
+            continue;
+        }
+        let fault = faults
+            .as_mut()
+            .map_or(ServerFault::None, ServerFaultPlan::next_fault);
+        execute(shared, engine, items, fault);
+    }
+}
+
+/// Wait for the batch to fill, up to the flush deadline of the oldest
+/// queued request. Each condvar wake re-derives the deadline from the
+/// clock, so a trickle of admissions cannot postpone a time-based flush.
+fn coalesce(shared: &Shared, cfg: BatchConfig) {
+    loop {
+        let (_, docs) = shared.queue.depth();
+        if docs >= cfg.max_batch_docs || shared.queue.is_closed() {
+            return;
+        }
+        let Some(oldest) = shared.queue.oldest_queued_nanos() else {
+            return;
+        };
+        let flush_at = cfg.flush_deadline_nanos(oldest);
+        let now = shared.clock.now_nanos();
+        if now >= flush_at {
+            return;
+        }
+        shared
+            .queue
+            .wait_docs_or_timeout(cfg.max_batch_docs, Duration::from_nanos(flush_at - now));
+    }
+}
+
+/// Execute one taken batch end-to-end: apply the injected fault, expire,
+/// assemble, score under `catch_unwind`, account, and deliver exactly one
+/// response per request.
+fn execute<E: BatchEngine>(
+    shared: &Shared,
+    engine: &mut E,
+    items: Vec<Admitted>,
+    fault: ServerFault,
+) {
+    if let ServerFault::QueueStall(stall) = fault {
+        // Injected: the consumer deschedules holding the batch, so the
+        // requests age exactly as under a real queue stall.
+        std::thread::sleep(stall);
+    }
+
+    let now = shared.clock.now_nanos();
+    let (live, expired) = split_expired(items, now);
+    if !expired.is_empty() {
+        let mut stats = lock_stats(shared);
+        for item in &expired {
+            stats.expired += 1;
+            stats.record_latency(now.saturating_sub(item.queued_nanos));
+        }
+        drop(stats);
+        for item in expired {
+            let latency_nanos = now.saturating_sub(item.queued_nanos);
+            item.slot.deliver(Delivery {
+                response: Response::Expired,
+                latency_nanos,
+            });
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let mut budget = batch_budget(&live, now);
+    if fault == ServerFault::DeadlineStorm {
+        // Injected: every deadline in the batch collapses to "now".
+        budget = Some(Duration::ZERO);
+    }
+    let (rows, ranges) = assemble(&live);
+    let docs: usize = live.iter().map(|i| i.docs).sum();
+    let mut out = vec![0.0f32; docs];
+    let poisoned = fault == ServerFault::BatchPanic;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if poisoned {
+            std::panic::panic_any("injected fault: batch panic");
+        }
+        engine.score_batch(&rows, &mut out, budget)
+    }));
+    if let ServerFault::SlowConsumer(lag) = fault {
+        std::thread::sleep(lag);
+    }
+    let done = shared.clock.now_nanos();
+
+    let mut stats = lock_stats(shared);
+    stats.batches += 1;
+    stats.batched_docs += docs as u64;
+    match &result {
+        Ok(Ok(ServedBy::Primary)) => stats.scored_primary += live.len() as u64,
+        Ok(Ok(ServedBy::Fallback)) => stats.scored_fallback += live.len() as u64,
+        Ok(Err(_)) => stats.failed += live.len() as u64,
+        Err(_) => {
+            stats.batch_panics += 1;
+            stats.failed += live.len() as u64;
+        }
+    }
+    for item in &live {
+        stats.record_latency(done.saturating_sub(item.queued_nanos));
+    }
+    drop(stats);
+
+    match result {
+        Ok(Ok(served_by)) => {
+            for (item, (start, n)) in live.into_iter().zip(ranges) {
+                let scores = out
+                    .get(start..start.saturating_add(n))
+                    .map(<[f32]>::to_vec)
+                    .unwrap_or_default();
+                item.slot.deliver(Delivery {
+                    response: Response::Scored { scores, served_by },
+                    latency_nanos: done.saturating_sub(item.queued_nanos),
+                });
+            }
+        }
+        Ok(Err(_)) | Err(_) => {
+            for item in live {
+                let latency_nanos = done.saturating_sub(item.queued_nanos);
+                item.slot.deliver(Delivery {
+                    response: Response::Failed,
+                    latency_nanos,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The batch-execution seam between the server and the scoring stack.
+//!
+//! The dispatcher hands a fully-assembled micro-batch to a
+//! [`BatchEngine`] along with the batch's propagated deadline budget.
+//! [`RobustScorer`] is the intended engine — its implementation routes
+//! the budget into the degradation/fallback state machine via
+//! [`RobustScorer::try_score_batch_deadline`] — while [`PlainEngine`]
+//! adapts any bare [`DocumentScorer`] for tests and simple deployments
+//! (no degradation; panics are still isolated by the dispatcher).
+
+use dlr_core::scoring::DocumentScorer;
+use dlr_core::serve::{RobustScorer, ScoreError, ServedBy};
+use std::time::Duration;
+
+/// Scores assembled micro-batches under a propagated deadline budget.
+pub trait BatchEngine: Send {
+    /// Features per document.
+    fn num_features(&self) -> usize;
+
+    /// Score a row-major `out.len() × num_features` batch into `out`
+    /// under an optional remaining-time budget (the tightest request
+    /// deadline in the batch).
+    ///
+    /// Returning [`ServedBy::Fallback`] marks every request in the batch
+    /// as served degraded. A typed error fails the whole batch — each of
+    /// its requests is answered `Failed` — and a panic is caught by the
+    /// dispatcher with the same per-batch blast radius.
+    ///
+    /// # Errors
+    /// Engine-specific; see the implementor.
+    fn score_batch(
+        &mut self,
+        rows: &[f32],
+        out: &mut [f32],
+        budget: Option<Duration>,
+    ) -> Result<ServedBy, ScoreError>;
+}
+
+impl<P, F> BatchEngine for RobustScorer<P, F>
+where
+    P: DocumentScorer + Send,
+    F: DocumentScorer + Send,
+{
+    fn num_features(&self) -> usize {
+        DocumentScorer::num_features(self)
+    }
+
+    fn score_batch(
+        &mut self,
+        rows: &[f32],
+        out: &mut [f32],
+        budget: Option<Duration>,
+    ) -> Result<ServedBy, ScoreError> {
+        self.try_score_batch_deadline(rows, out, budget)
+    }
+}
+
+/// Adapter giving any [`DocumentScorer`] the [`BatchEngine`] shape: the
+/// budget is ignored (no degradation path) and every scored batch
+/// reports [`ServedBy::Primary`].
+pub struct PlainEngine<S> {
+    /// The wrapped scorer.
+    pub scorer: S,
+}
+
+impl<S: DocumentScorer + Send> PlainEngine<S> {
+    /// Wrap a scorer.
+    pub fn new(scorer: S) -> PlainEngine<S> {
+        PlainEngine { scorer }
+    }
+}
+
+impl<S: DocumentScorer + Send> BatchEngine for PlainEngine<S> {
+    fn num_features(&self) -> usize {
+        self.scorer.num_features()
+    }
+
+    fn score_batch(
+        &mut self,
+        rows: &[f32],
+        out: &mut [f32],
+        _budget: Option<Duration>,
+    ) -> Result<ServedBy, ScoreError> {
+        self.scorer.score_batch(rows, out);
+        Ok(ServedBy::Primary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sum;
+
+    impl DocumentScorer for Sum {
+        fn num_features(&self) -> usize {
+            2
+        }
+        fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+            for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+                *o = row.iter().sum();
+            }
+        }
+        fn name(&self) -> String {
+            "sum".into()
+        }
+    }
+
+    #[test]
+    fn plain_engine_scores_and_reports_primary() {
+        let mut e = PlainEngine::new(Sum);
+        assert_eq!(BatchEngine::num_features(&e), 2);
+        let mut out = [0.0f32; 2];
+        let by = e
+            .score_batch(&[1.0, 2.0, 3.0, 4.0], &mut out, None)
+            .expect("scored");
+        assert_eq!(by, ServedBy::Primary);
+        assert_eq!(out, [3.0, 7.0]);
+    }
+
+    #[test]
+    fn robust_scorer_engine_propagates_the_budget() {
+        let mut r = RobustScorer::new(Sum, Sum, "r")
+            .with_forecaster(|_n: usize| Some(Duration::from_secs(10)));
+        let mut out = [0.0f32; 1];
+        // Tiny budget + huge forecast: the robust engine must degrade.
+        let by =
+            BatchEngine::score_batch(&mut r, &[1.0, 2.0], &mut out, Some(Duration::from_nanos(1)))
+                .expect("served");
+        assert_eq!(by, ServedBy::Fallback);
+        assert_eq!(r.stats().forecast_degrades, 1);
+    }
+}

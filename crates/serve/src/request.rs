@@ -1,0 +1,245 @@
+//! Request, response and completion-slot types.
+//!
+//! A client builds a [`ScoreRequest`] (one query's candidate documents,
+//! row-major, plus an optional deadline), submits it, and gets back a
+//! [`ResponseHandle`] — a one-shot completion slot the dispatcher fills
+//! exactly once. [`ResponseHandle::wait`] blocks until the response is
+//! delivered; the server's drain guarantee is that every admitted
+//! request's slot is filled before shutdown returns.
+
+use dlr_core::serve::ServedBy;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// One query's scoring request: `docs × num_features` row-major features
+/// and an optional latency budget measured from admission.
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    /// Row-major `docs × num_features` feature block.
+    pub features: Vec<f32>,
+    /// Latency budget from admission to response delivery. Requests whose
+    /// budget expires while queued are answered with
+    /// [`Response::Expired`]; the tightest remaining budget in a batch is
+    /// propagated into the scorer's degradation path.
+    pub deadline: Option<Duration>,
+}
+
+impl ScoreRequest {
+    /// A request with no deadline.
+    pub fn new(features: Vec<f32>) -> ScoreRequest {
+        ScoreRequest {
+            features,
+            deadline: None,
+        }
+    }
+
+    /// Attach a latency budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> ScoreRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was refused at the door. A refused request was never
+/// admitted: it owns no completion slot and produces no response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full ([`Backpressure::Reject`]).
+    ///
+    /// [`Backpressure::Reject`]: crate::queue::Backpressure::Reject
+    QueueFull,
+    /// Admission control predicted the request cannot meet its deadline
+    /// behind the work already queued.
+    Shed {
+        /// Predicted queue + service time.
+        predicted: Duration,
+        /// The request's remaining budget.
+        budget: Duration,
+    },
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// `features.len()` is not a positive multiple of the engine's
+    /// feature count.
+    BadShape {
+        /// Features per document the engine expects.
+        num_features: usize,
+        /// Length of the feature slice received.
+        features_len: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::Shed { predicted, budget } => write!(
+                f,
+                "shed: predicted {:.1}us exceeds budget {:.1}us",
+                predicted.as_secs_f64() * 1e6,
+                budget.as_secs_f64() * 1e6
+            ),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::BadShape {
+                num_features,
+                features_len,
+            } => write!(
+                f,
+                "{features_len} feature values is not a positive multiple of {num_features}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The terminal outcome of one admitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Scored: one finite score per document, in document order.
+    Scored {
+        /// Scores in the same order as the request's documents.
+        scores: Vec<f32>,
+        /// Which scorer's output was delivered.
+        served_by: ServedBy,
+    },
+    /// The deadline expired while the request was queued; it was never
+    /// scored.
+    Expired,
+    /// The batch this request was coalesced into panicked (or its engine
+    /// returned a typed error); only this batch's requests failed.
+    Failed,
+}
+
+impl Response {
+    /// The scores, when the request was actually scored.
+    pub fn scores(&self) -> Option<&[f32]> {
+        match self {
+            Response::Scored { scores, .. } => Some(scores),
+            _ => None,
+        }
+    }
+}
+
+/// A delivered response plus its measured latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// The terminal outcome.
+    pub response: Response,
+    /// Nanoseconds from admission to delivery, on the server's clock.
+    pub latency_nanos: u64,
+}
+
+/// One-shot completion slot shared between a [`ResponseHandle`] and the
+/// dispatcher.
+#[derive(Debug, Default)]
+pub(crate) struct Slot {
+    state: Mutex<Option<Delivery>>,
+    filled: Condvar,
+}
+
+impl Slot {
+    /// Fill the slot exactly once and wake the waiter. A second delivery
+    /// to the same slot would be a duplicated response — the invariant
+    /// the integration suite asserts — so it is ignored (and flagged in
+    /// debug builds).
+    pub(crate) fn deliver(&self, delivery: Delivery) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        debug_assert!(state.is_none(), "duplicate delivery to a response slot");
+        if state.is_none() {
+            *state = Some(delivery);
+        }
+        drop(state);
+        self.filled.notify_all();
+    }
+}
+
+/// The client's end of a one-shot completion slot.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    pub(crate) slot: Arc<Slot>,
+}
+
+impl ResponseHandle {
+    /// Block until the response is delivered and take it.
+    pub fn wait(self) -> Delivery {
+        let mut state = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(delivery) = state.take() {
+                return delivery;
+            }
+            state = self
+                .slot
+                .filled
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Whether the response has been delivered (without consuming it).
+    pub fn is_ready(&self) -> bool {
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_delivers_exactly_once_and_wait_blocks_until_filled() {
+        let slot = Arc::new(Slot::default());
+        let handle = ResponseHandle {
+            slot: Arc::clone(&slot),
+        };
+        assert!(!handle.is_ready());
+        let t = std::thread::spawn({
+            let slot = Arc::clone(&slot);
+            move || {
+                std::thread::sleep(Duration::from_millis(5));
+                slot.deliver(Delivery {
+                    response: Response::Expired,
+                    latency_nanos: 7,
+                });
+            }
+        });
+        let got = handle.wait();
+        assert_eq!(got.response, Response::Expired);
+        assert_eq!(got.latency_nanos, 7);
+        t.join().expect("deliverer");
+    }
+
+    #[test]
+    fn submit_error_display_is_informative() {
+        let e = SubmitError::Shed {
+            predicted: Duration::from_micros(150),
+            budget: Duration::from_micros(100),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("150.0us") && text.contains("100.0us"),
+            "{text}"
+        );
+        assert_eq!(
+            SubmitError::QueueFull.to_string(),
+            "admission queue is full"
+        );
+    }
+
+    #[test]
+    fn scores_accessor_matches_variant() {
+        let r = Response::Scored {
+            scores: vec![1.0, 2.0],
+            served_by: ServedBy::Primary,
+        };
+        assert_eq!(r.scores(), Some(&[1.0, 2.0][..]));
+        assert_eq!(Response::Failed.scores(), None);
+    }
+}

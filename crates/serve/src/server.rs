@@ -1,0 +1,319 @@
+//! The server front-end: concurrent submission, admission control, and
+//! graceful drain.
+//!
+//! [`Server::start`] spawns one dispatcher thread that owns the engine;
+//! any number of client threads call [`Server::submit`] concurrently.
+//! [`Server::shutdown`] closes admission, waits for the dispatcher to
+//! drain every queued request, and hands the engine back — after it
+//! returns, `admitted == answered` exactly (no lost or duplicated
+//! responses).
+
+use crate::batch::shed_verdict;
+use crate::clock::MonotonicClock;
+use crate::dispatch::{self, lock_stats, Shared};
+use crate::engine::BatchEngine;
+use crate::queue::{AdmissionQueue, Admitted, Backpressure};
+use crate::request::{ResponseHandle, ScoreRequest, Slot, SubmitError};
+use crate::stats::ServerStats;
+use crate::BatchConfig;
+use dlr_core::fault::ServerFaultPlan;
+use dlr_core::serve::LatencyForecaster;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Everything tunable about a server.
+///
+/// Not `Clone`: the admission forecaster and fault plan are owned moves.
+pub struct ServerConfig {
+    /// Micro-batch formation policy.
+    pub batch: BatchConfig,
+    /// Admission queue capacity in requests (clamped to ≥ 1).
+    pub queue_capacity: usize,
+    /// What [`Server::submit`] does when the queue is full.
+    pub backpressure: Backpressure,
+    /// Admission-control forecaster: a submission with a deadline is shed
+    /// when the forecast for the queued documents plus its own exceeds
+    /// its budget. `None` disables shedding.
+    pub admission: Option<Box<dyn LatencyForecaster + Send + Sync>>,
+    /// Injected server faults, drawn once per taken batch. `None` in
+    /// production.
+    pub faults: Option<ServerFaultPlan>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            batch: BatchConfig::default(),
+            queue_capacity: 1024,
+            backpressure: Backpressure::Reject,
+            admission: None,
+            faults: None,
+        }
+    }
+}
+
+/// A running reranking server. See the crate docs for the lifecycle.
+pub struct Server<E: BatchEngine + 'static> {
+    shared: Arc<Shared>,
+    num_features: usize,
+    policy: Backpressure,
+    admission: Option<Box<dyn LatencyForecaster + Send + Sync>>,
+    dispatcher: Option<JoinHandle<E>>,
+}
+
+impl<E: BatchEngine + 'static> Server<E> {
+    /// Start a server: spawns the dispatcher thread, which owns `engine`
+    /// until [`shutdown`](Self::shutdown) returns it.
+    pub fn start(mut engine: E, config: ServerConfig) -> Server<E> {
+        let num_features = engine.num_features().max(1);
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            stats: Mutex::new(ServerStats::default()),
+            clock: Box::new(MonotonicClock::default()),
+        });
+        let batch = config.batch;
+        let faults = config.faults;
+        let dispatcher = std::thread::spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                dispatch::run(&shared, &mut engine, batch, faults);
+                engine
+            }
+        });
+        Server {
+            shared,
+            num_features,
+            policy: config.backpressure,
+            admission: config.admission,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submit one query for scoring. On success the request is admitted
+    /// and the returned handle will receive exactly one response; on
+    /// error it was refused at the door and no response will ever arrive.
+    ///
+    /// Under [`Backpressure::Block`] this blocks while the queue is full;
+    /// under [`Backpressure::Reject`] it returns
+    /// [`SubmitError::QueueFull`] instead.
+    ///
+    /// # Errors
+    /// [`SubmitError::BadShape`] for a feature block that is not a
+    /// positive multiple of the engine's feature count;
+    /// [`SubmitError::Shed`] when admission control predicts a deadline
+    /// miss; [`SubmitError::QueueFull`] / [`SubmitError::ShuttingDown`]
+    /// per queue state.
+    pub fn submit(&self, request: ScoreRequest) -> Result<ResponseHandle, SubmitError> {
+        lock_stats(&self.shared).submitted += 1;
+        let len = request.features.len();
+        if len == 0 || !len.is_multiple_of(self.num_features) {
+            lock_stats(&self.shared).malformed += 1;
+            return Err(SubmitError::BadShape {
+                num_features: self.num_features,
+                features_len: len,
+            });
+        }
+        let docs = len / self.num_features;
+        let budget = request.deadline;
+        let now = self.shared.clock.now_nanos();
+        let deadline_nanos =
+            budget.map(|d| now.saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)));
+        let slot = Arc::new(Slot::default());
+        let handle = ResponseHandle {
+            slot: Arc::clone(&slot),
+        };
+        let item = Admitted {
+            docs,
+            request,
+            deadline_nanos,
+            queued_nanos: now,
+            slot,
+        };
+        let admission = self.admission.as_deref();
+        let outcome = self.shared.queue.admit(item, self.policy, |queued_docs| {
+            shed_verdict(admission, queued_docs, docs, budget)
+        });
+        match outcome {
+            Ok((depth, queued_docs)) => {
+                let mut stats = lock_stats(&self.shared);
+                stats.admitted += 1;
+                stats.max_queue_depth = stats.max_queue_depth.max(depth as u64);
+                stats.max_queued_docs = stats.max_queued_docs.max(queued_docs as u64);
+                Ok(handle)
+            }
+            Err(err) => {
+                let mut stats = lock_stats(&self.shared);
+                match &err {
+                    SubmitError::QueueFull => stats.rejected_full += 1,
+                    SubmitError::Shed { .. } => stats.shed += 1,
+                    SubmitError::ShuttingDown => stats.rejected_shutdown += 1,
+                    SubmitError::BadShape { .. } => stats.malformed += 1,
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Snapshot of the lifetime counters. Mid-flight submissions may make
+    /// a live snapshot transiently unbalanced; after
+    /// [`shutdown`](Self::shutdown) the accounting identities hold
+    /// exactly.
+    pub fn stats(&self) -> ServerStats {
+        lock_stats(&self.shared).clone()
+    }
+
+    /// Live queue depth: (queued requests, queued documents).
+    pub fn queue_depth(&self) -> (usize, usize) {
+        self.shared.queue.depth()
+    }
+
+    /// Features per document the engine expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Admission queue capacity in requests.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// Drain and stop: close admission, answer everything still queued,
+    /// join the dispatcher, and return the engine with the final stats.
+    ///
+    /// If the dispatcher thread itself panicked (a server bug — batch
+    /// panics are isolated and do not escape the loop), the panic is
+    /// resumed on the caller.
+    pub fn shutdown(mut self) -> (E, ServerStats) {
+        self.shared.queue.close();
+        let engine = match self.dispatcher.take() {
+            Some(handle) => join_engine(handle),
+            // `shutdown` consumes the server, so the handle can only have
+            // been taken by `Drop`, which cannot run before this.
+            None => unreachable!("dispatcher already joined"),
+        };
+        let stats = lock_stats(&self.shared).clone();
+        (engine, stats)
+    }
+}
+
+impl<E: BatchEngine + 'static> Drop for Server<E> {
+    /// Dropping a server without [`Server::shutdown`] still drains: every
+    /// admitted request is answered before the dispatcher exits.
+    fn drop(&mut self) {
+        if let Some(handle) = self.dispatcher.take() {
+            self.shared.queue.close();
+            drop(handle.join());
+        }
+    }
+}
+
+fn join_engine<E>(handle: JoinHandle<E>) -> E {
+    match handle.join() {
+        Ok(engine) => engine,
+        // Surface a dispatcher-loop bug to the caller unchanged.
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PlainEngine;
+    use dlr_core::scoring::DocumentScorer;
+    use std::time::Duration;
+
+    struct Sum;
+
+    impl DocumentScorer for Sum {
+        fn num_features(&self) -> usize {
+            2
+        }
+        fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+            for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+                *o = row.iter().sum();
+            }
+        }
+        fn name(&self) -> String {
+            "sum".into()
+        }
+    }
+
+    #[test]
+    fn round_trip_scores_and_books_balance() {
+        let server = Server::start(PlainEngine::new(Sum), ServerConfig::default());
+        let a = server
+            .submit(ScoreRequest::new(vec![1.0, 2.0, 3.0, 4.0]))
+            .expect("admit a");
+        let b = server
+            .submit(ScoreRequest::new(vec![10.0, 20.0]))
+            .expect("admit b");
+        let got_a = a.wait();
+        let got_b = b.wait();
+        assert_eq!(got_a.response.scores(), Some(&[3.0, 7.0][..]));
+        assert_eq!(got_b.response.scores(), Some(&[30.0][..]));
+        let (_engine, stats) = server.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.scored_primary, 2);
+        assert_eq!(stats.answered(), stats.admitted);
+        assert_eq!(stats.latency.count(), 2);
+    }
+
+    #[test]
+    fn bad_shape_is_refused_and_counted() {
+        let server = Server::start(PlainEngine::new(Sum), ServerConfig::default());
+        let err = server
+            .submit(ScoreRequest::new(vec![1.0, 2.0, 3.0]))
+            .expect_err("odd length");
+        assert_eq!(
+            err,
+            SubmitError::BadShape {
+                num_features: 2,
+                features_len: 3
+            }
+        );
+        let err = server
+            .submit(ScoreRequest::new(Vec::new()))
+            .expect_err("empty");
+        assert!(matches!(err, SubmitError::BadShape { .. }));
+        let (_engine, stats) = server.shutdown();
+        assert_eq!(stats.malformed, 2);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let server = Server::start(PlainEngine::new(Sum), ServerConfig::default());
+        server.shared.queue.close();
+        let err = server
+            .submit(ScoreRequest::new(vec![1.0, 2.0]))
+            .expect_err("closed");
+        assert_eq!(err, SubmitError::ShuttingDown);
+        let (_engine, stats) = server.shutdown();
+        assert_eq!(stats.rejected_shutdown, 1);
+        assert_eq!(stats.answered(), 0);
+    }
+
+    #[test]
+    fn drop_without_shutdown_still_answers_everything() {
+        let server = Server::start(PlainEngine::new(Sum), ServerConfig::default());
+        let handle = server
+            .submit(ScoreRequest::new(vec![1.0, 2.0]))
+            .expect("admit");
+        drop(server);
+        assert_eq!(handle.wait().response.scores(), Some(&[3.0][..]));
+    }
+
+    #[test]
+    fn deadline_zero_expires_in_queue() {
+        let server = Server::start(PlainEngine::new(Sum), ServerConfig::default());
+        let handle = server
+            .submit(ScoreRequest::new(vec![1.0, 2.0]).with_deadline(Duration::ZERO))
+            .expect("admit");
+        assert_eq!(handle.wait().response, crate::Response::Expired);
+        let (_engine, stats) = server.shutdown();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.scored(), 0);
+        assert_eq!(stats.answered(), stats.admitted);
+    }
+}

@@ -1,0 +1,201 @@
+//! Counters and gauges for everything the serving front-end did.
+//!
+//! [`ServerStats`] is the server-level counterpart of
+//! [`dlr_core::serve::ServeStats`]: every admission decision, batch, and
+//! terminal response outcome increments exactly one counter, so the
+//! overload-path tests can assert the whole block by equality. After a
+//! drain, the books must balance:
+//!
+//! ```text
+//! admitted == scored_primary + scored_fallback + expired + failed
+//! submitted == admitted + rejected_full + shed + rejected_shutdown + malformed
+//! ```
+//!
+//! Like `ServeStats`, equality compares counters and high-water gauges
+//! only — the latency histogram is measurement noise by nature.
+
+use dlr_core::serve::LatencyHistogram;
+
+/// Counters for one server's lifetime. See the module docs for the
+/// accounting identities.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Submission attempts, admitted or not.
+    pub submitted: u64,
+    /// Requests admitted into the queue (each owes exactly one response).
+    pub admitted: u64,
+    /// Submissions refused because the queue was full (Reject policy).
+    pub rejected_full: u64,
+    /// Submissions shed by admission control (predicted deadline miss).
+    pub shed: u64,
+    /// Submissions refused because the server was draining.
+    pub rejected_shutdown: u64,
+    /// Submissions refused for a malformed feature block.
+    pub malformed: u64,
+    /// Micro-batches executed (a batch of only expired requests still
+    /// counts as formed but not executed).
+    pub batches: u64,
+    /// Documents across executed micro-batches.
+    pub batched_docs: u64,
+    /// Requests scored by the primary scorer.
+    pub scored_primary: u64,
+    /// Requests scored by the fallback (the engine degraded).
+    pub scored_fallback: u64,
+    /// Requests whose deadline expired in the queue (answered, unscored).
+    pub expired: u64,
+    /// Requests answered `Failed` because their batch panicked or its
+    /// engine returned a typed error.
+    pub failed: u64,
+    /// Batch executions that panicked (isolated to their own requests).
+    pub batch_panics: u64,
+    /// High-water mark of queued requests.
+    pub max_queue_depth: u64,
+    /// High-water mark of queued documents.
+    pub max_queued_docs: u64,
+    /// Admission→delivery latency of every answered request.
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    /// Requests scored by either scorer.
+    pub fn scored(&self) -> u64 {
+        self.scored_primary + self.scored_fallback
+    }
+
+    /// Responses delivered (scored, expired or failed).
+    pub fn answered(&self) -> u64 {
+        self.scored() + self.expired + self.failed
+    }
+
+    /// Submissions refused at the door (never admitted, no response).
+    pub fn refused(&self) -> u64 {
+        self.rejected_full + self.shed + self.rejected_shutdown + self.malformed
+    }
+
+    /// Record a response delivery's latency.
+    pub(crate) fn record_latency(&mut self, nanos: u64) {
+        self.latency.record(std::time::Duration::from_nanos(nanos));
+    }
+}
+
+impl PartialEq for ServerStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.submitted == other.submitted
+            && self.admitted == other.admitted
+            && self.rejected_full == other.rejected_full
+            && self.shed == other.shed
+            && self.rejected_shutdown == other.rejected_shutdown
+            && self.malformed == other.malformed
+            && self.batches == other.batches
+            && self.batched_docs == other.batched_docs
+            && self.scored_primary == other.scored_primary
+            && self.scored_fallback == other.scored_fallback
+            && self.expired == other.expired
+            && self.failed == other.failed
+            && self.batch_panics == other.batch_panics
+            && self.max_queue_depth == other.max_queue_depth
+            && self.max_queued_docs == other.max_queued_docs
+    }
+}
+
+impl Eq for ServerStats {}
+
+impl std::fmt::Display for ServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "submitted {} | admitted {} | rejected-full {} | shed {} | rejected-shutdown {} | malformed {}",
+            self.submitted,
+            self.admitted,
+            self.rejected_full,
+            self.shed,
+            self.rejected_shutdown,
+            self.malformed
+        )?;
+        writeln!(
+            f,
+            "batches {} ({} docs) | scored {} (primary {}, fallback {}) | expired {} | failed {} | batch panics {}",
+            self.batches,
+            self.batched_docs,
+            self.scored(),
+            self.scored_primary,
+            self.scored_fallback,
+            self.expired,
+            self.failed,
+            self.batch_panics
+        )?;
+        write!(
+            f,
+            "queue high-water: {} requests, {} docs",
+            self.max_queue_depth, self.max_queued_docs
+        )?;
+        if let (Some(p50), Some(p99), Some(p999)) = (
+            self.latency.p50_us(),
+            self.latency.p99_us(),
+            self.latency.p999_us(),
+        ) {
+            write!(
+                f,
+                "\nrequest latency us: p50 <= {p50} | p99 <= {p99} | p999 <= {p999} ({} answered)",
+                self.latency.count()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_helpers_sum_their_parts() {
+        let s = ServerStats {
+            submitted: 10,
+            admitted: 6,
+            rejected_full: 2,
+            shed: 1,
+            malformed: 1,
+            scored_primary: 3,
+            scored_fallback: 1,
+            expired: 1,
+            failed: 1,
+            ..ServerStats::default()
+        };
+        assert_eq!(s.scored(), 4);
+        assert_eq!(s.answered(), 6);
+        assert_eq!(s.refused(), 4);
+        assert_eq!(s.submitted, s.admitted + s.refused());
+        assert_eq!(s.admitted, s.answered());
+    }
+
+    #[test]
+    fn equality_ignores_the_histogram() {
+        let mut a = ServerStats {
+            admitted: 3,
+            ..ServerStats::default()
+        };
+        a.record_latency(1_000);
+        let b = ServerStats {
+            admitted: 3,
+            ..ServerStats::default()
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.latency.count(), 1);
+    }
+
+    #[test]
+    fn display_covers_counters_gauges_and_percentiles() {
+        let mut s = ServerStats {
+            admitted: 1,
+            scored_primary: 1,
+            max_queue_depth: 4,
+            ..ServerStats::default()
+        };
+        s.record_latency(2_000);
+        let text = s.to_string();
+        assert!(text.contains("queue high-water: 4 requests"), "{text}");
+        assert!(text.contains("p999"), "{text}");
+        assert!(text.contains("batch panics 0"), "{text}");
+    }
+}

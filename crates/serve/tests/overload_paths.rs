@@ -1,0 +1,413 @@
+//! Exact-count accounting for every overload path the server defends.
+//!
+//! Each test drives one failure mode with injected faults or rigged
+//! forecasters, then asserts the full [`ServerStats`] block by equality
+//! (counters and high-water gauges; the latency histogram is excluded by
+//! `PartialEq`). The invariant under test everywhere: **no admitted
+//! request is ever lost or answered twice** — after a drain,
+//! `admitted == scored + expired + failed` exactly.
+//!
+//! Determinism notes: sequential submit-and-wait with
+//! `max_batch_docs = 1` makes batch boundaries (and so fault-schedule
+//! indices and queue high-water marks) exact; expiry uses stalls much
+//! longer than the deadline; shedding uses a forecaster that always
+//! predicts far over budget.
+
+use dlr_core::fault::{ServerFault, ServerFaultPlan};
+use dlr_core::scoring::DocumentScorer;
+use dlr_core::serve::{RobustScorer, ServedBy};
+use dlr_serve::{
+    Backpressure, BatchConfig, PlainEngine, Response, ScoreRequest, Server, ServerConfig,
+    ServerStats, SubmitError,
+};
+use std::time::Duration;
+
+/// Two features per document; score = 1000·f0 + f1.
+struct Tagged;
+
+impl DocumentScorer for Tagged {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+            *o = row[0] * 1000.0 + row[1];
+        }
+    }
+    fn name(&self) -> String {
+        "tagged".into()
+    }
+}
+
+/// Fallback that answers a constant, so degraded responses are visible.
+struct Const(f32);
+
+impl DocumentScorer for Const {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, _rows: &[f32], out: &mut [f32]) {
+        out.fill(self.0);
+    }
+    fn name(&self) -> String {
+        "const".into()
+    }
+}
+
+fn one_doc_batches() -> BatchConfig {
+    BatchConfig {
+        max_batch_docs: 1,
+        max_wait: Duration::from_millis(1),
+    }
+}
+
+fn req(q: u32) -> ScoreRequest {
+    ScoreRequest::new(vec![q as f32, 0.0])
+}
+
+/// Expected stats must match ACTUAL exactly, except the histogram which
+/// equality already ignores.
+fn assert_books(actual: &ServerStats, expected: &ServerStats) {
+    assert_eq!(
+        actual, expected,
+        "\nactual:\n{actual}\nexpected:\n{expected}"
+    );
+    assert_eq!(
+        actual.admitted,
+        actual.scored_primary + actual.scored_fallback + actual.expired + actual.failed,
+        "admitted requests must all be answered exactly once"
+    );
+    assert_eq!(
+        actual.submitted,
+        actual.admitted + actual.refused(),
+        "every submission is admitted or refused"
+    );
+}
+
+/// Overload path 1 — **shed**: admission control refuses requests whose
+/// deadline the forecaster says cannot be met; requests without a
+/// deadline sail through. Zero admitted requests are lost.
+#[test]
+fn admission_control_sheds_predicted_deadline_misses() {
+    let server = Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            admission: Some(Box::new(|_docs: usize| Some(Duration::from_secs(10)))),
+            ..ServerConfig::default()
+        },
+    );
+    for q in 0..3 {
+        let err = server
+            .submit(req(q).with_deadline(Duration::from_millis(1)))
+            .expect_err("predicted to miss its deadline");
+        assert_eq!(
+            err,
+            SubmitError::Shed {
+                predicted: Duration::from_secs(10),
+                budget: Duration::from_millis(1),
+            }
+        );
+    }
+    for q in 0..2 {
+        let got = server
+            .submit(req(q))
+            .expect("no deadline, never shed")
+            .wait();
+        assert_eq!(got.response.scores(), Some(&[q as f32 * 1000.0][..]));
+    }
+    let (_engine, stats) = server.shutdown();
+    let expected = ServerStats {
+        submitted: 5,
+        admitted: 2,
+        shed: 3,
+        batches: 2,
+        batched_docs: 2,
+        scored_primary: 2,
+        max_queue_depth: 1,
+        max_queued_docs: 1,
+        ..ServerStats::default()
+    };
+    assert_books(&stats, &expected);
+}
+
+/// Overload path 2 — **degrade**: a deadline that survives admission
+/// propagates into the robust engine, whose forecaster veto routes the
+/// batch to the fallback instead of missing the deadline. The response
+/// is marked [`ServedBy::Fallback`] and carries the fallback's scores.
+#[test]
+fn propagated_deadlines_degrade_to_the_fallback() {
+    let engine = RobustScorer::new(Tagged, Const(7.0), "degrade-test")
+        .with_forecaster(|_docs: usize| Some(Duration::from_secs(10)));
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: one_doc_batches(),
+            ..ServerConfig::default()
+        },
+    );
+    for q in 0..3 {
+        let got = server
+            .submit(req(q).with_deadline(Duration::from_secs(5)))
+            .expect("admitted: no admission forecaster configured")
+            .wait();
+        match got.response {
+            Response::Scored { scores, served_by } => {
+                assert_eq!(served_by, ServedBy::Fallback);
+                assert_eq!(scores, [7.0]);
+            }
+            other => panic!("expected degraded scores, got {other:?}"),
+        }
+    }
+    let (engine, stats) = server.shutdown();
+    let expected = ServerStats {
+        submitted: 3,
+        admitted: 3,
+        batches: 3,
+        batched_docs: 3,
+        scored_fallback: 3,
+        max_queue_depth: 1,
+        max_queued_docs: 1,
+        ..ServerStats::default()
+    };
+    assert_books(&stats, &expected);
+    assert_eq!(engine.stats().fallback_batches, 3);
+}
+
+/// Overload path 3 — **drain**: shutdown closes admission but answers
+/// everything already admitted; nothing is lost, nothing scored twice.
+#[test]
+fn shutdown_drains_every_admitted_request() {
+    let server = Server::start(PlainEngine::new(Tagged), ServerConfig::default());
+    let handles: Vec<_> = (0..40)
+        .map(|q| server.submit(req(q)).expect("admitted"))
+        .collect();
+    let (_engine, stats) = server.shutdown();
+    // The drain guarantee: every handle is already answered when
+    // shutdown returns — wait() cannot block.
+    for (q, handle) in handles.into_iter().enumerate() {
+        assert!(handle.is_ready(), "request {q} unanswered after drain");
+        assert_eq!(
+            handle.wait().response.scores(),
+            Some(&[q as f32 * 1000.0][..])
+        );
+    }
+    assert_eq!(stats.submitted, 40);
+    assert_eq!(stats.admitted, 40);
+    assert_eq!(stats.scored_primary, 40);
+    assert_eq!(stats.expired + stats.failed, 0);
+    assert_eq!(stats.batched_docs, 40, "every admitted doc is batched once");
+    assert!(stats.batches >= 1 && stats.batches <= 40);
+    assert_eq!(stats.latency.count(), 40);
+}
+
+/// Overload path 4 — **isolated batch panic**: a poisoned batch fails
+/// only its own requests; the batches before and after it score
+/// normally on the same dispatcher thread.
+#[test]
+fn a_panicking_batch_fails_only_itself() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let plan = ServerFaultPlan::from_schedule(vec![ServerFault::None, ServerFault::BatchPanic]);
+    let counters = plan.counters();
+    let server = Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            faults: Some(plan),
+            ..ServerConfig::default()
+        },
+    );
+    let r0 = server.submit(req(0)).expect("admitted").wait();
+    let r1 = server.submit(req(1)).expect("admitted").wait();
+    let r2 = server.submit(req(2)).expect("admitted").wait();
+    std::panic::set_hook(prev);
+    assert_eq!(r0.response.scores(), Some(&[0.0][..]));
+    assert_eq!(r1.response, Response::Failed);
+    assert_eq!(r2.response.scores(), Some(&[2000.0][..]));
+    let (_engine, stats) = server.shutdown();
+    let expected = ServerStats {
+        submitted: 3,
+        admitted: 3,
+        batches: 3,
+        batched_docs: 3,
+        scored_primary: 2,
+        failed: 1,
+        batch_panics: 1,
+        max_queue_depth: 1,
+        max_queued_docs: 1,
+        ..ServerStats::default()
+    };
+    assert_books(&stats, &expected);
+    assert_eq!(
+        counters
+            .batch_panics
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+/// Injected **deadline storm**: the batch budget collapses to zero, so a
+/// robust engine with any nonzero forecast degrades; the next batch is
+/// served primary again.
+#[test]
+fn deadline_storm_degrades_one_batch() {
+    let plan = ServerFaultPlan::from_schedule(vec![ServerFault::DeadlineStorm]);
+    let engine = RobustScorer::new(Tagged, Const(7.0), "storm-test")
+        .with_forecaster(|_docs: usize| Some(Duration::from_micros(1)));
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: one_doc_batches(),
+            faults: Some(plan),
+            ..ServerConfig::default()
+        },
+    );
+    let stormed = server.submit(req(1)).expect("admitted").wait();
+    assert_eq!(stormed.response.scores(), Some(&[7.0][..]));
+    let calm = server.submit(req(2)).expect("admitted").wait();
+    assert_eq!(calm.response.scores(), Some(&[2000.0][..]));
+    let (_engine, stats) = server.shutdown();
+    let expected = ServerStats {
+        submitted: 2,
+        admitted: 2,
+        batches: 2,
+        batched_docs: 2,
+        scored_primary: 1,
+        scored_fallback: 1,
+        max_queue_depth: 1,
+        max_queued_docs: 1,
+        ..ServerStats::default()
+    };
+    assert_books(&stats, &expected);
+}
+
+/// Injected **queue stall**: the consumer deschedules long enough for a
+/// queued deadline to lapse; the request is answered `Expired` without
+/// being scored, and is still fully accounted.
+#[test]
+fn queue_stall_expires_deadlined_requests() {
+    let plan =
+        ServerFaultPlan::from_schedule(vec![ServerFault::QueueStall(Duration::from_millis(50))]);
+    let counters = plan.counters();
+    let server = Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            faults: Some(plan),
+            ..ServerConfig::default()
+        },
+    );
+    let got = server
+        .submit(req(1).with_deadline(Duration::from_millis(5)))
+        .expect("admitted")
+        .wait();
+    assert_eq!(got.response, Response::Expired);
+    assert!(
+        got.latency_nanos >= 5_000_000,
+        "expiry cannot precede the deadline; measured {}ns",
+        got.latency_nanos
+    );
+    let (_engine, stats) = server.shutdown();
+    let expected = ServerStats {
+        submitted: 1,
+        admitted: 1,
+        expired: 1,
+        max_queue_depth: 1,
+        max_queued_docs: 1,
+        ..ServerStats::default()
+    };
+    assert_books(&stats, &expected);
+    assert_eq!(
+        counters
+            .queue_stalls
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+/// **Backpressure (Reject)**: with the dispatcher stalled, submissions
+/// beyond the queue capacity are refused with a typed error and exact
+/// counts; everything admitted is still answered.
+#[test]
+fn reject_backpressure_bounds_the_queue_exactly() {
+    let plan =
+        ServerFaultPlan::from_schedule(vec![ServerFault::QueueStall(Duration::from_millis(60))]);
+    let server = Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            queue_capacity: 2,
+            backpressure: Backpressure::Reject,
+            faults: Some(plan),
+            ..ServerConfig::default()
+        },
+    );
+    // First request: taken by the dispatcher, which then stalls 60ms.
+    let h0 = server.submit(req(0)).expect("admitted");
+    let start = std::time::Instant::now();
+    while server.queue_depth().0 > 0 {
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dispatcher never took r0"
+        );
+        std::thread::yield_now();
+    }
+    // Queue (capacity 2) fills behind the stalled dispatcher.
+    let h1 = server.submit(req(1)).expect("fits");
+    let h2 = server.submit(req(2)).expect("fits");
+    let err = server.submit(req(3)).expect_err("queue is full");
+    assert_eq!(err, SubmitError::QueueFull);
+    for (q, h) in [(0u32, h0), (1, h1), (2, h2)] {
+        assert_eq!(h.wait().response.scores(), Some(&[q as f32 * 1000.0][..]));
+    }
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.rejected_full, 1);
+    assert_eq!(stats.scored_primary, 3);
+    assert_eq!(stats.max_queue_depth, 2);
+    assert_eq!(stats.answered(), stats.admitted);
+}
+
+/// **Backpressure (Block)**: a submitter over capacity parks instead of
+/// being refused, and completes once the dispatcher frees space — the
+/// closed-loop alternative to rejection.
+#[test]
+fn block_backpressure_parks_the_submitter() {
+    let plan =
+        ServerFaultPlan::from_schedule(vec![ServerFault::QueueStall(Duration::from_millis(40))]);
+    let server = std::sync::Arc::new(Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            queue_capacity: 1,
+            backpressure: Backpressure::Block,
+            faults: Some(plan),
+            ..ServerConfig::default()
+        },
+    ));
+    let h0 = server.submit(req(0)).expect("admitted");
+    let start = std::time::Instant::now();
+    while server.queue_depth().0 > 0 {
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dispatcher never took r0"
+        );
+        std::thread::yield_now();
+    }
+    let h1 = server.submit(req(1)).expect("fills the queue");
+    let blocked = std::thread::spawn({
+        let server = std::sync::Arc::clone(&server);
+        move || server.submit(req(2)).expect("admitted after space frees")
+    });
+    let h2 = blocked.join().expect("blocked submitter");
+    for (q, h) in [(0u32, h0), (1, h1), (2, h2)] {
+        assert_eq!(h.wait().response.scores(), Some(&[q as f32 * 1000.0][..]));
+    }
+    let server = std::sync::Arc::into_inner(server).expect("sole owner");
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.rejected_full, 0);
+    assert_eq!(stats.scored_primary, 3);
+}

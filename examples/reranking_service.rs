@@ -6,12 +6,17 @@
 //! stream of queries through each, reporting per-query latency percentiles
 //! (p50/p95/p99) and the quality delta — the view an SRE actually cares
 //! about, built from the same components as the paper's µs/doc tables.
+//! It then puts the distilled net behind the `dlr-serve` front-end and
+//! replays the stream open-loop with injected scorer *and* server faults,
+//! demonstrating micro-batching, admission control, and per-request
+//! deadlines degrading to the forest fallback instead of missing.
 //!
 //! ```sh
 //! cargo run --release --example reranking_service
 //! ```
 
 use distilled_ltr::prelude::*;
+use distilled_ltr::serve::{BatchConfig, Response, ScoreRequest, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -70,13 +75,16 @@ fn main() {
     println!("\nper-QUERY latency = (docs per query) x (us/doc); the paper's 0.5 us/doc");
     println!("low-latency budget is ~50 us per 100-doc query at rerank time.");
 
-    // The same net scorer behind the fault-tolerant serving layer, with
-    // injected faults (latency spikes, NaN outputs, panics, short writes)
-    // standing in for the failures a long-running reranker actually sees.
-    // The forest serves as the always-available fallback, and the
-    // Equation 3 predictor forecasts each batch against the deadline.
-    println!("\nreplaying the same stream through the robust serving layer");
-    println!("with injected faults (net primary, forest fallback)...\n");
+    // The same net scorer behind the full serving front-end: dynamic
+    // micro-batching, admission control, backpressure, and per-request
+    // deadline propagation into the robust degradation path. Faults are
+    // injected at BOTH levels — scorer faults (latency spikes, NaNs,
+    // panics, short writes) and server faults (queue stalls, slow
+    // consumers, batch panics, deadline storms) — standing in for the
+    // failures a long-running reranker actually sees.
+    println!("\nserving the same stream through the dlr-serve front-end");
+    println!("(micro-batching + admission control + deadline propagation)");
+    println!("with injected scorer AND server faults (net primary, forest fallback)...\n");
     silence_injected_panic_messages();
     let faulty_net = FaultInjectingScorer::seeded(
         HybridScorer::new(
@@ -94,47 +102,115 @@ fn main() {
         },
     );
     let injected = faulty_net.counters();
-    let forecast = BudgetForecast::pruned(DensePredictor::paper_i9_9900k(), 136, vec![128, 64, 32])
-        .with_safety_factor(1.5);
-    let mut robust = RobustScorer::new(
+    // Equation 3 predictors, both at admission (shed requests that cannot
+    // meet their deadline behind the queue) and inside the engine (degrade
+    // to the fallback when the propagated budget cannot be met).
+    let engine_forecast =
+        BudgetForecast::pruned(DensePredictor::paper_i9_9900k(), 136, vec![128, 64, 32])
+            .with_safety_factor(1.5);
+    let admission_forecast =
+        BudgetForecast::pruned(DensePredictor::paper_i9_9900k(), 136, vec![128, 64, 32])
+            .with_safety_factor(1.5);
+    let robust = RobustScorer::new(
         faulty_net,
         QuickScorerScorer::compile(&forest, "forest/fallback"),
         "net/robust",
     )
     .with_sanitize(SanitizePolicy::clamp())
-    .with_deadline(DeadlinePolicy::with_deadline(Duration::from_millis(2)))
-    .with_forecaster(forecast.into_forecaster());
+    .with_forecaster(engine_forecast.into_forecaster());
 
-    let (lat, ndcg) = replay(&mut robust, &split.test);
-    println!(
-        "{:<20} {:>9.4} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-        robust.name(),
-        ndcg,
-        pct(&lat, 0.50),
-        pct(&lat, 0.95),
-        pct(&lat, 0.99),
-        lat.last().copied().unwrap_or(0.0),
+    let server_faults = ServerFaultPlan::seeded(
+        7,
+        ServerFaultConfig {
+            p_stall: 0.10,
+            stall: Duration::from_millis(3), // longer than the deadline: expiry
+            p_slow: 0.10,
+            slow: Duration::from_millis(1),
+            p_panic: 0.05,
+            p_storm: 0.10,
+        },
     );
+    let server_counters = server_faults.counters();
+    let server = Server::start(
+        robust,
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch_docs: 200, // coalesce up to two 100-doc queries
+                max_wait: Duration::from_micros(500),
+            },
+            queue_capacity: 16,
+            admission: Some(Box::new(admission_forecast.into_forecaster())),
+            faults: Some(server_faults),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Open-loop: submit every test query with a 2ms deadline, never
+    // waiting for responses — overload surfaces as typed refusals and
+    // degraded responses, not as an invisible upstream queue. Arrivals
+    // are paced (with every fourth query arriving in a burst) so the
+    // dispatcher interleaves even on a single-core host.
+    let deadline = Duration::from_millis(2);
+    let mut handles = Vec::new();
+    let mut refused = 0u64;
+    for q in 0..split.test.num_queries() {
+        let query = split.test.query(q).expect("valid query index");
+        match server.submit(ScoreRequest::new(query.features.to_vec()).with_deadline(deadline)) {
+            Ok(handle) => handles.push(handle),
+            Err(_) => refused += 1,
+        }
+        if q % 4 != 3 {
+            std::thread::sleep(Duration::from_micros(700));
+        }
+    }
+    let (engine, stats) = server.shutdown();
+
+    let (mut primary, mut fallback, mut expired, mut failed) = (0u64, 0u64, 0u64, 0u64);
+    for handle in handles {
+        match handle.wait().response {
+            Response::Scored {
+                served_by: ServedBy::Primary,
+                ..
+            } => primary += 1,
+            Response::Scored {
+                served_by: ServedBy::Fallback,
+                ..
+            } => fallback += 1,
+            Response::Expired => expired += 1,
+            Response::Failed => failed += 1,
+        }
+    }
+    println!(
+        "request outcomes: {primary} primary, {fallback} degraded-to-fallback, {expired} expired, {failed} failed, {refused} refused at the door"
+    );
+    println!("\nserver stats (p50/p99/p999 + queue high-water gauges):\n{stats}");
+
     use std::sync::atomic::Ordering;
     println!(
-        "\ninjected faults: {} (spikes {}, nan batches {}, panics {}, short writes {})",
+        "\ninjected scorer faults: {} (spikes {}, nan batches {}, panics {}, short writes {})",
         injected.total_faults(),
         injected.latency_spikes.load(Ordering::Relaxed),
         injected.nan_batches.load(Ordering::Relaxed),
         injected.panics.load(Ordering::Relaxed),
         injected.short_writes.load(Ordering::Relaxed),
     );
-    println!("serving stats:\n{}", robust.stats());
-    // The robust layer keeps its own constant-memory latency histogram, so
-    // a long-running service gets tail percentiles without storing every
-    // sample the way replay() does above.
-    let hist = &robust.stats().latency;
-    if let (Some(p50), Some(p95), Some(p99)) = (hist.p50_us(), hist.p95_us(), hist.p99_us()) {
-        println!(
-            "\nrobust-layer histogram over {} batches: p50 <= {p50} us, p95 <= {p95} us, p99 <= {p99} us",
-            hist.count()
-        );
-    }
+    println!(
+        "injected server faults: {} (stalls {}, slow consumers {}, batch panics {}, deadline storms {})",
+        server_counters.total_faults(),
+        server_counters.queue_stalls.load(Ordering::Relaxed),
+        server_counters.slow_consumers.load(Ordering::Relaxed),
+        server_counters.batch_panics.load(Ordering::Relaxed),
+        server_counters.deadline_storms.load(Ordering::Relaxed),
+    );
+    println!("\nrobust engine stats after drain:\n{}", engine.stats());
+
+    // The drain guarantee, checked: every admitted request was answered
+    // exactly once, whatever the injected chaos did.
+    assert_eq!(
+        stats.admitted,
+        primary + fallback + expired + failed,
+        "admitted requests must balance answered outcomes exactly"
+    );
 }
 
 /// Keep injected-fault panics (caught and absorbed by the robust layer)

@@ -23,6 +23,7 @@
 //! | [`prune`] | Magnitude pruning, sensitivity analysis, prune/fine-tune schedules |
 //! | [`predictor`] | Dense & sparse scoring-time predictors + architecture search |
 //! | [`core`] | The end-to-end methodology, Pareto frontiers, scenarios |
+//! | [`serve`] | Overload-safe serving: micro-batching, admission control, drain |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use dlr_nn as nn;
 pub use dlr_predictor as predictor;
 pub use dlr_prune as prune;
 pub use dlr_quickscorer as quickscorer;
+pub use dlr_serve as serve;
 pub use dlr_sparse as sparse;
 
 /// One-stop imports (re-exported from [`dlr_core::prelude`]).
