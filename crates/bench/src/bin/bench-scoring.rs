@@ -4,7 +4,15 @@
 //! BWQS — serially and through a [`WorkPool`] at 1/2/4 threads, asserts
 //! the pooled outputs are bit-identical to serial, and emits
 //! `BENCH_scoring.json` with per-kernel throughput, speedups and fitted
-//! Amdahl serial fractions.
+//! Amdahl serial fractions. (Amdahl fits need ≥2 threads, so 1-thread
+//! runs record `serial_fraction: null` rather than the fit floor.)
+//!
+//! A `simd` section sweeps each kernel single-threaded over every ISA the
+//! host supports (scalar / SSE2 / AVX2+FMA, via [`dlr_simd::force`]) and
+//! records per-ISA throughput and speedup over scalar, plus the host's
+//! detected feature set. The QuickScorer entry benches the vectorized
+//! (vQS) scorer — that is where the mask-step kernel lives; BWQS traversal
+//! is scalar by design.
 //!
 //! ```text
 //! cargo run --release -p dlr-bench --bin bench-scoring            # full sizes
@@ -22,6 +30,8 @@ use dlr_dense::{gemm_with, GemmWorkspace, GotoParams, Matrix, PrepackedB};
 use dlr_gbdt::tree::leaf_ref;
 use dlr_gbdt::{Ensemble, RegressionTree};
 use dlr_quickscorer::blockwise::BlockwiseQuickScorer;
+use dlr_quickscorer::VectorizedQuickScorer;
+use dlr_simd::Isa;
 use dlr_sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -87,7 +97,10 @@ struct Run {
     threads: usize,
     parallel_secs: f64,
     speedup: f64,
-    serial_fraction: f64,
+    /// Fitted Amdahl serial fraction; `None` for 1-thread runs, where the
+    /// fit is undefined (speedup(1) ≡ 1 for every fraction) and recording
+    /// the fitter's floor would be misleading.
+    serial_fraction: Option<f64>,
 }
 
 struct KernelReport {
@@ -125,7 +138,7 @@ impl KernelReport {
                     threads: t,
                     parallel_secs,
                     speedup: sample.speedup(),
-                    serial_fraction: sample.serial_fraction(),
+                    serial_fraction: (t > 1).then(|| sample.serial_fraction()),
                 }
             })
             .collect();
@@ -149,12 +162,15 @@ impl KernelReport {
             self.unit
         );
         for r in &self.runs {
+            let sf = r
+                .serial_fraction
+                .map_or("n/a".to_string(), |f| format!("{f:.2}"));
             println!(
-                "       {} threads: {:.3} ms  speedup {:.2}x  serial-fraction {:.2}",
+                "       {} threads: {:.3} ms  speedup {:.2}x  serial-fraction {}",
                 r.threads,
                 r.parallel_secs * 1e3,
                 r.speedup,
-                r.serial_fraction
+                sf
             );
         }
     }
@@ -164,9 +180,12 @@ impl KernelReport {
             .runs
             .iter()
             .map(|r| {
+                let sf = r
+                    .serial_fraction
+                    .map_or("null".to_string(), |f| format!("{f:.4}"));
                 format!(
-                    "{{\"threads\":{},\"parallel_secs\":{:.9},\"speedup\":{:.4},\"serial_fraction\":{:.4}}}",
-                    r.threads, r.parallel_secs, r.speedup, r.serial_fraction
+                    "{{\"threads\":{},\"parallel_secs\":{:.9},\"speedup\":{:.4},\"serial_fraction\":{}}}",
+                    r.threads, r.parallel_secs, r.speedup, sf
                 )
             })
             .collect();
@@ -177,6 +196,98 @@ impl KernelReport {
             self.unit,
             self.work,
             self.serial_secs,
+            runs.join(",")
+        )
+    }
+}
+
+/// One kernel's single-threaded ISA sweep for the `simd` JSON section.
+struct SimdKernelReport {
+    kernel: &'static str,
+    shape: String,
+    /// Work per call, in `unit`s — divides by seconds for throughput.
+    work: f64,
+    unit: &'static str,
+    /// `(isa, median secs)`, scalar first (ascending ISA order).
+    runs: Vec<(Isa, f64)>,
+}
+
+impl SimdKernelReport {
+    /// Time `f` once per supported ISA with the process-wide dispatch
+    /// forced to that level ([`dlr_simd::force`]); the previous choice is
+    /// restored afterwards. Single-threaded by construction — `f` runs on
+    /// this thread only.
+    fn sweep(
+        kernel: &'static str,
+        shape: String,
+        work: f64,
+        unit: &'static str,
+        reps: usize,
+        mut f: impl FnMut(),
+    ) -> SimdKernelReport {
+        let runs = Isa::ALL
+            .iter()
+            .copied()
+            .filter(|&isa| dlr_simd::supported(isa))
+            .map(|isa| {
+                let prev = dlr_simd::force(isa).expect("forcing a supported ISA");
+                let secs = median_secs(reps, &mut f);
+                dlr_simd::force(prev).expect("restoring the dispatch choice");
+                (isa, secs)
+            })
+            .collect();
+        SimdKernelReport {
+            kernel,
+            shape,
+            work,
+            unit,
+            runs,
+        }
+    }
+
+    fn scalar_secs(&self) -> f64 {
+        self.runs
+            .iter()
+            .find(|(isa, _)| *isa == Isa::Scalar)
+            .map_or(f64::NAN, |(_, s)| *s)
+    }
+
+    fn print(&self) {
+        let scalar = self.scalar_secs();
+        for (isa, secs) in &self.runs {
+            println!(
+                "       {:<6} {:>6}: {:.3} ms  ({:.1} {}/s)  {:.2}x vs scalar",
+                self.kernel,
+                isa.name(),
+                secs * 1e3,
+                self.work / secs,
+                self.unit,
+                scalar / secs
+            );
+        }
+    }
+
+    fn json(&self) -> String {
+        let scalar = self.scalar_secs();
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|(isa, secs)| {
+                format!(
+                    "{{\"isa\":\"{}\",\"secs\":{:.9},\"throughput\":{:.4},\"speedup_vs_scalar\":{:.4}}}",
+                    isa.name(),
+                    secs,
+                    self.work / secs,
+                    scalar / secs
+                )
+            })
+            .collect();
+        format!(
+            "{{\"kernel\":\"{}\",\"shape\":\"{}\",\"unit\":\"{}\",\"work_per_call\":{:.6},\"runs\":[{}]}}",
+            self.kernel,
+            self.shape,
+            self.unit,
+            self.work,
             runs.join(",")
         )
     }
@@ -302,14 +413,73 @@ fn main() {
     );
     bwqs.print();
 
+    // --- SIMD sweep: each kernel single-threaded, dispatch forced to
+    // every ISA the host supports. The vQS scorer stands in for
+    // QuickScorer here — its mask step is the dlr-simd kernel. GEMM runs
+    // the full batch shape; SDMM runs a per-query micro-batch (the
+    // paper's serving granularity, §5) so packed B is cache-resident and
+    // the sweep measures the kernel's arithmetic, not DRAM bandwidth —
+    // at the full 4096-doc shape every ISA is equally memory-bound.
+    println!("\nsimd dispatch sweep (single-threaded):");
+    let simd_gemm = SimdKernelReport::sweep(
+        "gemm",
+        format!("{m}x{k} . {k}x{n}"),
+        2.0 * m as f64 * k as f64 * n as f64 / 1e9,
+        "GFLOP",
+        sz.reps,
+        || gemm_with(m, k, n, a.as_slice(), b.as_slice(), &mut c, params, &mut ws),
+    );
+    simd_gemm.print();
+    let nq = (sz.docs / 32).max(64);
+    let bq = Matrix::random(k, nq, 1.0, 21);
+    let packed_q = PackedB::pack(bq.as_slice(), k, nq);
+    let mut cq = vec![0.0f32; m * nq];
+    let mut sp_ws_q = SpmmWorkspace::default();
+    // More reps: the micro-batch call is ~16x shorter than the full one.
+    let simd_spmm = SimdKernelReport::sweep(
+        "sdmm",
+        format!("{m}x{k} ({:.1}% sparse) . {k}x{nq}", csr.sparsity() * 100.0),
+        nq as f64,
+        "docs",
+        sz.reps * 32,
+        || spmm_xsmm_packed(&csr, &packed_q, &mut cq, &mut sp_ws_q),
+    );
+    simd_spmm.print();
+    let vqs = VectorizedQuickScorer::compile(&ensemble).expect("compile vQS");
+    let mut vq_out = vec![0.0f32; n];
+    let simd_vqs = SimdKernelReport::sweep(
+        "vqs",
+        format!("{} trees x {n} docs", sz.trees),
+        n as f64,
+        "docs",
+        sz.reps,
+        || vqs.score_batch(&docs, &mut vq_out),
+    );
+    simd_vqs.print();
+
     // --- Emit BENCH_scoring.json.
     let kernels: Vec<String> = [&gemm, &spmm, &bwqs].iter().map(|r| r.json()).collect();
+    let features: Vec<String> = dlr_simd::dispatch::feature_summary()
+        .iter()
+        .map(|(name, det)| format!("\"{name}\":{det}"))
+        .collect();
+    let simd_kernels: Vec<String> = [&simd_gemm, &simd_spmm, &simd_vqs]
+        .iter()
+        .map(|r| r.json())
+        .collect();
+    let simd_json = format!(
+        "{{\"detected\":{{{}}},\"active\":\"{}\",\"kernels\":[{}]}}",
+        features.join(","),
+        dlr_simd::active().name(),
+        simd_kernels.join(",")
+    );
     let json = format!(
-        "{{\"bench\":\"scoring\",\"mode\":\"{}\",\"host_parallelism\":{},\"thread_counts\":[1,2,4],\"docs\":{},\"features\":{},\"kernels\":[{}]}}\n",
+        "{{\"bench\":\"scoring\",\"mode\":\"{}\",\"host_parallelism\":{},\"thread_counts\":[1,2,4],\"docs\":{},\"features\":{},\"simd\":{},\"kernels\":[{}]}}\n",
         sz.mode,
         host,
         sz.docs,
         sz.feats,
+        simd_json,
         kernels.join(",")
     );
     std::fs::write("BENCH_scoring.json", &json).expect("write BENCH_scoring.json");

@@ -14,10 +14,15 @@
 //!    computes an `m_r × n_r` tile of C as `k_c` rank-1 updates with the
 //!    tile held in registers.
 //!
-//! The micro-kernel here is a fixed 8×8 register tile written so the
-//! compiler auto-vectorizes the inner `n_r` loop into 256-bit FMA
-//! sequences — the safe-Rust analogue of the hand-written AVX2 kernels in
-//! oneDNN/BLIS.
+//! The micro-kernel is `dlr-simd`'s fixed 8×8 register tile
+//! ([`dlr_simd::gemm::micro_kernel_8x8`]): hand-written AVX2+FMA and SSE2
+//! `std::arch` paths behind a safe wrapper, runtime-dispatched per GEMM
+//! call with a portable scalar fallback — the same role the JIT-generated
+//! kernels play in oneDNN/BLIS. Packing, blocking, and the macro-kernel
+//! walk are unchanged; only the innermost tile computation moved. The
+//! AVX2 path fuses multiply-adds, so results may differ from the scalar
+//! path by the documented ULP envelope (see the `dlr-simd` crate docs);
+//! SSE2 and scalar are bit-identical.
 //!
 //! Small shapes use the oneDNN-style `rnd_up` refinement quoted in §4.2:
 //! `m̄_c = rnd_up(min(max(m, m_r), m_c), m_r)`, so tiny layers do not pay
@@ -25,6 +30,11 @@
 
 use super::GemmShapeError;
 use crate::matrix::Matrix;
+use dlr_simd::Isa;
+
+// The packing routines below produce exactly the strip layout the
+// dlr-simd micro-kernel consumes; keep the tile constants in lock-step.
+const _: () = assert!(MR == dlr_simd::gemm::MR && NR == dlr_simd::gemm::NR);
 
 /// Shape guard shared by the `try_` entry points.
 fn check_shape(what: &'static str, expected: usize, got: usize) -> Result<(), GemmShapeError> {
@@ -632,6 +642,9 @@ fn macro_kernel(
     ncb: usize,
     kcb: usize,
 ) {
+    // One dispatch decision per macro-kernel invocation: a relaxed atomic
+    // load, never re-detected in the tile loop.
+    let isa = dlr_simd::active();
     let a_strips = mcb.div_ceil(MR);
     let b_strips = ncb.div_ceil(NR);
     for jr in 0..b_strips {
@@ -642,21 +655,20 @@ fn macro_kernel(
             let astrip = &apack[ir * MR * kcb..(ir + 1) * MR * kcb];
             let row0 = ic + ir * MR;
             let rows = MR.min(ic + mcb - row0);
-            micro_kernel(astrip, bstrip, kcb, c, ldc, row0, col0, rows, cols);
+            micro_kernel(isa, astrip, bstrip, kcb, c, ldc, row0, col0, rows, cols);
         }
     }
 }
 
 /// The micro-kernel: `kcb` rank-1 updates accumulated into an `MR×NR`
-/// register tile, then added to C with edge clipping.
-///
-/// The inner `NR` loop over a fixed-size array is what the auto-vectorizer
-/// turns into FMA vector instructions; keeping `acc` as a flat local array
-/// keeps it in registers for the whole `kcb` loop, so the tile touches
-/// memory exactly once — the property Eq. 3's cost model is built on.
+/// register tile, then added to C with edge clipping — delegated to the
+/// runtime-dispatched `dlr-simd` tile kernel (the tile stays in registers
+/// for the whole `kcb` loop and touches memory exactly once, the property
+/// Eq. 3's cost model is built on).
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn micro_kernel(
+    isa: Isa,
     astrip: &[f32],
     bstrip: &[f32],
     kcb: usize,
@@ -667,24 +679,7 @@ fn micro_kernel(
     rows: usize,
     cols: usize,
 ) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for p in 0..kcb {
-        let avec: &[f32] = &astrip[p * MR..p * MR + MR];
-        let bvec: &[f32] = &bstrip[p * NR..p * NR + NR];
-        for i in 0..MR {
-            let ai = avec[i];
-            let row = &mut acc[i];
-            for j in 0..NR {
-                row[j] += ai * bvec[j];
-            }
-        }
-    }
-    for i in 0..rows {
-        let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + cols];
-        for (cv, &av) in crow.iter_mut().zip(&acc[i][..cols]) {
-            *cv += av;
-        }
-    }
+    dlr_simd::gemm::micro_kernel_8x8(isa, astrip, bstrip, kcb, c, ldc, row0, col0, rows, cols);
 }
 
 #[cfg(test)]

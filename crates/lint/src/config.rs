@@ -51,6 +51,9 @@ pub struct Config {
     pub deterministic: Vec<String>,
     /// Kernel files: numeric-cast hygiene.
     pub kernels: Vec<String>,
+    /// SIMD kernel files: the only place `#[target_feature]` may appear,
+    /// and where each such fn must be unsafe, private and SAFETY-documented.
+    pub simd: Vec<String>,
     /// Allowlist entries.
     pub allow: Vec<AllowEntry>,
 }
@@ -124,6 +127,7 @@ impl Config {
             HotPath,
             Deterministic,
             Kernels,
+            Simd,
             Allow,
         }
         let mut section = Section::None;
@@ -145,6 +149,7 @@ impl Config {
                     "hot_path" => Section::HotPath,
                     "deterministic" => Section::Deterministic,
                     "kernels" => Section::Kernels,
+                    "simd" => Section::Simd,
                     other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
                 };
                 continue;
@@ -200,6 +205,9 @@ impl Config {
                 }
                 (Section::Kernels, "files") => {
                     cfg.kernels = items.ok_or_else(|| err(lineno, "files must be an array"))?;
+                }
+                (Section::Simd, "files") => {
+                    cfg.simd = items.ok_or_else(|| err(lineno, "files must be an array"))?;
                 }
                 (Section::Allow, k @ ("lint" | "file" | "pattern" | "reason")) => {
                     let entry = cfg
@@ -286,6 +294,9 @@ files = ["crates/nn/src/checkpoint.rs"]
 [kernels]
 files = []
 
+[simd]
+files = ["crates/simd/src/"]
+
 [[allow]]
 lint = "HOTPATH_PANIC"
 file = "crates/dense/src/gemm/blocked.rs"
@@ -301,6 +312,7 @@ reason = "documented legacy wrapper"
         assert_eq!(cfg.hot_path.len(), 2);
         assert_eq!(cfg.deterministic, vec!["crates/nn/src/checkpoint.rs"]);
         assert!(cfg.kernels.is_empty());
+        assert_eq!(cfg.simd, vec!["crates/simd/src/"]);
         assert_eq!(cfg.allow.len(), 1);
         assert_eq!(cfg.allow[0].pattern, "unwrap_or_else(|e| panic!");
     }

@@ -21,6 +21,10 @@ pub enum LintId {
     FloatCast,
     /// Float `==`/`!=` against a literal outside tests.
     FloatEq,
+    /// `#[target_feature]` hygiene: such fns must live in the `[simd]`
+    /// module set, be `unsafe`, stay private to their dispatch module,
+    /// and carry a SAFETY contract.
+    SimdTargetFeature,
     /// Allowlist entry that matched nothing (stale config).
     UnusedAllow,
 }
@@ -36,12 +40,13 @@ impl LintId {
             LintId::Nondeterminism => "NONDETERMINISM",
             LintId::FloatCast => "FLOAT_CAST",
             LintId::FloatEq => "FLOAT_EQ",
+            LintId::SimdTargetFeature => "SIMD_TARGET_FEATURE",
             LintId::UnusedAllow => "UNUSED_ALLOW",
         }
     }
 
     /// Every ID, for documentation and config validation.
-    pub const ALL: [LintId; 8] = [
+    pub const ALL: [LintId; 9] = [
         LintId::HotpathPanic,
         LintId::HotpathIndex,
         LintId::UnsafeNoSafety,
@@ -49,6 +54,7 @@ impl LintId {
         LintId::Nondeterminism,
         LintId::FloatCast,
         LintId::FloatEq,
+        LintId::SimdTargetFeature,
         LintId::UnusedAllow,
     ];
 }

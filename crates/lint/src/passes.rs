@@ -235,6 +235,109 @@ pub fn float_casts(lx: &Lexed<'_>, file: &str, tests: &[(u32, u32)], out: &mut V
     }
 }
 
+/// **Pass 5 — SIMD `#[target_feature]` hygiene.**
+///
+/// Hand-written SIMD is fenced into the `[simd]` module set (dlr-simd):
+/// a `#[target_feature]` attribute anywhere else is flagged outright.
+/// Inside the set, the decorated fn must be `unsafe` (callers must prove
+/// CPU support — the runtime dispatch table is the only sanctioned
+/// prover), must stay private to its dispatch module (no `pub`, so the
+/// only way in is the safe wrapper that checks `supported()`), and must
+/// carry a SAFETY contract comment within the same upward-search window
+/// as [`unsafe_hygiene`].
+pub fn simd_target_feature(
+    lx: &Lexed<'_>,
+    file: &str,
+    raw_lines: &[&str],
+    in_simd_set: bool,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "target_feature" {
+            continue;
+        }
+        // Only the attribute form `#[target_feature(...)]` counts; a bare
+        // mention (doc text is not tokenized, but e.g. a string compare
+        // helper) is not.
+        let is_attr = i >= 2
+            && toks[i - 1].kind == TokKind::Op
+            && toks[i - 1].text == "["
+            && toks[i - 2].kind == TokKind::Op
+            && toks[i - 2].text == "#";
+        if !is_attr {
+            continue;
+        }
+        if !in_simd_set {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::SimdTargetFeature,
+                "`#[target_feature]` outside the `[simd]` module set in lint.toml; \
+                 hand-written SIMD belongs in dlr-simd behind its runtime dispatch table"
+                    .to_string(),
+            );
+            continue;
+        }
+        // Walk forward to the `fn` this attribute decorates, noting the
+        // qualifiers in between (further attributes, `pub`, `unsafe`).
+        let mut saw_unsafe = false;
+        let mut saw_pub = false;
+        let mut found_fn = false;
+        for n in &toks[i + 1..] {
+            if n.kind != TokKind::Ident {
+                continue;
+            }
+            match n.text {
+                "unsafe" => saw_unsafe = true,
+                "pub" => saw_pub = true,
+                "fn" => {
+                    found_fn = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !found_fn {
+            continue; // attribute on a non-fn item; rustc rejects this
+        }
+        if !saw_unsafe {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::SimdTargetFeature,
+                "`#[target_feature]` fn must be declared `unsafe`: only the dispatch \
+                 table may prove the CPU supports these instructions"
+                    .to_string(),
+            );
+        }
+        if saw_pub {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::SimdTargetFeature,
+                "`#[target_feature]` fn must stay private to its dispatch module; \
+                 expose it only through the safe wrapper that checks `supported()`"
+                    .to_string(),
+            );
+        }
+        if !has_preceding_safety_comment(lx, raw_lines, t.line) {
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::SimdTargetFeature,
+                "`#[target_feature]` fn needs a SAFETY contract (`/// # Safety` doc \
+                 section or `// SAFETY:` comment) above the attribute"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// Float `==` / `!=` against a literal. See [`float_casts`].
 pub fn float_eq(lx: &Lexed<'_>, file: &str, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
     let toks = &lx.tokens;
@@ -398,6 +501,74 @@ mod tests {
         let mut out = Vec::new();
         unsafe_hygiene(&lx, "f.rs", &lines, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    fn run_simd(src: &str, in_set: bool) -> Vec<Diagnostic> {
+        let lx = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = Vec::new();
+        simd_target_feature(&lx, "f.rs", &lines, in_set, &mut out);
+        out
+    }
+
+    const GOOD_KERNEL: &str = "/// Adds lanes.\n///\n/// # Safety\n/// Caller must prove AVX2.\n#[target_feature(enable = \"avx2\")]\nunsafe fn add_avx2(a: &[f32]) {}\n";
+
+    #[test]
+    fn target_feature_outside_simd_set_flags() {
+        let d = run_simd(GOOD_KERNEL, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::SimdTargetFeature);
+        assert!(d[0].message.contains("outside the `[simd]`"), "{d:?}");
+    }
+
+    #[test]
+    fn well_formed_kernel_in_set_passes() {
+        let d = run_simd(GOOD_KERNEL, true);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn safe_target_feature_fn_flags() {
+        let src =
+            "// SAFETY: fine.\n#[target_feature(enable = \"avx2\")]\nfn add_avx2(a: &[f32]) {}\n";
+        let d = run_simd(src, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("must be declared `unsafe`"), "{d:?}");
+    }
+
+    #[test]
+    fn pub_target_feature_fn_flags() {
+        let src = "// SAFETY: fine.\n#[target_feature(enable = \"avx2\")]\npub unsafe fn add_avx2(a: &[f32]) {}\n";
+        let d = run_simd(src, true);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("must stay private"), "{d:?}");
+    }
+
+    #[test]
+    fn missing_safety_contract_flags() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn add_avx2(a: &[f32]) {}\n";
+        let d = run_simd(src, true);
+        // The missing-SAFETY finding from this pass; unsafe_hygiene would
+        // add its own when run by the driver.
+        assert!(
+            d.iter().any(|x| x.message.contains("SAFETY contract")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn intervening_attribute_does_not_hide_qualifiers() {
+        let src =
+            "// SAFETY: fine.\n#[target_feature(enable = \"sse2\")]\n#[inline]\nunsafe fn f() {}\n";
+        let d = run_simd(src, true);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn target_feature_in_string_literal_is_ignored() {
+        let src = "fn f() { let _ = \"#[target_feature]\"; }\n";
+        let d = run_simd(src, false);
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

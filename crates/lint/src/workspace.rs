@@ -38,6 +38,15 @@ pub fn lint_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> 
         passes::panic_freedom(&lx, rel_path, &tests, &mut out);
     }
     passes::unsafe_hygiene(&lx, rel_path, &raw_lines, &mut out);
+    // Always runs: outside the `[simd]` set the attribute itself is the
+    // violation, so the pass cannot be gated on set membership.
+    passes::simd_target_feature(
+        &lx,
+        rel_path,
+        &raw_lines,
+        in_set(rel_path, &cfg.simd),
+        &mut out,
+    );
     if in_set(rel_path, &cfg.deterministic) {
         passes::determinism(&lx, rel_path, &tests, &mut out);
     }
@@ -268,6 +277,21 @@ mod tests {
         assert!(kept.is_empty());
         assert_eq!(suppressed, 1);
         assert!(used[0]);
+    }
+
+    #[test]
+    fn simd_pass_runs_everywhere_but_respects_the_set() {
+        let src =
+            "// SAFETY: dispatch-only.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        let cfg = Config {
+            simd: vec!["crates/simd/src/".to_string()],
+            ..Config::default()
+        };
+        let inside = lint_file("crates/simd/src/gemm.rs", src, &cfg);
+        assert!(inside.is_empty(), "{inside:?}");
+        let outside = lint_file("crates/dense/src/lib.rs", src, &cfg);
+        assert_eq!(outside.len(), 1, "{outside:?}");
+        assert_eq!(outside[0].lint, LintId::SimdTargetFeature);
     }
 
     #[test]

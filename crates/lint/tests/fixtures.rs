@@ -17,6 +17,9 @@ files = ["crates/det/src/"]
 
 [kernels]
 files = ["crates/kern/src/"]
+
+[simd]
+files = ["crates/simd/src/"]
 "#;
 
 fn cfg() -> Config {
@@ -137,6 +140,44 @@ fn float_eq_flags_literal_comparison_and_respects_allowlist() {
     let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
     assert!(kept.is_empty());
     assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn simd_target_feature_outside_set_is_flagged() {
+    let src = "/// # Safety\n/// Caller must prove AVX2 support.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k(a: &[f32]) {}\n";
+    let diags = lint_file("crates/hot/src/fast.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::SimdTargetFeature);
+    assert_eq!(diags[0].file, "crates/hot/src/fast.rs");
+    assert_eq!(diags[0].line, 3);
+    // The identical kernel inside the [simd] set is well-formed.
+    assert!(lint_file("crates/simd/src/gemm.rs", src, &cfg()).is_empty());
+}
+
+#[test]
+fn simd_target_feature_hygiene_inside_set() {
+    // Missing `unsafe` and `pub` escape hatch are both flagged, with the
+    // SAFETY contract present so only those two findings fire.
+    let src = "// SAFETY: dispatch table proves support.\n#[target_feature(enable = \"avx2\")]\npub fn k(a: &[f32]) {}\n";
+    let diags = lint_file("crates/simd/src/gemm.rs", src, &cfg());
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.lint == LintId::SimdTargetFeature));
+    assert!(diags.iter().any(|d| d.message.contains("`unsafe`")));
+    assert!(diags.iter().any(|d| d.message.contains("private")));
+}
+
+#[test]
+fn simd_target_feature_without_safety_contract_is_flagged() {
+    let src = "#[target_feature(enable = \"sse2\")]\nunsafe fn k(a: &[f32]) {}\n";
+    let diags = lint_file("crates/simd/src/sdmm.rs", src, &cfg());
+    // One finding from the SIMD pass; unsafe_hygiene adds its own for the
+    // bare `unsafe` token.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == LintId::SimdTargetFeature && d.message.contains("SAFETY contract")),
+        "{diags:?}"
+    );
 }
 
 /// Build a scratch one-crate workspace under `CARGO_TARGET_TMPDIR`.

@@ -10,12 +10,23 @@
 use crate::dense_pred::DensePredictor;
 use crate::sparse_pred::SparsePredictor;
 use dlr_dense::measure_gemm_gflops;
+use dlr_simd::Isa;
 use dlr_sparse::{spmm_xsmm_packed, CsrMatrix, PackedB, SpmmWorkspace};
 use std::time::Instant;
 
 /// Both predictors calibrated on this machine.
+///
+/// Every coefficient here (GFLOPS zones, `L_a`/`L_b`/`L_c`) is a
+/// *measurement* of the scoring kernels, and those kernels are dispatched
+/// through `dlr-simd` at runtime — so a calibration is only valid for the
+/// dispatch path that was active while it ran. The `isa` field records
+/// that path; predictions should not be applied to a process whose active
+/// ISA differs (e.g. a calibration taken under `DLR_SIMD=scalar` badly
+/// overestimates AVX2 scoring times).
 #[derive(Debug, Clone)]
 pub struct HostCalibration {
+    /// Dispatch path the kernels used during measurement.
+    pub isa: Isa,
     /// Dense (Equation 3) predictor with host-measured GFLOPS zones.
     pub dense: DensePredictor,
     /// Sparse (Equation 5) predictor with host-measured coefficients.
@@ -23,14 +34,44 @@ pub struct HostCalibration {
 }
 
 impl HostCalibration {
-    /// Run both calibrations. `quick` trades accuracy for speed (fewer
-    /// repetitions, smaller probe matrices) — appropriate for tests and
-    /// CI; experiments should pass `false`.
+    /// Run both calibrations under the process's active dispatch choice.
+    /// `quick` trades accuracy for speed (fewer repetitions, smaller probe
+    /// matrices) — appropriate for tests and CI; experiments should pass
+    /// `false`.
     pub fn measure(quick: bool) -> HostCalibration {
+        // Resolve the dispatch choice *before* measuring so the recorded
+        // label is exactly what the probed kernels used.
+        let isa = dlr_simd::active();
         HostCalibration {
+            isa,
             dense: calibrate_dense(quick),
             sparse: calibrate_sparse(quick),
         }
+    }
+
+    /// [`Self::measure`] with the kernel dispatch pinned to `isa` for the
+    /// duration of the measurement (restored afterwards). Use this to
+    /// build a per-ISA table of predictors — e.g. to forecast how scoring
+    /// budgets shift on hosts without AVX2.
+    ///
+    /// The pin is process-wide ([`dlr_simd::force`]), so kernels running
+    /// concurrently on other threads will also observe it; calibrate from
+    /// a quiet process.
+    ///
+    /// # Errors
+    /// When `isa` is not supported on this host, returns the host's best
+    /// supported level without measuring anything.
+    pub fn measure_forced(isa: Isa, quick: bool) -> Result<HostCalibration, Isa> {
+        let prev = dlr_simd::force(isa)?;
+        let cal = HostCalibration {
+            isa,
+            dense: calibrate_dense(quick),
+            sparse: calibrate_sparse(quick),
+        };
+        // Restoring the previous choice cannot fail: `force` returned it,
+        // so it was supported.
+        let _ = dlr_simd::force(prev);
+        Ok(cal)
     }
 }
 
@@ -296,6 +337,32 @@ mod tests {
         assert_eq!(fit_serial_fraction(1.0, 0.5, 1), d);
         assert_eq!(fit_serial_fraction(0.0, 0.5, 4), d);
         assert_eq!(fit_serial_fraction(1.0, f64::NAN, 4), d);
+    }
+
+    /// `measure_forced` mutates the process-wide dispatch choice; the two
+    /// tests touching it serialize on this lock so neither observes the
+    /// other's temporary pin.
+    static DISPATCH_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn forced_calibration_tags_the_isa_and_restores_dispatch() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        let before = dlr_simd::active();
+        // Scalar is supported everywhere, so the forced path always runs.
+        let cal =
+            HostCalibration::measure_forced(Isa::Scalar, true).expect("scalar is always supported");
+        assert_eq!(cal.isa, Isa::Scalar);
+        assert!(cal.sparse.la > 0.0 && cal.dense.zones().len() == 3);
+        assert_eq!(dlr_simd::active(), before, "dispatch choice restored");
+    }
+
+    #[test]
+    fn host_calibration_records_the_active_isa() {
+        let _guard = DISPATCH_LOCK.lock().expect("dispatch lock");
+        // Zone/coefficient sanity is covered by the quick_* tests; here we
+        // only check the label matches the process's dispatch choice.
+        let cal = HostCalibration::measure(true);
+        assert_eq!(cal.isa, dlr_simd::active());
     }
 
     #[test]

@@ -8,16 +8,24 @@
 //! condition list stops only when *every* lane has hit its early-exit
 //! point — the vectorized analogue of the scalar break.
 //!
-//! We express the 8-lane comparison and conditional AND as fixed-width
-//! array loops that the compiler maps onto SIMD registers, rather than
-//! using explicit intrinsics.
+//! The 8-lane comparison and conditional AND is `dlr-simd`'s
+//! runtime-dispatched mask step ([`dlr_simd::qs::mask_step`]): hand-written
+//! AVX2/SSE2 `std::arch` paths behind a safe wrapper, with a portable
+//! scalar fallback. The update is a float compare plus pure bitwise
+//! arithmetic (ordered compares match the scalar `>` on NaN), so every
+//! dispatch path produces **bit-identical** scores.
 
 use crate::model::QuickScorer;
 use crate::QsError;
 use dlr_gbdt::Ensemble;
+use dlr_simd::Isa;
 
 /// Number of documents processed per scan (mirrors AVX2's 8 × f32).
 pub const LANES: usize = 8;
+
+// The lane blocking below is exactly what the dlr-simd mask step
+// consumes; keep the widths in lock-step.
+const _: () = assert!(LANES == dlr_simd::LANES);
 
 /// vQS-style scorer: a [`QuickScorer`] encoding driven 8 documents at a
 /// time.
@@ -53,6 +61,15 @@ impl VectorizedQuickScorer {
     /// # Panics
     /// Panics on shape mismatches.
     pub fn score_batch(&self, features: &[f32], out: &mut [f32]) {
+        // One dispatch decision per batch (a relaxed atomic load).
+        self.score_batch_with_isa(dlr_simd::active(), features, out);
+    }
+
+    /// [`Self::score_batch`] with the mask-step ISA pinned by the caller —
+    /// exposed (doc-hidden) so the equivalence suite can exercise each
+    /// dispatch path without touching the process-wide state.
+    #[doc(hidden)]
+    pub fn score_batch_with_isa(&self, isa: Isa, features: &[f32], out: &mut [f32]) {
         let nf = self.inner.num_features();
         assert_eq!(features.len(), out.len() * nf, "batch shape mismatch");
         let (feat_offsets, conditions, leaf_offsets, leaf_values, init_mask, base) =
@@ -83,17 +100,13 @@ impl VectorizedQuickScorer {
                         // Every lane tests true from here on.
                         break;
                     }
-                    let dst = &mut leafidx
-                        [cond.tree as usize * LANES..cond.tree as usize * LANES + LANES];
-                    for lane in 0..LANES {
+                    // Always-Some: `cond.tree < nt` by construction, so the
+                    // group slice is at least LANES long.
+                    let group = &mut leafidx[cond.tree as usize * LANES..];
+                    if let Some(dst) = group.first_chunk_mut::<LANES>() {
                         // Branch-free lane select: AND with the mask when
                         // the lane's test is false, with all-ones otherwise.
-                        let keep = if xf[lane] > cond.threshold {
-                            cond.mask
-                        } else {
-                            u64::MAX
-                        };
-                        dst[lane] &= keep;
+                        dlr_simd::qs::mask_step(isa, &xf, cond.threshold, cond.mask, dst);
                     }
                 }
             }

@@ -1,0 +1,355 @@
+//! The Goto GEMM micro-kernel: an 8×8 register tile of C accumulated as
+//! `kcb` rank-1 updates over packed panel strips (§4.1).
+//!
+//! The packed layout is the one `dlr-dense` produces: `astrip` holds 8
+//! rows of A column-major per reduction step (zero-padded past the edge),
+//! `bstrip` holds 8 columns of B row-major per step. Each reduction step
+//! broadcasts one A element against one B vector — on AVX2 that is a
+//! single `vfmadd231ps` per tile row, exactly the oneDNN inner loop.
+//!
+//! Numeric contract: the scalar and SSE2 paths perform the same
+//! multiply-then-add per lane in the same order and are **bit-identical**.
+//! The AVX2 path fuses the multiply-add (single rounding per step), so its
+//! output differs from scalar by at most `kcb` half-ULP steps per element
+//! — the documented ULP policy (see the crate docs).
+
+use crate::dispatch::{supported, Isa};
+use crate::LANES;
+
+/// Micro-tile height (rows of A per tile).
+pub const MR: usize = 8;
+/// Micro-tile width (columns of B per tile).
+pub const NR: usize = 8;
+
+/// Accumulate `kcb` rank-1 updates of an `MR×NR` tile into
+/// `C[row0.., col0..]` with edge clipping (`rows ≤ MR`, `cols ≤ NR`).
+///
+/// `astrip`/`bstrip` are one packed strip each (`kcb·MR` / `kcb·NR`
+/// elements); `c` is the row-major output with leading dimension `ldc`.
+/// An unsupported `isa` silently falls back to scalar, so the call is
+/// total on every host.
+///
+/// # Panics
+/// Panics when the strips are shorter than `kcb` steps, the tile exceeds
+/// `MR×NR`, or the clipped tile does not fit inside `c`.
+#[allow(clippy::too_many_arguments)]
+pub fn micro_kernel_8x8(
+    isa: Isa,
+    astrip: &[f32],
+    bstrip: &[f32],
+    kcb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    assert!(astrip.len() >= kcb * MR, "A strip shorter than kcb steps");
+    assert!(bstrip.len() >= kcb * NR, "B strip shorter than kcb steps");
+    assert!(rows <= MR && cols <= NR, "tile exceeds MR x NR");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    assert!(cols <= ldc, "tile wider than the C leading dimension");
+    assert!(
+        (row0 + rows - 1) * ldc + col0 + cols <= c.len(),
+        "tile out of C bounds"
+    );
+    let isa = if supported(isa) { isa } else { Isa::Scalar };
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 => {
+            // SAFETY: AVX2+FMA availability was checked by `supported`
+            // above; the slice-length and tile-bounds asserts above
+            // guarantee every pointer the kernel dereferences (strips up
+            // to `kcb` steps, C rows `row0..row0+rows` clipped to `cols`)
+            // stays inside the borrowed slices.
+            unsafe {
+                x86::micro_8x8_avx2(
+                    astrip.as_ptr(),
+                    bstrip.as_ptr(),
+                    kcb,
+                    c.as_mut_ptr().add(row0 * ldc + col0),
+                    ldc,
+                    rows,
+                    cols,
+                );
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        Isa::Sse2 => {
+            // SAFETY: SSE2 is the x86-64 baseline (checked by `supported`);
+            // pointer validity follows from the same asserts as the AVX2
+            // arm — the kernel touches at most `kcb*8` strip elements and
+            // the clipped `rows x cols` window of C.
+            unsafe {
+                x86::micro_8x8_sse2(
+                    astrip.as_ptr(),
+                    bstrip.as_ptr(),
+                    kcb,
+                    c.as_mut_ptr().add(row0 * ldc + col0),
+                    ldc,
+                    rows,
+                    cols,
+                );
+            }
+        }
+        _ => micro_8x8_scalar(astrip, bstrip, kcb, c, ldc, row0, col0, rows, cols),
+    }
+}
+
+/// Portable fallback: the fixed-size accumulator-array loop the compiler
+/// auto-vectorizes (the pre-dispatch kernel, kept as the semantic
+/// reference all SIMD paths are tested against).
+#[allow(clippy::too_many_arguments)]
+fn micro_8x8_scalar(
+    astrip: &[f32],
+    bstrip: &[f32],
+    kcb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kcb {
+        let avec: &[f32] = &astrip[p * MR..p * MR + MR];
+        let bvec: &[f32] = &bstrip[p * NR..p * NR + NR];
+        for i in 0..MR {
+            let ai = avec[i];
+            let row = &mut acc[i];
+            for j in 0..NR {
+                row[j] += ai * bvec[j];
+            }
+        }
+    }
+    for i in 0..rows {
+        let crow = &mut c[(row0 + i) * ldc + col0..(row0 + i) * ldc + col0 + cols];
+        for (cv, &av) in crow.iter_mut().zip(&acc[i][..cols]) {
+            *cv += av;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The hand-written kernels. Private: callable only through the
+    //! dispatch wrapper above (enforced by dlr-lint's
+    //! `SIMD_TARGET_FEATURE` rule).
+
+    use core::arch::x86_64::*;
+
+    /// AVX2+FMA 8×8 tile: 8 ymm accumulators, one broadcast+FMA per tile
+    /// row per reduction step.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available, `astrip`/`bstrip`
+    /// are readable for `kcb*8` floats, and `c` is writable for `rows`
+    /// rows of `ldc` stride with `cols` valid lanes each.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn micro_8x8_avx2_impl(
+        astrip: *const f32,
+        bstrip: *const f32,
+        kcb: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); 8];
+        for p in 0..kcb {
+            let b = _mm256_loadu_ps(bstrip.add(p * 8));
+            let ap = astrip.add(p * 8);
+            for (i, lane) in acc.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*ap.add(i));
+                *lane = _mm256_fmadd_ps(a, b, *lane);
+            }
+        }
+        if cols == 8 {
+            for (i, &lane) in acc.iter().enumerate().take(rows) {
+                let cp = c.add(i * ldc);
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), lane));
+            }
+        } else {
+            let mut spill = [0.0f32; 8];
+            for (i, &lane) in acc.iter().enumerate().take(rows) {
+                _mm256_storeu_ps(spill.as_mut_ptr(), lane);
+                let cp = c.add(i * ldc);
+                for (j, &s) in spill.iter().enumerate().take(cols) {
+                    *cp.add(j) += s;
+                }
+            }
+        }
+    }
+
+    /// Dispatch-table entry for the AVX2 tile.
+    ///
+    /// # Safety
+    /// Same contract as [`micro_8x8_avx2_impl`].
+    #[allow(clippy::missing_safety_doc)]
+    pub(super) unsafe fn micro_8x8_avx2(
+        astrip: *const f32,
+        bstrip: *const f32,
+        kcb: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        // SAFETY: forwarded verbatim; the caller upholds the target
+        // feature and pointer-validity contract.
+        unsafe { micro_8x8_avx2_impl(astrip, bstrip, kcb, c, ldc, rows, cols) }
+    }
+
+    /// SSE2 8×8 tile as two 8×4 half-tiles (8 xmm accumulators each, so
+    /// the tile stays in registers). Multiply-then-add per lane in scalar
+    /// order: bit-identical to the scalar kernel.
+    ///
+    /// # Safety
+    /// Caller must ensure `astrip`/`bstrip` are readable for `kcb*8`
+    /// floats and `c` is writable for `rows` rows of `ldc` stride with
+    /// `cols` valid lanes each (SSE2 itself is the x86-64 baseline).
+    #[target_feature(enable = "sse2")]
+    unsafe fn micro_8x8_sse2_impl(
+        astrip: *const f32,
+        bstrip: *const f32,
+        kcb: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        for half in 0..2 {
+            let base_row = half * 4;
+            if base_row >= rows {
+                break;
+            }
+            let mut acc = [[_mm_setzero_ps(); 2]; 4];
+            for p in 0..kcb {
+                let blo = _mm_loadu_ps(bstrip.add(p * 8));
+                let bhi = _mm_loadu_ps(bstrip.add(p * 8 + 4));
+                let ap = astrip.add(p * 8 + base_row);
+                for (i, pair) in acc.iter_mut().enumerate() {
+                    let a = _mm_set1_ps(*ap.add(i));
+                    pair[0] = _mm_add_ps(pair[0], _mm_mul_ps(a, blo));
+                    pair[1] = _mm_add_ps(pair[1], _mm_mul_ps(a, bhi));
+                }
+            }
+            let half_rows = rows - base_row;
+            let mut spill = [0.0f32; 8];
+            for (i, pair) in acc.iter().enumerate().take(half_rows.min(4)) {
+                _mm_storeu_ps(spill.as_mut_ptr(), pair[0]);
+                _mm_storeu_ps(spill.as_mut_ptr().add(4), pair[1]);
+                let cp = c.add((base_row + i) * ldc);
+                for (j, &s) in spill.iter().enumerate().take(cols) {
+                    *cp.add(j) += s;
+                }
+            }
+        }
+    }
+
+    /// Dispatch-table entry for the SSE2 tile.
+    ///
+    /// # Safety
+    /// Same contract as [`micro_8x8_sse2_impl`].
+    #[allow(clippy::missing_safety_doc)]
+    pub(super) unsafe fn micro_8x8_sse2(
+        astrip: *const f32,
+        bstrip: *const f32,
+        kcb: usize,
+        c: *mut f32,
+        ldc: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        // SAFETY: forwarded verbatim; the caller upholds the pointer
+        // contract and SSE2 is the x86-64 baseline.
+        unsafe { micro_8x8_sse2_impl(astrip, bstrip, kcb, c, ldc, rows, cols) }
+    }
+}
+
+// Keep the public LANES constant honest with the tile width.
+const _: () = assert!(NR == LANES && MR == LANES);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+
+    /// Build one packed strip pair + dirty C, run the kernel, and return C.
+    fn run(isa: Isa, kcb: usize, rows: usize, cols: usize) -> Vec<f32> {
+        let astrip: Vec<f32> = (0..kcb * MR)
+            .map(|i| ((i * 7) % 13) as f32 * 0.25 - 1.0)
+            .collect();
+        let bstrip: Vec<f32> = (0..kcb * NR)
+            .map(|i| ((i * 5) % 11) as f32 * 0.5 - 2.0)
+            .collect();
+        let ldc = 10;
+        let mut c = vec![1.0f32; 9 * ldc];
+        micro_kernel_8x8(isa, &astrip, &bstrip, kcb, &mut c, ldc, 1, 1, rows, cols);
+        c
+    }
+
+    #[test]
+    fn sse2_is_bit_identical_to_scalar() {
+        if !dispatch::supported(Isa::Sse2) {
+            return;
+        }
+        for kcb in [0usize, 1, 3, 8, 57] {
+            for (rows, cols) in [(8, 8), (1, 8), (8, 1), (3, 5), (5, 3), (8, 7)] {
+                assert_eq!(
+                    run(Isa::Scalar, kcb, rows, cols),
+                    run(Isa::Sse2, kcb, rows, cols),
+                    "kcb={kcb} rows={rows} cols={cols}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar_within_ulp_policy() {
+        if !dispatch::supported(Isa::Avx2) {
+            return;
+        }
+        for kcb in [1usize, 4, 33, 128] {
+            for (rows, cols) in [(8, 8), (2, 8), (8, 3), (7, 7)] {
+                let s = run(Isa::Scalar, kcb, rows, cols);
+                let v = run(Isa::Avx2, kcb, rows, cols);
+                for (a, b) in s.iter().zip(&v) {
+                    let tol = kcb as f32 * f32::EPSILON * 16.0 * a.abs().max(1.0);
+                    assert!((a - b).abs() <= tol, "kcb={kcb}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_c_region_stays_dirty() {
+        let c = run(Isa::Scalar, 4, 2, 3);
+        // Row 0 and column 0 are outside the (row0=1, col0=1) tile.
+        assert!(c[..10].iter().all(|&v| v == 1.0));
+        assert_eq!(c[10], 1.0);
+        // Beyond the 2x3 tile too.
+        assert_eq!(c[10 + 4], 1.0);
+        assert_eq!(c[3 * 10 + 1], 1.0);
+    }
+
+    #[test]
+    fn zero_sized_tiles_are_noops() {
+        let before = vec![5.0f32; 40];
+        let mut c = before.clone();
+        micro_kernel_8x8(Isa::Scalar, &[0.0; 8], &[0.0; 8], 1, &mut c, 8, 0, 0, 0, 5);
+        micro_kernel_8x8(Isa::Scalar, &[0.0; 8], &[0.0; 8], 1, &mut c, 8, 0, 0, 5, 0);
+        assert_eq!(before, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile out of C bounds")]
+    fn oversized_tile_is_rejected() {
+        let mut c = vec![0.0f32; 16];
+        micro_kernel_8x8(Isa::Scalar, &[0.0; 8], &[0.0; 8], 1, &mut c, 8, 1, 0, 2, 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! Explicit x86-64 SIMD micro-kernels behind safe, runtime-dispatched
+//! wrappers.
+//!
+//! The paper's efficiency story rests on vectorized kernels: oneDNN-style
+//! blocked GEMM for dense layers (§4.1–4.2), LIBXSMM-style SDMM for the
+//! pruned sparse layer (§4.3), and AVX2 vectorized QuickScorer for tree
+//! ensembles (§2.2). The rest of the workspace expresses those kernels as
+//! auto-vectorizable safe Rust; this crate supplies the hand-written
+//! `std::arch` versions and is the **only** crate in the workspace allowed
+//! to contain `unsafe` SIMD code (every other crate keeps
+//! `#![forbid(unsafe_code)]`; the `dlr-lint` `SIMD_TARGET_FEATURE` rule
+//! fences intrinsics to this crate).
+//!
+//! Three kernels, one dispatch discipline:
+//!
+//! * [`gemm::micro_kernel_8x8`] — the Goto micro-kernel: an 8×8 `f32`
+//!   register tile accumulated as `kcb` rank-1 updates over packed A/B
+//!   strips. The AVX2 path uses FMA, so its results differ from scalar by
+//!   bounded rounding (see the ULP policy below); the SSE2 path is
+//!   mul-then-add and bit-identical to scalar.
+//! * [`sdmm::row_kernel`] — the LIBXSMM sparse-row kernel: broadcast one
+//!   non-zero, multiply-add against packed B rows. All paths use separate
+//!   multiply and add (never FMA) in the same per-lane order, so **every
+//!   path is bit-identical** to scalar.
+//! * [`qs::mask_step`] — the vQS lane update: compare 8 document lanes
+//!   against a threshold and AND the tree's bitvector mask into the lanes
+//!   that test false. Pure integer/compare ops: bit-identical everywhere.
+//!
+//! # Dispatch
+//!
+//! [`dispatch::active`] detects the best supported [`Isa`] once (cached in
+//! an atomic, `OnceLock`-style), capped by the `DLR_SIMD` environment
+//! variable (`auto`/`scalar`/`sse2`/`avx2`). Every kernel also takes an
+//! explicit [`Isa`] so tests and benchmarks can pin a path without global
+//! state; [`dispatch::force`] overrides the cached choice process-wide for
+//! debugging (`DLR_SIMD=scalar cargo test` keeps the fallback arm green in
+//! CI).
+//!
+//! # ULP policy for GEMM-FMA
+//!
+//! An FMA fuses `a*b + c` with a single rounding, so each of the `kcb`
+//! accumulation steps of the AVX2 GEMM path can differ from the scalar
+//! mul-then-add result by at most half an ULP of the intermediate. Errors
+//! compound linearly: over a length-`k` reduction the scalar and FMA
+//! results differ by at most `k` ULP-scale steps. The equivalence suite
+//! (`tests/simd_equivalence.rs`) therefore accepts
+//! `|scalar − fma| ≤ k · ε · Σᵢ|aᵢ·bᵢ|` per output element — the standard
+//! forward-error envelope — instead of bit-equality, and this is the only
+//! kernel/path pair allowed any deviation at all.
+//!
+//! # Non-x86 fallback
+//!
+//! On non-x86-64 targets the intrinsic modules compile to nothing,
+//! [`dispatch::detect_best`] reports [`Isa::Scalar`], and every wrapper
+//! routes to the portable scalar kernel, keeping such builds green without
+//! `cfg` leakage into caller crates.
+
+pub mod dispatch;
+pub mod gemm;
+pub mod qs;
+pub mod sdmm;
+
+pub use dispatch::{active, detect_best, force, supported, Isa};
+
+/// Register width the kernels block on: 8 × f32 = 256 bits (AVX2), the
+/// configuration the paper analyzes. Callers pack panels to this width.
+pub const LANES: usize = 8;

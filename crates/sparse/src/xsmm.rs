@@ -16,24 +16,46 @@
 //! only for *active* columns.
 //!
 //! LIBXSMM JIT-specializes this kernel per sparse matrix; we keep a
-//! generic safe-Rust kernel whose inner loops the compiler vectorizes,
-//! preserving the memory-access pattern the predictor models.
+//! generic kernel — `dlr-simd`'s runtime-dispatched row kernel
+//! ([`dlr_simd::sdmm::row_kernel`]: hand-written AVX2/SSE2 with a portable
+//! scalar fallback) — preserving the memory-access pattern the predictor
+//! models. Every dispatch path performs the identical per-lane
+//! multiply-then-add chain, so the output is **bit-identical** across
+//! ISAs.
 
 use crate::csr::{CsrMatrix, SparseError};
 use crate::naive::check_shape;
+use dlr_simd::Isa;
 
 /// SIMD lane width the kernel blocks on: 8 × f32 = 256-bit (AVX2).
 pub const SIMD_WIDTH: usize = 8;
 
+// The packed layout below is exactly what the dlr-simd row kernel
+// consumes; keep the block width in lock-step.
+const _: () = assert!(SIMD_WIDTH == dlr_simd::LANES);
+
 /// `B` packed as `k × N_b × n_b` (Figure 8). The last block of each row is
 /// zero-padded so the kernel never branches on `n % n_b`.
+///
+/// The packed floats start at a 64-byte boundary (`offset` skips the
+/// allocator's misalignment): every SIMD block then sits at a 32-byte
+/// boundary, so the AVX2 row kernel's 256-bit loads never split a cache
+/// line. Unaligned 32-byte loads straddle a 64-byte line half the time and
+/// cost a second load slot each — a pure tax on the widest path, since
+/// 16-byte SSE loads at 16-byte offsets never split.
 #[derive(Debug, Clone, Default)]
 pub struct PackedB {
     k: usize,
     n: usize,
     blocks: usize,
+    /// Backing storage, over-allocated by [`ALIGN_PAD`] floats.
     data: Vec<f32>,
+    /// Index of the first packed float: `data[offset]` is 64-byte aligned.
+    offset: usize,
 }
+
+/// Slack floats appended so a 64-byte-aligned start always fits.
+const ALIGN_PAD: usize = 16;
 
 impl PackedB {
     /// Pack a row-major `k×n` dense matrix.
@@ -61,19 +83,29 @@ impl PackedB {
         // clear + resize is a memset over the old capacity: no fresh
         // allocation after warm-up, and the padding lanes are zeroed.
         self.data.clear();
-        self.data.resize(k * blocks * SIMD_WIDTH, 0.0);
+        self.data.resize(k * blocks * SIMD_WIDTH + ALIGN_PAD, 0.0);
+        // Skip to the first 64-byte boundary (an f32 count: the base is at
+        // least 4-byte aligned, so the byte gap is divisible by 4).
+        let base = self.data.as_ptr() as usize;
+        self.offset = (base.wrapping_neg() % 64) / 4;
         for row in 0..k {
             let src = &b[row * n..(row + 1) * n];
-            let dst = &mut self.data[row * blocks * SIMD_WIDTH..(row + 1) * blocks * SIMD_WIDTH];
-            dst[..n].copy_from_slice(src);
+            let start = self.offset + row * blocks * SIMD_WIDTH;
+            self.data[start..start + n].copy_from_slice(src);
         }
+    }
+
+    /// The packed `k × N_b × n_b` floats, starting 64-byte aligned.
+    #[inline]
+    pub(crate) fn packed(&self) -> &[f32] {
+        &self.data[self.offset..self.offset + self.k * self.blocks * SIMD_WIDTH]
     }
 
     /// Packed row `j` as `N_b` contiguous SIMD blocks.
     #[inline]
     #[allow(dead_code)]
     fn row(&self, j: usize) -> &[f32] {
-        &self.data[j * self.blocks * SIMD_WIDTH..(j + 1) * self.blocks * SIMD_WIDTH]
+        &self.packed()[j * self.blocks * SIMD_WIDTH..(j + 1) * self.blocks * SIMD_WIDTH]
     }
 
     /// Number of dense columns `n`.
@@ -145,7 +177,6 @@ pub fn spmm_xsmm_rows(a: &CsrMatrix, b: &PackedB, row0: usize, c_rows: &mut [f32
     assert!(row0 + rows <= a.rows(), "row range exceeds A.rows");
 
     let row_ptr = a.row_ptr();
-    let col_idx = a.col_idx();
     let values = a.values();
     debug_assert!(
         values[row_ptr[row0]..row_ptr[row0 + rows]]
@@ -155,88 +186,69 @@ pub fn spmm_xsmm_rows(a: &CsrMatrix, b: &PackedB, row0: usize, c_rows: &mut [f32
         row0 + rows
     );
     debug_assert!(
-        b.data.iter().all(|v| v.is_finite()),
+        b.packed().iter().all(|v| v.is_finite()),
         "packed B must be finite"
     );
+    // One dispatch decision per row range (a relaxed atomic load), shared
+    // by every row kernel invocation below.
+    let isa = dlr_simd::active();
+    spmm_rows_inner(isa, a, b, row0, rows, c_rows, n);
+}
+
+/// The dispatch-pinned body of [`spmm_xsmm_rows`]: every CSR row goes
+/// through `dlr-simd`'s row kernel, which holds a group of SIMD blocks of
+/// `C_i` in registers while every non-zero of the row multiply-adds into
+/// it — C is written exactly once per row, the property LIBXSMM gets from
+/// keeping `C_i` in registers. Inactive rows cost one `fill(0)` and
+/// nothing else.
+///
+/// Exposed (doc-hidden) so the equivalence suite can pin each ISA without
+/// touching the process-wide dispatch state.
+#[doc(hidden)]
+pub fn spmm_xsmm_rows_with_isa(
+    isa: Isa,
+    a: &CsrMatrix,
+    b: &PackedB,
+    row0: usize,
+    c_rows: &mut [f32],
+) {
+    assert_eq!(a.cols(), b.k(), "A.cols must equal B rows");
+    let n = b.n();
+    if n == 0 {
+        assert!(c_rows.is_empty(), "C must be mrows×n");
+        return;
+    }
+    assert_eq!(c_rows.len() % n, 0, "C must be mrows×n");
+    let rows = c_rows.len() / n;
+    assert!(row0 + rows <= a.rows(), "row range exceeds A.rows");
+    spmm_rows_inner(isa, a, b, row0, rows, c_rows, n);
+}
+
+fn spmm_rows_inner(
+    isa: Isa,
+    a: &CsrMatrix,
+    b: &PackedB,
+    row0: usize,
+    rows: usize,
+    c_rows: &mut [f32],
+    n: usize,
+) {
+    let row_ptr = a.row_ptr();
+    let col_idx = a.col_idx();
+    let values = a.values();
+    let width = b.blocks() * SIMD_WIDTH;
     for (local, i) in (row0..row0 + rows).enumerate() {
         let (start, end) = (row_ptr[i], row_ptr[i + 1]);
         let c_row = &mut c_rows[local * n..(local + 1) * n];
-        if start == end {
-            // Inactive row: C_i is zero; no loads, no FMAs.
-            c_row.fill(0.0);
-            continue;
-        }
-        let cols = &col_idx[start..end];
-        let vals = &values[start..end];
-        // A group of SIMD blocks of C_i is held in registers while every
-        // non-zero of the row FMAs into it — C is written exactly once per
-        // row, the property LIBXSMM gets from keeping C_i in registers.
-        // UNROLL independent accumulators per pass break the FMA latency
-        // chain that would otherwise serialize the non-zero loop.
-        const UNROLL: usize = 4;
-        const PASS: usize = UNROLL * SIMD_WIDTH;
-        let width = b.blocks() * SIMD_WIDTH;
-        let mut t = 0usize;
-        while t + PASS <= n {
-            let mut acc = [[0.0f32; SIMD_WIDTH]; UNROLL];
-            for (&ci, &x) in cols.iter().zip(vals) {
-                let base = ci as usize * width + t;
-                let bb = &b.data[base..base + PASS];
-                for (u, a) in acc.iter_mut().enumerate() {
-                    let block = &bb[u * SIMD_WIDTH..(u + 1) * SIMD_WIDTH];
-                    for l in 0..SIMD_WIDTH {
-                        a[l] += x * block[l];
-                    }
-                }
-            }
-            for (u, a) in acc.iter().enumerate() {
-                c_row[t + u * SIMD_WIDTH..t + (u + 1) * SIMD_WIDTH].copy_from_slice(a);
-            }
-            t += PASS;
-        }
-        // Two-block passes (covers N = 16 batches with the same
-        // latency-hiding structure as the four-block pass).
-        while t + 2 * SIMD_WIDTH <= n {
-            let mut acc = [[0.0f32; SIMD_WIDTH]; 2];
-            for (&ci, &x) in cols.iter().zip(vals) {
-                let base = ci as usize * width + t;
-                let bb = &b.data[base..base + 2 * SIMD_WIDTH];
-                for (u, a) in acc.iter_mut().enumerate() {
-                    let block = &bb[u * SIMD_WIDTH..(u + 1) * SIMD_WIDTH];
-                    for l in 0..SIMD_WIDTH {
-                        a[l] += x * block[l];
-                    }
-                }
-            }
-            for (u, a) in acc.iter().enumerate() {
-                c_row[t + u * SIMD_WIDTH..t + (u + 1) * SIMD_WIDTH].copy_from_slice(a);
-            }
-            t += 2 * SIMD_WIDTH;
-        }
-        // Single-block passes.
-        while t + SIMD_WIDTH <= n {
-            let mut acc = [0.0f32; SIMD_WIDTH];
-            for (&ci, &x) in cols.iter().zip(vals) {
-                let bb = &b.data[ci as usize * width + t..ci as usize * width + t + SIMD_WIDTH];
-                for l in 0..SIMD_WIDTH {
-                    acc[l] += x * bb[l];
-                }
-            }
-            c_row[t..t + SIMD_WIDTH].copy_from_slice(&acc);
-            t += SIMD_WIDTH;
-        }
-        // Ragged tail (n % SIMD_WIDTH lanes).
-        if t < n {
-            let tail = n - t;
-            let mut acc = [0.0f32; SIMD_WIDTH];
-            for (&ci, &x) in cols.iter().zip(vals) {
-                let bb = &b.data[ci as usize * width + t..ci as usize * width + t + tail];
-                for (a, &bv) in acc.iter_mut().zip(bb) {
-                    *a += x * bv;
-                }
-            }
-            c_row[t..n].copy_from_slice(&acc[..tail]);
-        }
+        dlr_simd::sdmm::row_kernel(
+            isa,
+            &col_idx[start..end],
+            &values[start..end],
+            b.packed(),
+            width,
+            n,
+            c_row,
+        );
     }
 }
 
@@ -385,7 +397,9 @@ mod tests {
         p.pack_into(b2.as_slice(), 4, 5);
         assert_eq!(p.data.capacity(), cap);
         let fresh = PackedB::pack(b2.as_slice(), 4, 5);
-        assert_eq!(p.data, fresh.data);
+        // Compare the aligned views: the raw buffers may start the packed
+        // floats at different 64-byte offsets.
+        assert_eq!(p.packed(), fresh.packed());
         assert_eq!((p.k(), p.n(), p.blocks()), (4, 5, 1));
     }
 

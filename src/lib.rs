@@ -22,6 +22,7 @@
 //! | [`distill`] | Score-approximation distillation with midpoint augmentation |
 //! | [`prune`] | Magnitude pruning, sensitivity analysis, prune/fine-tune schedules |
 //! | [`predictor`] | Dense & sparse scoring-time predictors + architecture search |
+//! | [`simd`] | Runtime-dispatched SSE2/AVX2 micro-kernels with scalar fallback |
 //! | [`core`] | The end-to-end methodology, Pareto frontiers, scenarios |
 //! | [`serve`] | Overload-safe serving: micro-batching, admission control, drain |
 //!
@@ -64,6 +65,7 @@ pub use dlr_predictor as predictor;
 pub use dlr_prune as prune;
 pub use dlr_quickscorer as quickscorer;
 pub use dlr_serve as serve;
+pub use dlr_simd as simd;
 pub use dlr_sparse as sparse;
 
 /// One-stop imports (re-exported from [`dlr_core::prelude`]).
