@@ -21,11 +21,14 @@
 
 use dlr_core::scoring::DocumentScorer;
 use dlr_core::serve::RobustScorer;
+use dlr_metrics::GateConfig;
 use dlr_serve::{
-    BatchConfig, Response, ScoreRequest, Server, ServerConfig, ServerStats, SubmitError,
+    BatchConfig, ModelRegistry, MonotonicClock, Response, RolloutConfig, ScoreRequest, Server,
+    ServerConfig, ServerStats, SubmitError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Primary scorer: one dot product per document — enough arithmetic for
@@ -283,6 +286,172 @@ fn run_level(sz: &Sizes, model: LinearModel, offered_qps: f64, seed: u64) -> Lev
     }
 }
 
+/// One lifecycle run's latency outcome.
+struct LifecycleReport {
+    swaps: usize,
+    final_version: String,
+    delivered: u64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+}
+
+impl LifecycleReport {
+    fn json(&self) -> String {
+        format!(
+            "{{\"swaps\":{},\"final_version\":\"{}\",\"delivered\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{}}}",
+            self.swaps, self.final_version, self.delivered, self.p50_us, self.p99_us, self.p999_us
+        )
+    }
+}
+
+/// The swap-pause measurement: drive one open-loop window through a
+/// [`ModelRegistry`] engine, optionally hot-swapping the active model
+/// `swaps` times mid-run (load → shadow → promote, each settling through
+/// a short hold), and report the end-to-end percentiles. Comparing the
+/// `swaps == 0` and `swaps > 0` runs isolates what an atomic model swap
+/// costs the tail: the state handoff lands *between* micro-batches, so
+/// the pause a request can observe is bounded by one batch execution.
+fn run_lifecycle(sz: &Sizes, offered_qps: f64, seed: u64, swaps: usize) -> LifecycleReport {
+    // Watchdog parked (this run swaps identical models to measure the
+    // mechanism, not the policy) and the promotion gate left permissive:
+    // no labels flow, so the gate sees zero NDCG pairs.
+    let config = RolloutConfig {
+        min_samples: u64::MAX,
+        hold_batches: 4,
+        gate: GateConfig {
+            min_queries: 0,
+            ..GateConfig::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let (registry, engine) = ModelRegistry::with_scorer(
+        "v1",
+        Box::new(DotScorer::new(sz.feats)),
+        Vec::new(),
+        config,
+        Arc::new(MonotonicClock::default()),
+    );
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch_docs: 256,
+                max_wait: Duration::from_micros(200),
+            },
+            queue_capacity: 512,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let features = vec![0.5f32; sz.docs * sz.feats];
+
+    // Warm the freshly spawned dispatcher (thread scheduling, first-batch
+    // allocations) before the measured window, so cold-start stragglers
+    // don't masquerade as swap pause in whichever variant runs first.
+    let mut warm_scored = 0u64;
+    for _ in 0..32 {
+        let handle = server
+            .submit(ScoreRequest::new(features.clone()).with_deadline(sz.deadline))
+            .expect("idle server admits the warmup");
+        if matches!(handle.wait().response, Response::Scored { .. }) {
+            warm_scored += 1;
+        }
+    }
+
+    let mut handles = Vec::new();
+    let mut swapped = 0usize;
+    let start = Instant::now();
+    let mut arrival = 0.0f64;
+    while arrival < sz.window_secs {
+        let target = Duration::from_secs_f64(arrival);
+        let elapsed = start.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+        // Evenly spaced mid-run swaps: the (k+1)-th fires once the
+        // arrival clock crosses window·(k+1)/(swaps+1).
+        if swapped < swaps && arrival >= sz.window_secs * (swapped + 1) as f64 / (swaps + 1) as f64
+        {
+            let version = format!("v{}", swapped + 2);
+            // The previous promotion may still be holding; give its
+            // settle a brief window before skipping this swap point.
+            for _ in 0..50 {
+                if registry
+                    .load_scorer(&version, Box::new(DotScorer::new(sz.feats)), Vec::new())
+                    .is_ok()
+                {
+                    registry.begin_shadow().expect("Loaded -> Shadow");
+                    registry.promote().expect("permissive gate");
+                    swapped += 1;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        match server.submit(ScoreRequest::new(features.clone()).with_deadline(sz.deadline)) {
+            Ok(handle) => handles.push(handle),
+            Err(SubmitError::Shed { .. } | SubmitError::QueueFull) => {}
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+        let u: f64 = rng.random();
+        arrival += -(1.0 - u).ln().max(f64::MIN_POSITIVE.ln()) / offered_qps;
+    }
+    let (_engine, stats) = server.shutdown();
+
+    // Exact (unbucketed) per-request latencies from the measured window
+    // only — finer resolution than the histogram, which matters when the
+    // swap pause under test is smaller than a power-of-two bucket.
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(handles.len());
+    for handle in handles {
+        let delivery = handle.wait();
+        if matches!(delivery.response, Response::Scored { .. }) {
+            latencies_us.push(delivery.latency_nanos / 1_000);
+        }
+    }
+    latencies_us.sort_unstable();
+    let delivered = latencies_us.len() as u64;
+    let pct = |p: f64| -> u64 {
+        latencies_us.last().map_or(0, |_| {
+            let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+            latencies_us[idx.min(latencies_us.len() - 1)]
+        })
+    };
+    // The hot-swap identities, revalidated under bench load: everything
+    // admitted was answered, and the per-version rows sum to the totals.
+    assert_eq!(
+        delivered + warm_scored,
+        stats.scored(),
+        "accounting disagrees"
+    );
+    assert_eq!(
+        stats.answered(),
+        stats.admitted,
+        "drain answered everything"
+    );
+    let per_version: u64 = stats
+        .per_version
+        .iter()
+        .map(|v| v.scored_primary + v.scored_fallback)
+        .sum();
+    assert_eq!(
+        per_version,
+        stats.scored(),
+        "per-version rows sum to totals"
+    );
+    assert_eq!(swapped, swaps, "every scheduled swap must have landed");
+
+    LifecycleReport {
+        swaps: swapped,
+        final_version: registry.active_version(),
+        delivered,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+    }
+}
+
 fn main() {
     let sz = Sizes::from_args();
     let host = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -314,9 +483,20 @@ fn main() {
     }
     println!("\nmax sustainable qps (loss < 1%, p99 <= deadline): {max_sustainable:.0}");
 
+    // Swap-pause measurement: the same offered load with and without
+    // mid-run hot swaps; the p999 delta is what a model rollout costs
+    // the latency tail.
+    let lifecycle_qps = sz.levels[sz.levels.len() / 2];
+    let baseline = run_lifecycle(&sz, lifecycle_qps, 0x11FEC, 0);
+    let swapped = run_lifecycle(&sz, lifecycle_qps, 0x11FEC, 3);
+    println!(
+        "\nlifecycle @ {:.0} qps: no swap p999 {}us | {} mid-run hot swaps p999 {}us (final {})",
+        lifecycle_qps, baseline.p999_us, swapped.swaps, swapped.p999_us, swapped.final_version,
+    );
+
     let levels: Vec<String> = reports.iter().map(LevelReport::json).collect();
     let json = format!(
-        "{{\"bench\":\"serving\",\"mode\":\"{}\",\"host_parallelism\":{},\"docs_per_query\":{},\"features\":{},\"deadline_us\":{},\"max_batch_docs\":256,\"max_wait_us\":200,\"queue_capacity\":512,\"model_base_us\":{:.3},\"model_per_doc_us\":{:.5},\"max_sustainable_qps\":{:.1},\"levels\":[{}]}}\n",
+        "{{\"bench\":\"serving\",\"mode\":\"{}\",\"host_parallelism\":{},\"docs_per_query\":{},\"features\":{},\"deadline_us\":{},\"max_batch_docs\":256,\"max_wait_us\":200,\"queue_capacity\":512,\"model_base_us\":{:.3},\"model_per_doc_us\":{:.5},\"max_sustainable_qps\":{:.1},\"lifecycle\":{{\"offered_qps\":{:.1},\"no_swap\":{},\"with_swap\":{}}},\"levels\":[{}]}}\n",
         sz.mode,
         host,
         sz.docs,
@@ -325,6 +505,9 @@ fn main() {
         model.base_secs * 1e6,
         model.per_doc_secs * 1e6,
         max_sustainable,
+        lifecycle_qps,
+        baseline.json(),
+        swapped.json(),
         levels.join(",")
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");

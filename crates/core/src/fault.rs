@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// One injected failure mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Fault {
     /// Score normally.
     None,
@@ -42,6 +42,14 @@ pub enum Fault {
         /// How many trailing outputs to leave unwritten.
         missing: usize,
     },
+    /// Score normally, then shift every output by `offset` — a model
+    /// whose scores are finite but systematically wrong. The lifecycle
+    /// watchdog's score-divergence trigger exists for exactly this
+    /// failure, which NaN/panic isolation cannot see.
+    DivergentScores {
+        /// Additive score shift applied to the whole batch.
+        offset: f32,
+    },
 }
 
 /// Shared tallies of injected faults (cloneable handle).
@@ -57,6 +65,8 @@ pub struct FaultCounters {
     pub panics: AtomicU64,
     /// Batches with an injected short write.
     pub short_writes: AtomicU64,
+    /// Batches with an injected score divergence.
+    pub divergent_batches: AtomicU64,
 }
 
 impl FaultCounters {
@@ -66,6 +76,7 @@ impl FaultCounters {
             + self.nan_batches.load(Ordering::Relaxed)
             + self.panics.load(Ordering::Relaxed)
             + self.short_writes.load(Ordering::Relaxed)
+            + self.divergent_batches.load(Ordering::Relaxed)
     }
 }
 
@@ -209,6 +220,15 @@ impl<S: DocumentScorer> DocumentScorer for FaultInjectingScorer<S> {
                 self.counters.short_writes.fetch_add(1, Ordering::Relaxed);
                 let n = out.len().saturating_sub(missing.max(1));
                 self.inner.score_batch(&rows[..n * nf], &mut out[..n]);
+            }
+            Fault::DivergentScores { offset } => {
+                self.counters
+                    .divergent_batches
+                    .fetch_add(1, Ordering::Relaxed);
+                self.inner.score_batch(rows, out);
+                for s in out.iter_mut() {
+                    *s += offset;
+                }
             }
         }
     }
@@ -386,6 +406,53 @@ impl ServerFaultPlan {
     }
 }
 
+/// One way to damage a serialized model artifact before it is loaded —
+/// the lifecycle counterpart of the scorer- and server-level faults
+/// above: the registry's `load` validation must reject every one of
+/// these while the incumbent keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactCorruption {
+    /// Flip the low bit of the byte at `offset` (wrapped into the
+    /// payload), breaking the checksum without changing the length.
+    FlipByte {
+        /// Byte offset to damage, taken modulo the artifact length.
+        offset: usize,
+    },
+    /// Keep only the first `keep` bytes — a torn write.
+    Truncate {
+        /// Bytes to keep (clamped to the artifact length).
+        keep: usize,
+    },
+    /// Replace the first line with a header no loader recognises.
+    BadHeader,
+}
+
+/// Return a deterministically corrupted copy of `artifact`. The input is
+/// never modified; the same corruption on the same bytes yields the same
+/// damaged artifact, so load-rejection tests are exact.
+pub fn corrupt_artifact(artifact: &[u8], corruption: ArtifactCorruption) -> Vec<u8> {
+    match corruption {
+        ArtifactCorruption::FlipByte { offset } => {
+            let mut bytes = artifact.to_vec();
+            if !bytes.is_empty() {
+                let i = offset % bytes.len();
+                bytes[i] ^= 0x01;
+            }
+            bytes
+        }
+        ArtifactCorruption::Truncate { keep } => artifact[..keep.min(artifact.len())].to_vec(),
+        ArtifactCorruption::BadHeader => {
+            let body_start = artifact
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(artifact.len(), |nl| nl + 1);
+            let mut bytes = b"not-a-model v0\n".to_vec();
+            bytes.extend_from_slice(&artifact[body_start..]);
+            bytes
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +513,44 @@ mod tests {
         std::panic::set_hook(prev);
         assert!(result.is_err());
         assert_eq!(counters.panics.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn divergent_scores_shift_every_output_and_count() {
+        let mut f = FaultInjectingScorer::with_schedule(
+            Sum,
+            vec![Fault::DivergentScores { offset: 10.0 }, Fault::None],
+        );
+        let counters = f.counters();
+        let mut out = [0.0f32; 2];
+        f.score_batch(&[1.0, 2.0], &mut out);
+        assert_eq!(out, [11.0, 12.0]);
+        f.score_batch(&[1.0, 2.0], &mut out);
+        assert_eq!(out, [1.0, 2.0]);
+        assert_eq!(counters.divergent_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.total_faults(), 1);
+    }
+
+    #[test]
+    fn corrupt_artifact_is_deterministic_and_nondestructive() {
+        let artifact = b"dlr-mlp v2 crc32 deadbeef len 5\nhello".to_vec();
+        let flipped = corrupt_artifact(&artifact, ArtifactCorruption::FlipByte { offset: 3 });
+        assert_eq!(flipped.len(), artifact.len());
+        assert_ne!(flipped, artifact);
+        assert_eq!(
+            flipped,
+            corrupt_artifact(&artifact, ArtifactCorruption::FlipByte { offset: 3 }),
+        );
+        let torn = corrupt_artifact(&artifact, ArtifactCorruption::Truncate { keep: 10 });
+        assert_eq!(torn, artifact[..10].to_vec());
+        let bad = corrupt_artifact(&artifact, ArtifactCorruption::BadHeader);
+        assert!(bad.starts_with(b"not-a-model v0\n"));
+        assert!(bad.ends_with(b"hello"));
+        // The input is untouched.
+        assert!(artifact.starts_with(b"dlr-mlp"));
+        // Degenerate inputs do not panic.
+        assert!(corrupt_artifact(&[], ArtifactCorruption::FlipByte { offset: 7 }).is_empty());
+        assert!(corrupt_artifact(&[], ArtifactCorruption::Truncate { keep: 9 }).is_empty());
     }
 
     #[test]

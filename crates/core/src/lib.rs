@@ -33,8 +33,8 @@ pub mod timing;
 
 pub use cascade::CascadeScorer;
 pub use fault::{
-    Fault, FaultConfig, FaultCounters, FaultInjectingScorer, ServerFault, ServerFaultConfig,
-    ServerFaultCounters, ServerFaultPlan,
+    corrupt_artifact, ArtifactCorruption, Fault, FaultConfig, FaultCounters, FaultInjectingScorer,
+    ServerFault, ServerFaultConfig, ServerFaultCounters, ServerFaultPlan,
 };
 pub use parallel::{
     measure_gemm_speedup, par_bwqs, par_gemm, par_gemm_into, par_spmm, SpeedupSample,

@@ -10,8 +10,8 @@
 
 pub use crate::cascade::CascadeScorer;
 pub use crate::fault::{
-    Fault, FaultConfig, FaultCounters, FaultInjectingScorer, ServerFault, ServerFaultConfig,
-    ServerFaultCounters, ServerFaultPlan,
+    corrupt_artifact, ArtifactCorruption, Fault, FaultConfig, FaultCounters, FaultInjectingScorer,
+    ServerFault, ServerFaultConfig, ServerFaultCounters, ServerFaultPlan,
 };
 pub use crate::parallel::{par_bwqs, par_gemm, par_gemm_into, par_spmm, SpeedupSample};
 pub use crate::pareto::{frontier_dominates, pareto_frontier, ParetoPoint};

@@ -209,6 +209,18 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Fold `other`'s samples into this histogram. Buckets align exactly
+    /// (same power-of-two layout), so merging histograms recorded
+    /// separately — e.g. one per model version — yields the same counts
+    /// as recording every sample into one histogram, and percentile
+    /// queries on the merge bound the combined population.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Upper bound (µs) of the bucket holding the `p`-quantile sample
     /// (`0.0 < p <= 1.0`), or `None` when nothing was recorded.
     pub fn percentile_us(&self, p: f64) -> Option<u64> {
@@ -513,9 +525,15 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
         let use_scratch = rows.is_scratch;
         let n = out.len();
 
+        // A budget that is already exhausted at batch start is a
+        // trivially-forecast miss: running the primary cannot finish in
+        // zero time, so route straight to the fallback (counted as a
+        // forecast degrade) without spending the primary's latency. This
+        // also suppresses probes — probing with no budget proves nothing.
+        let zero_budget = effective.is_some_and(|p| p.deadline.is_zero());
         let run_primary = match self.mode {
             Mode::Primary { .. } => {
-                if self.forecast_exceeds_deadline(n, effective) {
+                if zero_budget || self.forecast_exceeds_deadline(n, effective) {
                     self.stats.forecast_degrades += 1;
                     false
                 } else {
@@ -525,7 +543,7 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
             Mode::Degraded {
                 batches_until_probe,
                 ..
-            } => batches_until_probe == 0,
+            } => batches_until_probe == 0 && !zero_budget,
         };
 
         let served_by = if run_primary {
@@ -1109,6 +1127,93 @@ mod tests {
         let mut z = LatencyHistogram::default();
         z.record(Duration::ZERO);
         assert_eq!(z.p99_us(), Some(0));
+    }
+
+    #[test]
+    fn zero_budget_takes_fallback_without_calling_primary() {
+        /// Panics if ever called — proves the primary was skipped.
+        struct MustNotRun;
+        impl DocumentScorer for MustNotRun {
+            fn num_features(&self) -> usize {
+                1
+            }
+            fn score_batch(&mut self, _rows: &[f32], _out: &mut [f32]) {
+                panic!("primary must not run with an already-expired budget");
+            }
+            fn name(&self) -> String {
+                "must-not-run".into()
+            }
+        }
+        let mut r = RobustScorer::new(MustNotRun, Stub::new(1, 100.0), "r");
+        let mut out = [0.0f32; 2];
+        let by = r
+            .try_score_batch_deadline(&[1.0, 2.0], &mut out, Some(Duration::ZERO))
+            .unwrap();
+        assert_eq!(by, ServedBy::Fallback);
+        assert_eq!(out, [101.0, 102.0]);
+        // Counted as a (trivially predicted) forecast degrade; the primary
+        // never ran, so no panic was caught and no miss was timed.
+        let expected = ServeStats {
+            batches: 1,
+            fallback_batches: 1,
+            forecast_degrades: 1,
+            ..ServeStats::default()
+        };
+        assert_eq!(r.stats(), &expected);
+    }
+
+    #[test]
+    fn zero_budget_also_skips_probes_while_degraded() {
+        quiet_panics(|| {
+            // Trip the breaker with two panicking batches, then reach the
+            // probe point with a zero budget: the probe must be deferred,
+            // not wasted on a guaranteed miss.
+            let policy = DeadlinePolicy {
+                deadline: Duration::from_secs(1),
+                trip_after: 2,
+                probe_after: 1,
+                recover_after: 1,
+            };
+            let mut r = RobustScorer::new(Panicky { nf: 1 }, Stub::new(1, 100.0), "r")
+                .with_deadline(policy);
+            let mut out = [0.0f32; 1];
+            r.try_score_batch(&[1.0], &mut out).unwrap();
+            r.try_score_batch(&[1.0], &mut out).unwrap();
+            assert!(r.is_degraded());
+            // One fallback batch passes; the next would probe…
+            r.try_score_batch(&[1.0], &mut out).unwrap();
+            // …but a zero budget suppresses it.
+            let by = r
+                .try_score_batch_deadline(&[1.0], &mut out, Some(Duration::ZERO))
+                .unwrap();
+            assert_eq!(by, ServedBy::Fallback);
+            assert_eq!(r.stats().probes, 0);
+            assert_eq!(r.stats().panics_caught, 2);
+        });
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_into_one() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut combined = LatencyHistogram::default();
+        for us in [3u64, 10, 100, 1000] {
+            a.record(Duration::from_micros(us));
+            combined.record(Duration::from_micros(us));
+        }
+        for us in [5u64, 50, 5000] {
+            b.record(Duration::from_micros(us));
+            combined.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        for p in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(a.percentile_us(p), combined.percentile_us(p));
+        }
+        // Merging an empty histogram is a no-op.
+        let before = a.count();
+        a.merge(&LatencyHistogram::default());
+        assert_eq!(a.count(), before);
     }
 
     #[test]

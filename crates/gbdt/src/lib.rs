@@ -35,5 +35,7 @@ pub use ensemble::Ensemble;
 pub use grow::{GrowthParams, TreeGrower};
 pub use lambdamart::{LambdaMartParams, LambdaMartTrainer, TrainingLog};
 pub use mart::{MartParams, MartTrainer};
-pub use serialize::{read_ensemble, write_ensemble, ModelParseError};
+pub use serialize::{
+    read_ensemble, read_ensemble_from_path, write_ensemble, EnsembleLoadError, ModelParseError,
+};
 pub use tree::{RegressionTree, TreeLayout};

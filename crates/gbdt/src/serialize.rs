@@ -55,6 +55,64 @@ impl From<std::io::Error> for ModelParseError {
     }
 }
 
+/// A load failure annotated with the artifact's source path and the
+/// format/version string its header claimed — the ensemble counterpart
+/// of `dlr-nn`'s `MlpLoadError`, so registry rejection logs always name
+/// the offending file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleLoadError {
+    /// Where the artifact was read from.
+    pub path: String,
+    /// Format/version string from the header line (`dlr-ensemble v1`),
+    /// or `unknown` when no recognisable header was present.
+    pub version: String,
+    /// The underlying parse failure.
+    pub error: ModelParseError,
+}
+
+impl std::fmt::Display for EnsembleLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model artifact {} (format {}): {}",
+            self.path, self.version, self.error
+        )
+    }
+}
+
+impl std::error::Error for EnsembleLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// [`read_ensemble`] from a filesystem path, with failures annotated
+/// with the path and claimed format version (see [`EnsembleLoadError`]).
+///
+/// # Errors
+/// [`EnsembleLoadError`] wrapping the underlying [`ModelParseError`]
+/// (including I/O failures reading the file).
+pub fn read_ensemble_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Ensemble, EnsembleLoadError> {
+    let shown = path.as_ref().display().to_string();
+    let bytes = std::fs::read(path.as_ref()).map_err(|e| EnsembleLoadError {
+        path: shown.clone(),
+        version: "unknown".into(),
+        error: ModelParseError::Io(e.to_string()),
+    })?;
+    let version = if bytes.starts_with(b"dlr-ensemble v1") {
+        "dlr-ensemble v1"
+    } else {
+        "unknown"
+    };
+    read_ensemble(std::io::Cursor::new(&bytes)).map_err(|error| EnsembleLoadError {
+        path: shown,
+        version: version.into(),
+        error,
+    })
+}
+
 /// Write `ensemble` in the text format.
 ///
 /// # Errors
@@ -254,6 +312,47 @@ mod tests {
         let truncated: String = text.lines().take(6).collect::<Vec<_>>().join("\n");
         let err = read_ensemble(Cursor::new(truncated)).unwrap_err();
         assert!(matches!(err, ModelParseError::Malformed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn path_load_error_names_file_and_version() {
+        let dir = std::env::temp_dir().join(format!("dlr-ensemble-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Good file round-trips.
+        let e = sample();
+        let mut buf = Vec::new();
+        write_ensemble(&e, &mut buf).unwrap();
+        let good = dir.join("good.txt");
+        std::fs::write(&good, &buf).unwrap();
+        assert_eq!(read_ensemble_from_path(&good).unwrap(), e);
+
+        // Corrupt body: error names the file and the claimed version.
+        let text = String::from_utf8(buf.clone())
+            .unwrap()
+            .replace("node 0", "node x");
+        let bad = dir.join("corrupt.txt");
+        std::fs::write(&bad, text).unwrap();
+        let err = read_ensemble_from_path(&bad).unwrap_err();
+        let shown = err.to_string();
+        assert!(shown.contains("corrupt.txt"), "{shown}");
+        assert!(shown.contains("dlr-ensemble v1"), "{shown}");
+        assert!(matches!(err.error, ModelParseError::Malformed { .. }));
+
+        // Foreign header: version reported as unknown.
+        let alien = dir.join("alien.txt");
+        std::fs::write(&alien, "lightgbm v3\n").unwrap();
+        let err = read_ensemble_from_path(&alien).unwrap_err();
+        assert_eq!(err.version, "unknown");
+        assert_eq!(err.error, ModelParseError::BadHeader);
+
+        // Missing file: I/O failure still names the path.
+        let gone = dir.join("missing.txt");
+        let err = read_ensemble_from_path(&gone).unwrap_err();
+        assert!(err.to_string().contains("missing.txt"), "{err}");
+        assert!(matches!(err.error, ModelParseError::Io(_)));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -76,6 +76,103 @@ pub fn fisher_randomization(a: &[f64], b: &[f64], rounds: usize, seed: u64) -> F
     }
 }
 
+/// Configuration for [`promotion_gate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Minimum number of paired per-query observations before the gate
+    /// will rule at all; fewer and it reports `InsufficientData`.
+    pub min_queries: usize,
+    /// Randomization rounds for the Fisher test.
+    pub rounds: usize,
+    /// Seed for the Monte-Carlo permutations (reproducible gates).
+    pub seed: u64,
+    /// Significance level; the paper uses 0.05.
+    pub alpha: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            min_queries: 16,
+            rounds: 2000,
+            seed: 0xF15E,
+            alpha: 0.05,
+        }
+    }
+}
+
+/// Verdict of [`promotion_gate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateDecision {
+    /// Not enough paired observations to run the test.
+    InsufficientData {
+        /// Pairs observed so far.
+        have: usize,
+        /// Pairs required by [`GateConfig::min_queries`].
+        need: usize,
+    },
+    /// The candidate is *significantly worse* than the incumbent —
+    /// promotion must not proceed.
+    Blocked {
+        /// The test outcome that triggered the block.
+        outcome: FisherOutcome,
+    },
+    /// No significant regression detected; promotion may proceed.
+    Pass {
+        /// The test outcome, or `None` when the gate ran with zero
+        /// required pairs and nothing to compare.
+        outcome: Option<FisherOutcome>,
+    },
+}
+
+impl GateDecision {
+    /// Whether the decision permits promotion.
+    pub fn allows_promotion(&self) -> bool {
+        matches!(self, GateDecision::Pass { .. })
+    }
+}
+
+/// Decide whether a candidate model may replace the incumbent, given
+/// paired per-query metric values (e.g. NDCG@10) collected during shadow
+/// scoring.
+///
+/// The gate is deliberately one-sided in its *ruling* while the test
+/// itself stays two-sided: promotion is blocked only when the candidate's
+/// mean is below the incumbent's **and** the difference is significant at
+/// `alpha`. A significant improvement, or any non-significant difference,
+/// passes — mirroring the paper's use of the Fisher test to certify that
+/// distilled students are statistically indistinguishable from (or better
+/// than) their teachers.
+///
+/// # Panics
+/// Panics if `incumbent.len() != candidate.len()` — the caller pairs the
+/// observations, so a mismatch is a harness bug.
+pub fn promotion_gate(incumbent: &[f64], candidate: &[f64], config: GateConfig) -> GateDecision {
+    assert_eq!(
+        incumbent.len(),
+        candidate.len(),
+        "paired gate needs equal-length inputs"
+    );
+    if incumbent.len() < config.min_queries {
+        return GateDecision::InsufficientData {
+            have: incumbent.len(),
+            need: config.min_queries,
+        };
+    }
+    if incumbent.is_empty() {
+        // min_queries == 0 and no data: nothing to compare, nothing to block.
+        return GateDecision::Pass { outcome: None };
+    }
+    let outcome = fisher_randomization(candidate, incumbent, config.rounds, config.seed);
+    if outcome.mean_diff < 0.0 && outcome.significant(config.alpha) {
+        GateDecision::Blocked { outcome }
+    } else {
+        GateDecision::Pass {
+            outcome: Some(outcome),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +230,73 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn mismatched_lengths_panic() {
         fisher_randomization(&[1.0], &[1.0, 2.0], 10, 0);
+    }
+
+    #[test]
+    fn gate_blocks_only_significant_regressions() {
+        let cfg = GateConfig {
+            min_queries: 16,
+            rounds: 1000,
+            seed: 7,
+            alpha: 0.05,
+        };
+        // Candidate consistently worse by 0.1 on 80 queries: blocked.
+        let inc: Vec<f64> = (0..80).map(|i| 0.6 + 0.001 * (i % 5) as f64).collect();
+        let cand: Vec<f64> = inc.iter().map(|x| x - 0.1).collect();
+        let decision = promotion_gate(&inc, &cand, cfg);
+        assert!(!decision.allows_promotion());
+        match decision {
+            GateDecision::Blocked { outcome } => {
+                assert!(outcome.mean_diff < 0.0);
+                assert!(outcome.significant(cfg.alpha));
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+
+        // Candidate consistently better: significant, but passes.
+        let better: Vec<f64> = inc.iter().map(|x| x + 0.1).collect();
+        assert!(promotion_gate(&inc, &better, cfg).allows_promotion());
+
+        // Tiny alternating-sign noise: not significant, passes.
+        let noisy: Vec<f64> = inc
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        assert!(promotion_gate(&inc, &noisy, cfg).allows_promotion());
+    }
+
+    #[test]
+    fn gate_reports_insufficient_data() {
+        let cfg = GateConfig::default();
+        let decision = promotion_gate(&[0.5; 3], &[0.5; 3], cfg);
+        assert_eq!(
+            decision,
+            GateDecision::InsufficientData { have: 3, need: 16 }
+        );
+        assert!(!decision.allows_promotion());
+    }
+
+    #[test]
+    fn gate_with_zero_required_pairs_passes_on_empty() {
+        let cfg = GateConfig {
+            min_queries: 0,
+            ..GateConfig::default()
+        };
+        assert_eq!(
+            promotion_gate(&[], &[], cfg),
+            GateDecision::Pass { outcome: None }
+        );
+    }
+
+    #[test]
+    fn gate_is_deterministic_for_seed() {
+        let inc: Vec<f64> = (0..40).map(|i| (i as f64).cos() * 0.05 + 0.5).collect();
+        let cand: Vec<f64> = inc.iter().map(|x| x - 0.02).collect();
+        let cfg = GateConfig::default();
+        assert_eq!(
+            promotion_gate(&inc, &cand, cfg),
+            promotion_gate(&inc, &cand, cfg)
+        );
     }
 }

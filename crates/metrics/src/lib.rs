@@ -17,7 +17,7 @@ pub mod ndcg;
 pub mod ranking;
 
 pub use evaluate::{evaluate_scorer, evaluate_scores, EvalReport, Scorer};
-pub use fisher::{fisher_randomization, FisherOutcome};
+pub use fisher::{fisher_randomization, promotion_gate, FisherOutcome, GateConfig, GateDecision};
 pub use map::{average_precision, mean_average_precision};
 pub use ndcg::{dcg_at, ndcg_at, NdcgConfig};
 pub use ranking::rank_by_scores;

@@ -45,7 +45,10 @@ pub use layer::Linear;
 pub use mlp::{Mlp, MlpWorkspace};
 pub use quant::{QuantizedLinear, QuantizedMlp};
 pub use scheduler::StepLr;
-pub use serialize::{read_mlp, read_mlp_bytes, write_mlp, MlpParseError};
+pub use serialize::{
+    mlp_format_version, read_mlp, read_mlp_bytes, read_mlp_from_path, write_mlp, MlpLoadError,
+    MlpParseError,
+};
 pub use train::{
     train_mse, train_mse_resilient, BatchAnomaly, GuardConfig, GuardStats, LayerMasks, TrainConfig,
     TrainError, TrainReport, TrainerState,

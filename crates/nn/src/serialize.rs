@@ -97,6 +97,75 @@ impl From<std::io::Error> for MlpParseError {
     }
 }
 
+/// A load failure annotated with the artifact's source path and the
+/// format/version string its header claimed, so a registry's
+/// load-rejection log says *which file* in *which format* failed — a
+/// bare [`MlpParseError`] only says what went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpLoadError {
+    /// Where the artifact was read from.
+    pub path: String,
+    /// Format/version string from the header line (e.g. `dlr-mlp v2`),
+    /// or `unknown` when no recognisable header was present.
+    pub version: String,
+    /// The underlying parse failure.
+    pub error: MlpParseError,
+}
+
+impl std::fmt::Display for MlpLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model artifact {} (format {}): {}",
+            self.path, self.version, self.error
+        )
+    }
+}
+
+impl std::error::Error for MlpLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// The format/version string an artifact's header line claims
+/// (`dlr-mlp v1` or `dlr-mlp v2`), or `None` when the first line is not
+/// a dlr-mlp header at all.
+pub fn mlp_format_version(bytes: &[u8]) -> Option<&'static str> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .unwrap_or(bytes.len());
+    let header = std::str::from_utf8(bytes.get(..nl)?).ok()?;
+    if header == "dlr-mlp v1" {
+        Some("dlr-mlp v1")
+    } else if header.starts_with("dlr-mlp v2 ") {
+        Some("dlr-mlp v2")
+    } else {
+        None
+    }
+}
+
+/// [`read_mlp`] from a filesystem path, with failures annotated with the
+/// path and claimed format version (see [`MlpLoadError`]).
+///
+/// # Errors
+/// [`MlpLoadError`] wrapping the underlying [`MlpParseError`] (including
+/// I/O failures reading the file).
+pub fn read_mlp_from_path(path: impl AsRef<std::path::Path>) -> Result<Mlp, MlpLoadError> {
+    let shown = path.as_ref().display().to_string();
+    let bytes = std::fs::read(path.as_ref()).map_err(|e| MlpLoadError {
+        path: shown.clone(),
+        version: "unknown".into(),
+        error: MlpParseError::Io(e.to_string()),
+    })?;
+    read_mlp_bytes(&bytes).map_err(|error| MlpLoadError {
+        path: shown,
+        version: mlp_format_version(&bytes).unwrap_or("unknown").into(),
+        error,
+    })
+}
+
 fn act_name(a: Activation) -> &'static str {
     match a {
         Activation::Relu => "relu",
@@ -442,6 +511,58 @@ mod tests {
         let v1 = format!("dlr-mlp v1\n{}", corrupted.join("\n"));
         let err = read_mlp(Cursor::new(v1.as_bytes())).unwrap_err();
         assert!(matches!(err, MlpParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn path_load_error_names_file_and_version() {
+        let mlp = Mlp::from_hidden(3, &[2], 5);
+        let mut buf = Vec::new();
+        write_mlp(&mlp, &mut buf).unwrap();
+        let dir = std::env::temp_dir().join(format!("dlr-mlp-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Clean round trip through the path API.
+        let good = dir.join("good.dlr");
+        std::fs::write(&good, &buf).unwrap();
+        assert_eq!(read_mlp_from_path(&good).unwrap(), mlp);
+
+        // Checksum failure: Display carries path, format version, and the
+        // underlying cause.
+        let mut corrupt = buf.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        let bad = dir.join("corrupt.dlr");
+        std::fs::write(&bad, &corrupt).unwrap();
+        let err = read_mlp_from_path(&bad).unwrap_err();
+        assert_eq!(err.version, "dlr-mlp v2");
+        assert!(matches!(err.error, MlpParseError::ChecksumMismatch { .. }));
+        let text = err.to_string();
+        assert!(text.contains("corrupt.dlr"), "{text}");
+        assert!(text.contains("dlr-mlp v2"), "{text}");
+        assert!(text.contains("checksum"), "{text}");
+
+        // Missing file: version unknown, path still named.
+        let missing = dir.join("nope.dlr");
+        let err = read_mlp_from_path(&missing).unwrap_err();
+        assert_eq!(err.version, "unknown");
+        assert!(matches!(err.error, MlpParseError::Io(_)));
+        assert!(err.to_string().contains("nope.dlr"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn format_version_probes_the_header_only() {
+        assert_eq!(
+            mlp_format_version(b"dlr-mlp v2 crc32 00000000 len 0\n"),
+            Some("dlr-mlp v2")
+        );
+        assert_eq!(
+            mlp_format_version(b"dlr-mlp v1\nlayers 1\n"),
+            Some("dlr-mlp v1")
+        );
+        assert_eq!(mlp_format_version(b"pytorch\n"), None);
+        assert_eq!(mlp_format_version(b""), None);
     }
 
     #[test]

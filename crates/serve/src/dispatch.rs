@@ -17,7 +17,7 @@
 
 use crate::batch::{assemble, batch_budget, split_expired, BatchConfig};
 use crate::clock::Clock;
-use crate::engine::BatchEngine;
+use crate::engine::{BatchEngine, RequestMeta};
 use crate::queue::{AdmissionQueue, Admitted, Ready};
 use crate::request::{Delivery, Response};
 use crate::stats::ServerStats;
@@ -135,18 +135,35 @@ fn execute<E: BatchEngine>(
     }
     let (rows, ranges) = assemble(&live);
     let docs: usize = live.iter().map(|i| i.docs).sum();
+    let metas: Vec<RequestMeta<'_>> = live
+        .iter()
+        .zip(ranges.iter())
+        .map(|(item, &(start, n))| RequestMeta {
+            start,
+            docs: n,
+            labels: item.request.labels.as_deref(),
+        })
+        .collect();
     let mut out = vec![0.0f32; docs];
     let poisoned = fault == ServerFault::BatchPanic;
     let result = catch_unwind(AssertUnwindSafe(|| {
         if poisoned {
             std::panic::panic_any("injected fault: batch panic");
         }
-        engine.score_batch(&rows, &mut out, budget)
+        engine.score_batch_meta(&rows, &mut out, budget, &metas)
     }));
+    drop(metas);
     if let ServerFault::SlowConsumer(lag) = fault {
         std::thread::sleep(lag);
     }
     let done = shared.clock.now_nanos();
+    // Which model version answered, when the engine serves versioned
+    // models (a registry): read outside the stats lock, only meaningful
+    // after a successful score.
+    let version = match &result {
+        Ok(Ok(_)) => engine.served_version(),
+        _ => None,
+    };
 
     let mut stats = lock_stats(shared);
     stats.batches += 1;
@@ -160,8 +177,23 @@ fn execute<E: BatchEngine>(
             stats.failed += live.len() as u64;
         }
     }
+    if let (Some(version), Ok(Ok(served_by))) = (&version, &result) {
+        let row = stats.version_mut(version);
+        row.batches += 1;
+        row.docs += docs as u64;
+        match served_by {
+            ServedBy::Primary => row.scored_primary += live.len() as u64,
+            ServedBy::Fallback => row.scored_fallback += live.len() as u64,
+        }
+    }
     for item in &live {
         stats.record_latency(done.saturating_sub(item.queued_nanos));
+        if let Some(version) = &version {
+            stats
+                .version_mut(version)
+                .latency
+                .record(Duration::from_nanos(done.saturating_sub(item.queued_nanos)));
+        }
     }
     drop(stats);
 

@@ -10,7 +10,21 @@
 
 use dlr_core::scoring::DocumentScorer;
 use dlr_core::serve::{RobustScorer, ScoreError, ServedBy};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-request context the dispatcher attaches to an assembled batch:
+/// where the request's documents sit in the concatenated rows, and its
+/// optional relevance labels (for off-path shadow-quality comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct RequestMeta<'a> {
+    /// First document index of this request within the batch.
+    pub start: usize,
+    /// Number of documents this request contributed.
+    pub docs: usize,
+    /// Relevance labels, one per document, when the client supplied them.
+    pub labels: Option<&'a [f32]>,
+}
 
 /// Scores assembled micro-batches under a propagated deadline budget.
 pub trait BatchEngine: Send {
@@ -34,6 +48,37 @@ pub trait BatchEngine: Send {
         out: &mut [f32],
         budget: Option<Duration>,
     ) -> Result<ServedBy, ScoreError>;
+
+    /// [`score_batch`](Self::score_batch) plus per-request metadata.
+    /// The dispatcher always calls this entry point; the default
+    /// implementation ignores the metadata, so plain engines need not
+    /// care. A lifecycle-aware engine uses `metas` to compute off-path
+    /// per-query quality comparisons (shadow NDCG) without touching the
+    /// response path.
+    ///
+    /// # Errors
+    /// Same contract as [`score_batch`](Self::score_batch).
+    fn score_batch_meta(
+        &mut self,
+        rows: &[f32],
+        out: &mut [f32],
+        budget: Option<Duration>,
+        metas: &[RequestMeta<'_>],
+    ) -> Result<ServedBy, ScoreError> {
+        let _ = metas;
+        self.score_batch(rows, out, budget)
+    }
+
+    /// The model version that produced the most recent successfully
+    /// scored batch, when this engine serves versioned models. The
+    /// dispatcher reads this right after a successful
+    /// [`score_batch_meta`](Self::score_batch_meta) to attribute the
+    /// batch in the per-version stats breakdown. Engines without a
+    /// registry return `None` (the default) and no per-version row is
+    /// recorded.
+    fn served_version(&self) -> Option<Arc<str>> {
+        None
+    }
 }
 
 impl<P, F> BatchEngine for RobustScorer<P, F>

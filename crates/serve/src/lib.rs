@@ -57,14 +57,19 @@ pub mod clock;
 mod dispatch;
 pub mod engine;
 pub mod queue;
+pub mod registry;
 pub mod request;
 mod server;
 pub mod stats;
 
 pub use batch::BatchConfig;
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use engine::{BatchEngine, PlainEngine};
+pub use engine::{BatchEngine, PlainEngine, RequestMeta};
 pub use queue::Backpressure;
+pub use registry::{
+    CandidateOutcome, CandidateReport, CandidateStats, LifecycleError, LifecycleEvent,
+    ModelRegistry, RegistryEngine, RollbackReason, RolloutConfig, Stage,
+};
 pub use request::{Delivery, Response, ResponseHandle, ScoreRequest, SubmitError};
 pub use server::{Server, ServerConfig};
-pub use stats::ServerStats;
+pub use stats::{ServerStats, VersionStats};

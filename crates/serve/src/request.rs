@@ -22,6 +22,11 @@ pub struct ScoreRequest {
     /// [`Response::Expired`]; the tightest remaining budget in a batch is
     /// propagated into the scorer's degradation path.
     pub deadline: Option<Duration>,
+    /// Optional relevance labels, one per document. Never used to score —
+    /// a lifecycle-aware engine reads them off the response path to
+    /// compare a shadow candidate's ranking quality against the
+    /// incumbent's (NDCG pairs feeding the promotion gate).
+    pub labels: Option<Vec<f32>>,
 }
 
 impl ScoreRequest {
@@ -30,12 +35,20 @@ impl ScoreRequest {
         ScoreRequest {
             features,
             deadline: None,
+            labels: None,
         }
     }
 
     /// Attach a latency budget.
     pub fn with_deadline(mut self, deadline: Duration) -> ScoreRequest {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach per-document relevance labels (for off-path quality
+    /// comparison during shadow scoring; never affects the response).
+    pub fn with_labels(mut self, labels: Vec<f32>) -> ScoreRequest {
+        self.labels = Some(labels);
         self
     }
 }

@@ -16,6 +16,48 @@
 
 use dlr_core::serve::LatencyHistogram;
 
+/// Per-model-version slice of the server's accounting, maintained only
+/// when the engine serves versioned models (a [`ModelRegistry`] engine).
+/// Summed over versions, the scored counters equal the server-level ones:
+///
+/// ```text
+/// Σ per_version[i].scored_primary == scored_primary
+/// Σ per_version[i].scored_fallback == scored_fallback
+/// ```
+///
+/// Equality compares counters only; the latency histogram is excluded,
+/// like [`ServerStats`]'s.
+///
+/// [`ModelRegistry`]: crate::registry::ModelRegistry
+#[derive(Debug, Clone, Default)]
+pub struct VersionStats {
+    /// The model version string this row accounts for.
+    pub version: String,
+    /// Micro-batches this version answered.
+    pub batches: u64,
+    /// Documents across those batches.
+    pub docs: u64,
+    /// Requests this version answered at full service.
+    pub scored_primary: u64,
+    /// Requests this version answered degraded (e.g. a canary rescue
+    /// falling back to the incumbent).
+    pub scored_fallback: u64,
+    /// Admission→delivery latency of requests this version answered.
+    pub latency: LatencyHistogram,
+}
+
+impl PartialEq for VersionStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.version == other.version
+            && self.batches == other.batches
+            && self.docs == other.docs
+            && self.scored_primary == other.scored_primary
+            && self.scored_fallback == other.scored_fallback
+    }
+}
+
+impl Eq for VersionStats {}
+
 /// Counters for one server's lifetime. See the module docs for the
 /// accounting identities.
 #[derive(Debug, Clone, Default)]
@@ -54,6 +96,10 @@ pub struct ServerStats {
     pub max_queued_docs: u64,
     /// Admission→delivery latency of every answered request.
     pub latency: LatencyHistogram,
+    /// Per-model-version breakdown of the scored counters, in the order
+    /// versions first answered traffic. Empty unless the engine serves
+    /// versioned models.
+    pub per_version: Vec<VersionStats>,
 }
 
 impl ServerStats {
@@ -72,9 +118,29 @@ impl ServerStats {
         self.rejected_full + self.shed + self.rejected_shutdown + self.malformed
     }
 
+    /// The stats row for `version`, if that version ever answered.
+    pub fn version(&self, version: &str) -> Option<&VersionStats> {
+        self.per_version.iter().find(|v| v.version == version)
+    }
+
     /// Record a response delivery's latency.
     pub(crate) fn record_latency(&mut self, nanos: u64) {
         self.latency.record(std::time::Duration::from_nanos(nanos));
+    }
+
+    /// The row for `version`, created at the back on first sight.
+    pub(crate) fn version_mut(&mut self, version: &str) -> &mut VersionStats {
+        let idx = match self.per_version.iter().position(|v| v.version == version) {
+            Some(i) => i,
+            None => {
+                self.per_version.push(VersionStats {
+                    version: version.to_string(),
+                    ..VersionStats::default()
+                });
+                self.per_version.len() - 1
+            }
+        };
+        &mut self.per_version[idx]
     }
 }
 
@@ -95,6 +161,7 @@ impl PartialEq for ServerStats {
             && self.batch_panics == other.batch_panics
             && self.max_queue_depth == other.max_queue_depth
             && self.max_queued_docs == other.max_queued_docs
+            && self.per_version == other.per_version
     }
 }
 
@@ -140,6 +207,13 @@ impl std::fmt::Display for ServerStats {
                 self.latency.count()
             )?;
         }
+        for v in &self.per_version {
+            write!(
+                f,
+                "\nversion {}: {} batches ({} docs) | primary {} | fallback {}",
+                v.version, v.batches, v.docs, v.scored_primary, v.scored_fallback
+            )?;
+        }
         Ok(())
     }
 }
@@ -182,6 +256,32 @@ mod tests {
         };
         assert_eq!(a, b);
         assert_eq!(a.latency.count(), 1);
+    }
+
+    #[test]
+    fn per_version_rows_compare_exactly_but_ignore_latency() {
+        let mut a = ServerStats::default();
+        {
+            let row = a.version_mut("v1");
+            row.batches = 2;
+            row.scored_primary = 5;
+            row.latency.record(std::time::Duration::from_micros(3));
+        }
+        let mut b = ServerStats::default();
+        {
+            let row = b.version_mut("v1");
+            row.batches = 2;
+            row.scored_primary = 5;
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.version("v1").map(|v| v.scored_primary), Some(5));
+        assert_eq!(a.version("v2"), None);
+        // A diverging counter or an extra version row breaks equality.
+        b.version_mut("v1").scored_fallback = 1;
+        assert_ne!(a, b);
+        b.version_mut("v1").scored_fallback = 0;
+        b.version_mut("v2");
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,0 +1,969 @@
+//! Exact-count coverage of the model-lifecycle state machine: hot-swap,
+//! shadow isolation, canary routing and rescue, every automatic-rollback
+//! trigger, the Fisher promotion gate, and swap-during-drain — plus a
+//! property test that every request is answered exactly once by exactly
+//! one model version across repeated swaps racing shutdown.
+//!
+//! Determinism notes: scorers tag their scores with the model version
+//! (`score = tag·10000 + query·100 + doc`), so a response betrays which
+//! version answered it. `max_batch_docs = 1` with sequential
+//! submit-and-wait makes batch boundaries — and so the deterministic
+//! shadow/canary fraction accumulators and watchdog trip points — exact.
+//! Latency-based triggers are driven through the engine directly with a
+//! hand-advanced [`ManualClock`].
+
+use dlr_core::fault::{ServerFault, ServerFaultPlan};
+use dlr_core::scoring::DocumentScorer;
+use dlr_core::serve::ServedBy;
+use dlr_metrics::GateConfig;
+use dlr_serve::{
+    BatchConfig, BatchEngine, CandidateOutcome, LifecycleError, LifecycleEvent, ManualClock,
+    ModelRegistry, MonotonicClock, RegistryEngine, RollbackReason, RolloutConfig, ScoreRequest,
+    Server, ServerConfig, Stage,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two features per document (`[query, doc]`); the score encodes the
+/// model version alongside the query and document.
+struct Versioned {
+    tag: f32,
+}
+
+impl DocumentScorer for Versioned {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+            *o = self.tag * 10000.0 + row[0] * 100.0 + row[1];
+        }
+    }
+    fn name(&self) -> String {
+        format!("versioned {}", self.tag)
+    }
+}
+
+/// Candidate that always produces non-finite scores.
+struct NanScorer;
+
+impl DocumentScorer for NanScorer {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, _rows: &[f32], out: &mut [f32]) {
+        out.fill(f32::NAN);
+    }
+    fn name(&self) -> String {
+        "nan".into()
+    }
+}
+
+/// Candidate that panics on every batch.
+struct PanicScorer;
+
+impl DocumentScorer for PanicScorer {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, _rows: &[f32], _out: &mut [f32]) {
+        panic!("injected: candidate scorer panic");
+    }
+    fn name(&self) -> String {
+        "panics".into()
+    }
+}
+
+/// Healthy for the first `healthy_calls` batches, NaN afterwards — a
+/// candidate that turns bad only after promotion.
+struct Turncoat {
+    tag: f32,
+    healthy_calls: u32,
+    calls: u32,
+}
+
+impl DocumentScorer for Turncoat {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        self.calls += 1;
+        if self.calls > self.healthy_calls {
+            out.fill(f32::NAN);
+            return;
+        }
+        for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+            *o = self.tag * 10000.0 + row[0] * 100.0 + row[1];
+        }
+    }
+    fn name(&self) -> String {
+        "turncoat".into()
+    }
+}
+
+/// Scores like [`Versioned`] but advances a [`ManualClock`] by a fixed
+/// amount per batch, so scoring latency is exact and hand-controlled.
+struct SlowVersioned {
+    tag: f32,
+    clock: Arc<ManualClock>,
+    advance_nanos: u64,
+}
+
+impl DocumentScorer for SlowVersioned {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        self.clock.advance(self.advance_nanos);
+        for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+            *o = self.tag * 10000.0 + row[0] * 100.0 + row[1];
+        }
+    }
+    fn name(&self) -> String {
+        "slow".into()
+    }
+}
+
+fn request(query: usize, docs: usize) -> ScoreRequest {
+    let mut features = Vec::with_capacity(docs * 2);
+    for doc in 0..docs {
+        features.push(query as f32);
+        features.push(doc as f32);
+    }
+    ScoreRequest::new(features)
+}
+
+fn expected(tag: u32, query: usize, docs: usize) -> Vec<f32> {
+    (0..docs)
+        .map(|doc| tag as f32 * 10000.0 + query as f32 * 100.0 + doc as f32)
+        .collect()
+}
+
+/// Which version tag produced these scores, when one version answered
+/// every document consistently.
+fn version_of(scores: &[f32], query: usize) -> Option<u32> {
+    let mut tag = None;
+    for (doc, &s) in scores.iter().enumerate() {
+        let t = (s - query as f32 * 100.0 - doc as f32) / 10000.0;
+        let rounded = t.round();
+        if (t - rounded).abs() > 1e-3 || rounded < 0.0 {
+            return None;
+        }
+        let rounded = rounded as u32;
+        match tag {
+            None => tag = Some(rounded),
+            Some(existing) if existing == rounded => {}
+            Some(_) => return None,
+        }
+    }
+    tag
+}
+
+fn one_doc_batches() -> BatchConfig {
+    BatchConfig {
+        max_batch_docs: 1,
+        max_wait: Duration::from_millis(1),
+    }
+}
+
+/// A config whose watchdog never fires and whose gate never blocks.
+fn quiet_config() -> RolloutConfig {
+    RolloutConfig {
+        min_samples: u64::MAX,
+        gate: GateConfig {
+            min_queries: 0,
+            ..GateConfig::default()
+        },
+        ..RolloutConfig::default()
+    }
+}
+
+fn start_registry_server(config: RolloutConfig) -> (ModelRegistry, Server<RegistryEngine>) {
+    let (registry, engine) = ModelRegistry::with_scorer(
+        "v1",
+        Box::new(Versioned { tag: 1.0 }),
+        b"artifact v1".to_vec(),
+        config,
+        Arc::new(MonotonicClock::default()),
+    );
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: one_doc_batches(),
+            ..ServerConfig::default()
+        },
+    );
+    (registry, server)
+}
+
+#[test]
+fn shadow_mirrors_exact_fraction_and_never_answers() {
+    let config = RolloutConfig {
+        shadow_fraction: 0.5,
+        ..quiet_config()
+    };
+    let (registry, server) = start_registry_server(config);
+    registry
+        .load_scorer(
+            "v2",
+            Box::new(Versioned { tag: 2.0 }),
+            b"artifact v2".to_vec(),
+        )
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    for q in 0..8 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        // Every response is the incumbent's, even on mirrored batches.
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+    }
+    let report = registry.candidate_report().expect("candidate in flight");
+    assert_eq!(report.stage, Stage::Shadow);
+    // fraction 0.5 over 8 single-doc batches: exactly 4 mirrored.
+    assert_eq!(report.stats.shadow_batches, 4);
+    assert_eq!(report.stats.shadow_docs, 4);
+    assert_eq!(report.stats.compared_docs, 4);
+    // v2's scores differ by 10000 — every compared doc diverges.
+    assert_eq!(report.stats.divergent_docs, 4);
+    assert_eq!(report.stats.shadow_nan_batches, 0);
+    assert_eq!(report.stats.shadow_panics, 0);
+    assert_eq!(report.stats.canary_batches, 0);
+    assert_eq!(report.stats.rescues, 0);
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.admitted, 8);
+    assert_eq!(stats.scored_primary, 8);
+    assert_eq!(stats.answered(), stats.admitted);
+    // Every scored batch is attributed to the incumbent.
+    assert_eq!(stats.version("v1").map(|v| v.scored_primary), Some(8));
+    assert_eq!(stats.version("v2"), None);
+}
+
+#[test]
+fn shadow_candidate_panic_and_nan_are_isolated_off_path() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Panicking candidate: responses unaffected, panics counted.
+    let (registry, server) = start_registry_server(quiet_config());
+    registry
+        .load_scorer("v2", Box::new(PanicScorer), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+    for q in 0..5 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+    }
+    let report = registry.candidate_report().expect("in flight");
+    assert_eq!(report.stats.shadow_batches, 5);
+    assert_eq!(report.stats.shadow_panics, 5);
+    assert_eq!(report.stats.compared_docs, 0);
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.batch_panics, 0);
+    assert_eq!(stats.scored_primary, 5);
+
+    // NaN candidate: counted as NaN batches, never compared.
+    let (registry, server) = start_registry_server(quiet_config());
+    registry
+        .load_scorer("v2", Box::new(NanScorer), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+    for q in 0..5 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+    }
+    let report = registry.candidate_report().expect("in flight");
+    assert_eq!(report.stats.shadow_batches, 5);
+    assert_eq!(report.stats.shadow_nan_batches, 5);
+    assert_eq!(report.stats.shadow_panics, 0);
+    assert_eq!(report.stats.compared_docs, 0);
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.failed, 0);
+
+    std::panic::set_hook(prev);
+}
+
+#[test]
+fn canary_routes_a_deterministic_slice_to_the_candidate() {
+    let config = RolloutConfig {
+        canary_fraction: 0.25,
+        ..quiet_config()
+    };
+    let (registry, server) = start_registry_server(config);
+    registry
+        .load_scorer(
+            "v2",
+            Box::new(Versioned { tag: 2.0 }),
+            b"artifact v2".to_vec(),
+        )
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+    registry.begin_canary().expect("canary");
+
+    let mut by_candidate = Vec::new();
+    for q in 0..8 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        let scores = got.response.scores().expect("scored");
+        match version_of(scores, q) {
+            Some(2) => by_candidate.push(q),
+            Some(1) => {}
+            other => panic!("query {q} answered by unexpected version {other:?}"),
+        }
+    }
+    // fraction 0.25: the accumulator fires on exactly the 4th and 8th
+    // batches (0-indexed queries 3 and 7).
+    assert_eq!(by_candidate, vec![3, 7]);
+    let report = registry.candidate_report().expect("in flight");
+    assert_eq!(report.stats.canary_batches, 2);
+    assert_eq!(report.stats.rescues, 0);
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.scored_primary, 8);
+    assert_eq!(stats.version("v1").map(|v| v.scored_primary), Some(6));
+    assert_eq!(stats.version("v2").map(|v| v.scored_primary), Some(2));
+    assert_eq!(
+        stats.per_version.iter().map(|v| v.batches).sum::<u64>(),
+        stats.batches
+    );
+}
+
+#[test]
+fn unhealthy_canary_batches_are_rescued_by_the_incumbent() {
+    let config = RolloutConfig {
+        canary_fraction: 0.25,
+        ..quiet_config()
+    };
+    let (registry, server) = start_registry_server(config);
+    registry
+        .load_scorer("v2", Box::new(NanScorer), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+    registry.begin_canary().expect("canary");
+
+    for q in 0..8 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        // Rescued or not, the client always sees finite incumbent scores.
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+        let expected_by = if q == 3 || q == 7 {
+            ServedBy::Fallback
+        } else {
+            ServedBy::Primary
+        };
+        match got.response {
+            dlr_serve::Response::Scored { served_by, .. } => {
+                assert_eq!(served_by, expected_by, "query {q} wrong served_by")
+            }
+            other => panic!("query {q}: {other:?}"),
+        }
+    }
+    let report = registry.candidate_report().expect("in flight");
+    assert_eq!(report.stats.canary_batches, 2);
+    assert_eq!(report.stats.rescues, 2);
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.scored_primary, 6);
+    assert_eq!(stats.scored_fallback, 2);
+    assert_eq!(stats.answered(), stats.admitted);
+    let v1 = stats.version("v1").expect("v1 row");
+    assert_eq!((v1.scored_primary, v1.scored_fallback), (6, 2));
+    assert_eq!(stats.version("v2"), None);
+}
+
+#[test]
+fn watchdog_rolls_back_on_score_divergence() {
+    let config = RolloutConfig {
+        min_samples: 4,
+        max_divergence_rate: 0.1,
+        ..RolloutConfig::default()
+    };
+    let (registry, server) = start_registry_server(config);
+    registry
+        .load_scorer("v2", Box::new(Versioned { tag: 2.0 }), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    for q in 0..6 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+    }
+    // The 4th mirrored batch reached min_samples with 100% divergence:
+    // the candidate is gone and the incumbent still serves.
+    assert_eq!(registry.candidate_version(), None);
+    assert_eq!(registry.active_version(), "v1");
+    let report = registry.last_report().expect("ended journey");
+    assert_eq!(report.version, "v2");
+    assert_eq!(report.stats.shadow_batches, 4);
+    assert_eq!(report.stats.divergent_docs, 4);
+    assert!(
+        matches!(
+            report.outcome,
+            CandidateOutcome::RolledBack(RollbackReason::Divergence { .. })
+        ),
+        "{:?}",
+        report.outcome
+    );
+    assert!(registry.events().iter().any(
+        |e| matches!(e, LifecycleEvent::RolledBack { version, restored, .. }
+            if version == "v2" && restored == "v1")
+    ));
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.scored_primary, 6);
+    assert_eq!(stats.answered(), stats.admitted);
+}
+
+#[test]
+fn watchdog_rolls_back_on_nan_rate() {
+    let config = RolloutConfig {
+        min_samples: 4,
+        max_nan_rescue_rate: 0.25,
+        ..RolloutConfig::default()
+    };
+    let (registry, server) = start_registry_server(config);
+    registry
+        .load_scorer("v2", Box::new(NanScorer), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    for q in 0..4 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+    }
+    assert_eq!(registry.candidate_version(), None);
+    let report = registry.last_report().expect("ended journey");
+    assert_eq!(report.stats.shadow_nan_batches, 4);
+    assert!(
+        matches!(
+            report.outcome,
+            CandidateOutcome::RolledBack(RollbackReason::NanRescue { .. })
+        ),
+        "{:?}",
+        report.outcome
+    );
+    drop(server);
+}
+
+#[test]
+fn watchdog_rolls_back_on_deadline_degradation() {
+    // Driven through the engine directly so a ManualClock controls the
+    // candidate's scoring time exactly.
+    let clock = Arc::new(ManualClock::at(0));
+    let config = RolloutConfig {
+        min_samples: 2,
+        max_deadline_degradation_rate: 0.25,
+        ..RolloutConfig::default()
+    };
+    let (registry, mut engine) = ModelRegistry::with_scorer(
+        "v1",
+        Box::new(Versioned { tag: 1.0 }),
+        Vec::new(),
+        config,
+        Arc::clone(&clock) as Arc<dyn dlr_serve::Clock>,
+    );
+    registry
+        .load_scorer(
+            "v2",
+            Box::new(SlowVersioned {
+                tag: 1.0,
+                clock: Arc::clone(&clock),
+                advance_nanos: 10_000_000, // 10ms per batch
+            }),
+            Vec::new(),
+        )
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    let budget = Some(Duration::from_millis(1));
+    let mut out = [0.0f32; 1];
+    for q in 0..2 {
+        let rows = [q as f32, 0.0];
+        engine
+            .score_batch_meta(&rows, &mut out, budget, &[])
+            .expect("served");
+    }
+    // Both mirrored batches blew the 1ms budget by 10×: rate 1.0 > 0.25.
+    assert_eq!(registry.candidate_version(), None);
+    let report = registry.last_report().expect("ended journey");
+    assert_eq!(report.stats.deadline_degraded, 2);
+    assert!(
+        matches!(
+            report.outcome,
+            CandidateOutcome::RolledBack(RollbackReason::DeadlineDegradation { .. })
+        ),
+        "{:?}",
+        report.outcome
+    );
+}
+
+#[test]
+fn watchdog_rolls_back_on_p99_regression() {
+    let clock = Arc::new(ManualClock::at(0));
+    let config = RolloutConfig {
+        min_samples: 8,
+        max_p99_ratio: 3.0,
+        ..RolloutConfig::default()
+    };
+    let (registry, mut engine) = ModelRegistry::with_scorer(
+        "v1",
+        Box::new(SlowVersioned {
+            tag: 1.0,
+            clock: Arc::clone(&clock),
+            advance_nanos: 1_000_000, // incumbent: 1ms per batch
+        }),
+        Vec::new(),
+        config,
+        Arc::clone(&clock) as Arc<dyn dlr_serve::Clock>,
+    );
+    registry
+        .load_scorer(
+            "v2",
+            Box::new(SlowVersioned {
+                tag: 1.0, // identical scores: only latency regresses
+                clock: Arc::clone(&clock),
+                advance_nanos: 10_000_000, // candidate: 10ms per batch
+            }),
+            Vec::new(),
+        )
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    let mut out = [0.0f32; 1];
+    for q in 0..8 {
+        let rows = [q as f32, 0.0];
+        engine
+            .score_batch_meta(&rows, &mut out, None, &[])
+            .expect("served");
+    }
+    // Identical scores (no divergence), no NaN, no budget — only the
+    // p99 ratio (≈16×) can have fired.
+    assert_eq!(registry.candidate_version(), None);
+    let report = registry.last_report().expect("ended journey");
+    assert_eq!(report.stats.divergent_docs, 0);
+    assert!(
+        matches!(
+            report.outcome,
+            CandidateOutcome::RolledBack(RollbackReason::LatencyRegression { ratio }) if ratio > 3.0
+        ),
+        "{:?}",
+        report.outcome
+    );
+}
+
+#[test]
+fn promotion_holds_then_settles_and_supports_manual_rollback() {
+    let config = RolloutConfig {
+        hold_batches: 3,
+        ..quiet_config()
+    };
+    let (registry, server) = start_registry_server(config);
+    registry
+        .load_scorer(
+            "v2",
+            Box::new(Versioned { tag: 2.0 }),
+            b"artifact v2".to_vec(),
+        )
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+    // One mirrored batch, then promote (gate passes: min_queries 0).
+    server.submit(request(0, 1)).expect("admit").wait();
+    registry.promote().expect("promote");
+    assert_eq!(registry.active_version(), "v2");
+    assert_eq!(registry.candidate_stage(), Some(Stage::Hold));
+
+    // Three clean hold batches settle the rollout; v2 answers them.
+    for q in 1..4 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(got.response.scores(), Some(&expected(2, q, 1)[..]));
+    }
+    assert_eq!(registry.candidate_version(), None);
+    let report = registry.last_report().expect("ended journey");
+    assert_eq!(report.outcome, CandidateOutcome::Settled);
+    assert_eq!(report.stats.hold_batches, 3);
+    assert!(registry
+        .events()
+        .iter()
+        .any(|e| matches!(e, LifecycleEvent::Settled { version } if version == "v2")));
+
+    // Post-settle manual rollback flips back to the retained incumbent.
+    registry.rollback().expect("manual rollback");
+    assert_eq!(registry.active_version(), "v1");
+    let got = server.submit(request(9, 1)).expect("admit").wait();
+    assert_eq!(got.response.scores(), Some(&expected(1, 9, 1)[..]));
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.answered(), stats.admitted);
+    assert_eq!(stats.version("v1").map(|v| v.scored_primary), Some(2));
+    assert_eq!(stats.version("v2").map(|v| v.scored_primary), Some(3));
+}
+
+#[test]
+fn hold_rollback_under_storm_restores_the_incumbent() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Candidate healthy through shadow + promotion, NaN afterwards —
+    // while injected deadline storms squeeze every batch's budget.
+    let config = RolloutConfig {
+        min_samples: 4,
+        max_nan_rescue_rate: 0.25,
+        hold_batches: 100,
+        gate: GateConfig {
+            min_queries: 0,
+            ..GateConfig::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let (registry, engine) = ModelRegistry::with_scorer(
+        "v1",
+        Box::new(Versioned { tag: 1.0 }),
+        b"artifact v1".to_vec(),
+        config,
+        Arc::new(MonotonicClock::default()),
+    );
+    registry
+        .load_scorer(
+            "v2",
+            Box::new(Turncoat {
+                tag: 2.0,
+                healthy_calls: 2,
+                calls: 0,
+            }),
+            b"artifact v2".to_vec(),
+        )
+        .expect("load");
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: one_doc_batches(),
+            faults: Some(ServerFaultPlan::from_schedule(vec![
+                ServerFault::None,
+                ServerFault::DeadlineStorm,
+                ServerFault::None,
+                ServerFault::DeadlineStorm,
+                ServerFault::DeadlineStorm,
+                ServerFault::None,
+                ServerFault::DeadlineStorm,
+                ServerFault::None,
+            ])),
+            ..ServerConfig::default()
+        },
+    );
+    registry.begin_shadow().expect("shadow");
+    // Two healthy mirrored batches, then promote into Hold.
+    for q in 0..2 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(got.response.scores(), Some(&expected(1, q, 1)[..]));
+    }
+    registry.promote().expect("promote");
+    assert_eq!(registry.active_version(), "v2");
+
+    // The candidate now NaNs every batch; the reference rescues each one
+    // until the watchdog trips, then v1 is active again. Every request
+    // is answered with finite scores throughout.
+    for q in 2..8 {
+        let got = server.submit(request(q, 1)).expect("admit").wait();
+        assert_eq!(
+            got.response.scores(),
+            Some(&expected(1, q, 1)[..]),
+            "query {q}"
+        );
+    }
+    assert_eq!(registry.active_version(), "v1");
+    assert_eq!(registry.candidate_version(), None);
+    let report = registry.last_report().expect("ended journey");
+    assert_eq!(report.stage, Stage::Hold);
+    assert!(
+        matches!(report.outcome, CandidateOutcome::RolledBack(_)),
+        "{:?}",
+        report.outcome
+    );
+    assert!(registry.events().iter().any(
+        |e| matches!(e, LifecycleEvent::RolledBack { version, restored, .. }
+            if version == "v2" && restored == "v1")
+    ));
+
+    let (_engine, stats) = server.shutdown();
+    // Drain-exact identities hold across promote + automatic rollback.
+    assert_eq!(stats.admitted, 8);
+    assert_eq!(stats.answered(), stats.admitted);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.scored(), 8);
+    assert_eq!(
+        stats
+            .per_version
+            .iter()
+            .map(|v| v.scored_primary + v.scored_fallback)
+            .sum::<u64>(),
+        stats.scored()
+    );
+
+    std::panic::set_hook(prev);
+}
+
+#[test]
+fn fisher_gate_blocks_a_significantly_worse_candidate() {
+    // Incumbent ranks perfectly (score = label); the candidate inverts
+    // the ranking. Shadow NDCG pairs feed the gate, which must refuse.
+    struct LabelScorer {
+        sign: f32,
+    }
+    impl DocumentScorer for LabelScorer {
+        fn num_features(&self) -> usize {
+            2
+        }
+        fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+            for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+                *o = self.sign * row[1];
+            }
+        }
+        fn name(&self) -> String {
+            "label".into()
+        }
+    }
+
+    let config = RolloutConfig {
+        min_samples: u64::MAX,
+        gate: GateConfig {
+            min_queries: 16,
+            ..GateConfig::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let (registry, engine) = ModelRegistry::with_scorer(
+        "v1",
+        Box::new(LabelScorer { sign: 1.0 }),
+        Vec::new(),
+        config,
+        Arc::new(MonotonicClock::default()),
+    );
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: one_doc_batches(),
+            ..ServerConfig::default()
+        },
+    );
+    registry
+        .load_scorer("v2", Box::new(LabelScorer { sign: -1.0 }), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    // Too few labeled queries: the gate refuses with a typed error.
+    for q in 0..4 {
+        let features = vec![q as f32, 3.0, q as f32, 2.0, q as f32, 1.0, q as f32, 0.0];
+        let labels = vec![3.0, 2.0, 1.0, 0.0];
+        server
+            .submit(ScoreRequest::new(features).with_labels(labels))
+            .expect("admit")
+            .wait();
+    }
+    assert_eq!(
+        registry.promote(),
+        Err(LifecycleError::InsufficientData { have: 4, need: 16 })
+    );
+
+    // Enough pairs: blocked as significantly worse.
+    for q in 4..40 {
+        let features = vec![q as f32, 3.0, q as f32, 2.0, q as f32, 1.0, q as f32, 0.0];
+        let labels = vec![3.0, 2.0, 1.0, 0.0];
+        server
+            .submit(ScoreRequest::new(features).with_labels(labels))
+            .expect("admit")
+            .wait();
+    }
+    let err = registry.promote().expect_err("gate must block");
+    assert!(
+        matches!(err, LifecycleError::GateBlocked { mean_diff, .. } if mean_diff < 0.0),
+        "{err:?}"
+    );
+    assert!(registry
+        .events()
+        .iter()
+        .any(|e| matches!(e, LifecycleEvent::PromotionBlocked { version, .. } if version == "v2")));
+    // The candidate survives a blocked promotion; the incumbent serves.
+    assert_eq!(registry.candidate_stage(), Some(Stage::Shadow));
+    assert_eq!(registry.active_version(), "v1");
+    drop(server);
+}
+
+#[test]
+fn fisher_gate_passes_an_equivalent_candidate() {
+    let config = RolloutConfig {
+        min_samples: u64::MAX,
+        gate: GateConfig {
+            min_queries: 8,
+            ..GateConfig::default()
+        },
+        ..RolloutConfig::default()
+    };
+    let (registry, server) = start_registry_server(config);
+    // Identical ranking behaviour (constant tag offset preserves order).
+    registry
+        .load_scorer("v2", Box::new(Versioned { tag: 2.0 }), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+    for q in 0..10 {
+        let features = vec![q as f32, 2.0, q as f32, 1.0, q as f32, 0.0];
+        let labels = vec![2.0, 1.0, 0.0];
+        server
+            .submit(ScoreRequest::new(features).with_labels(labels))
+            .expect("admit")
+            .wait();
+    }
+    let pairs = registry
+        .candidate_report()
+        .expect("in flight")
+        .stats
+        .ndcg_pairs;
+    assert_eq!(pairs.len(), 10);
+    registry.promote().expect("equivalent candidate passes");
+    assert_eq!(registry.active_version(), "v2");
+    drop(server);
+}
+
+#[test]
+fn swap_during_drain_answers_every_request_exactly_once() {
+    let (registry, server) = start_registry_server(quiet_config());
+    registry
+        .load_scorer("v2", Box::new(Versioned { tag: 2.0 }), Vec::new())
+        .expect("load");
+    registry.begin_shadow().expect("shadow");
+
+    // Queue a backlog, swap mid-drain, then shut down: the dispatcher
+    // must answer every request exactly once, each by exactly one
+    // version.
+    let handles: Vec<_> = (0..24)
+        .map(|q| server.submit(request(q, 2)).expect("admit"))
+        .collect();
+    registry.promote().expect("promote mid-drain");
+    let (_engine, stats) = server.shutdown();
+
+    let mut by_version = [0u64; 3];
+    for (q, handle) in handles.into_iter().enumerate() {
+        assert!(handle.is_ready(), "query {q} unanswered after drain");
+        let got = handle.wait();
+        let scores = got.response.scores().expect("scored");
+        match version_of(scores, q) {
+            Some(tag @ (1 | 2)) => by_version[tag as usize] += 1,
+            other => panic!("query {q} answered by unexpected version {other:?}"),
+        }
+    }
+    assert_eq!(by_version[1] + by_version[2], 24);
+    assert_eq!(stats.admitted, 24);
+    assert_eq!(stats.scored_primary, 24);
+    assert_eq!(stats.answered(), stats.admitted);
+    // The per-version breakdown agrees with the client-visible tags.
+    assert_eq!(
+        stats.version("v1").map_or(0, |v| v.scored_primary),
+        by_version[1]
+    );
+    assert_eq!(
+        stats.version("v2").map_or(0, |v| v.scored_primary),
+        by_version[2]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Across repeated load→shadow→promote swaps (and one rollback)
+    /// racing live traffic and shutdown, every admitted request is
+    /// answered exactly once, by exactly one version, and the books
+    /// balance with the per-version breakdown.
+    #[test]
+    fn every_request_is_answered_exactly_once_by_exactly_one_version(
+        query_docs in proptest::collection::vec(1usize..5, 8..32),
+        max_batch_docs in 1usize..8,
+        submit_stagger_us in 0u64..120,
+    ) {
+        let config = RolloutConfig {
+            hold_batches: 2,
+            ..quiet_config()
+        };
+        let (registry, engine) = ModelRegistry::with_scorer(
+            "v1",
+            Box::new(Versioned { tag: 1.0 }),
+            Vec::new(),
+            config,
+            Arc::new(MonotonicClock::default()),
+        );
+        let server = Server::start(
+            engine,
+            ServerConfig {
+                batch: BatchConfig {
+                    max_batch_docs,
+                    max_wait: Duration::from_micros(100),
+                },
+                ..ServerConfig::default()
+            },
+        );
+
+        // Control plane: three promote swaps plus one mid-flight
+        // rollback, racing the traffic below and the final drain.
+        let ctl = std::thread::spawn({
+            let registry = registry.clone();
+            move || {
+                for (tag, version) in [(2.0f32, "v2"), (3.0, "v3"), (4.0, "v4")] {
+                    for _ in 0..400 {
+                        match registry.load_scorer(
+                            version,
+                            Box::new(Versioned { tag }),
+                            Vec::new(),
+                        ) {
+                            Ok(()) => break,
+                            // A prior candidate is still in Hold; give
+                            // the traffic a moment to settle it.
+                            Err(_) => std::thread::sleep(Duration::from_micros(100)),
+                        }
+                    }
+                    if registry.begin_shadow().is_ok() {
+                        let _ = registry.promote();
+                    }
+                }
+                // One rollback racing the drain.
+                let _ = registry.rollback();
+            }
+        });
+
+        let handles: Vec<_> = query_docs
+            .iter()
+            .enumerate()
+            .map(|(q, &docs)| {
+                if submit_stagger_us > 0 {
+                    std::thread::sleep(Duration::from_micros(submit_stagger_us));
+                }
+                server.submit(request(q, docs)).expect("capacity never reached")
+            })
+            .collect();
+        let (_engine, stats) = server.shutdown();
+        ctl.join().expect("control thread");
+
+        let mut client_scored = 0u64;
+        for (q, (handle, &docs)) in handles.into_iter().zip(&query_docs).enumerate() {
+            prop_assert!(handle.is_ready(), "query {q} unanswered after drain");
+            let got = handle.wait();
+            let scores = got.response.scores().expect("scored");
+            prop_assert!(scores.len() == docs, "query {} wrong doc count", q);
+            // Exactly one installed version produced this response.
+            let tag = version_of(scores, q);
+            prop_assert!(
+                matches!(tag, Some(1..=4)),
+                "query {} scored by unexpected version {:?}", q, tag
+            );
+            client_scored += 1;
+        }
+        // Books balance exactly across every swap and the rollback.
+        prop_assert_eq!(stats.admitted, query_docs.len() as u64);
+        prop_assert_eq!(stats.scored(), client_scored);
+        prop_assert_eq!(stats.answered(), stats.admitted);
+        prop_assert_eq!(stats.expired + stats.failed, 0);
+        let per_version: u64 = stats
+            .per_version
+            .iter()
+            .map(|v| v.scored_primary + v.scored_fallback)
+            .sum();
+        prop_assert_eq!(per_version, stats.scored());
+    }
+}
