@@ -22,9 +22,10 @@
 use dlr_core::scoring::DocumentScorer;
 use dlr_core::serve::RobustScorer;
 use dlr_metrics::GateConfig;
+use dlr_obs::Obs;
 use dlr_serve::{
-    BatchConfig, ModelRegistry, MonotonicClock, Response, RolloutConfig, ScoreRequest, Server,
-    ServerConfig, ServerStats, SubmitError,
+    BatchConfig, Clock, ModelRegistry, MonotonicClock, Response, RolloutConfig, ScoreRequest,
+    Server, ServerConfig, ServerStats, SubmitError,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -209,14 +210,29 @@ impl LevelReport {
     }
 }
 
-/// Drive one offered-QPS level open-loop and account the outcome.
-fn run_level(sz: &Sizes, model: LinearModel, offered_qps: f64, seed: u64) -> LevelReport {
-    let engine = RobustScorer::new(
+/// Drive one offered-QPS level open-loop and account the outcome. With
+/// `with_obs`, the full tracing plane records every span and drift pair
+/// (the overhead-measurement arm); without, every hook is the no-op
+/// branch (the baseline arm and the ladder).
+fn run_level(
+    sz: &Sizes,
+    model: LinearModel,
+    offered_qps: f64,
+    seed: u64,
+    with_obs: bool,
+) -> (LevelReport, Option<Arc<Obs>>) {
+    let clock = Arc::new(MonotonicClock::default());
+    let obs =
+        with_obs.then(|| Arc::new(Obs::new(Arc::clone(&clock) as Arc<dyn dlr_obs::NanoClock>)));
+    let mut engine = RobustScorer::new(
         DotScorer::new(sz.feats),
         FirstFeature { nf: sz.feats },
         "bench-serving",
     )
     .with_forecaster(move |docs: usize| Some(model.forecast(docs)));
+    if let Some(obs) = &obs {
+        engine = engine.with_obs(Arc::clone(obs));
+    }
     let server = Server::start(
         engine,
         ServerConfig {
@@ -226,6 +242,8 @@ fn run_level(sz: &Sizes, model: LinearModel, offered_qps: f64, seed: u64) -> Lev
             },
             queue_capacity: 512,
             admission: Some(Box::new(move |docs: usize| Some(model.forecast(docs)))),
+            clock: Some(clock as Arc<dyn Clock>),
+            obs: obs.clone(),
             ..ServerConfig::default()
         },
     );
@@ -272,7 +290,7 @@ fn run_level(sz: &Sizes, model: LinearModel, offered_qps: f64, seed: u64) -> Lev
     );
 
     let lost = stats.refused() + stats.expired + stats.failed;
-    LevelReport {
+    let report = LevelReport {
         offered_qps,
         delivered_qps: delivered as f64 / wall_secs,
         loss_rate: lost as f64 / stats.submitted.max(1) as f64,
@@ -283,7 +301,8 @@ fn run_level(sz: &Sizes, model: LinearModel, offered_qps: f64, seed: u64) -> Lev
         p999_us: stats.latency.p999_us().unwrap_or(0),
         wall_secs,
         stats,
-    }
+    };
+    (report, obs)
 }
 
 /// One lifecycle run's latency outcome.
@@ -473,7 +492,7 @@ fn main() {
     let mut reports = Vec::new();
     let mut max_sustainable = 0.0f64;
     for (i, &qps) in sz.levels.iter().enumerate() {
-        let report = run_level(&sz, model, qps, 0xD15711ED + i as u64);
+        let (report, _) = run_level(&sz, model, qps, 0xD15711ED + i as u64, false);
         report.print();
         // Sustainable: < 1% of submissions lost and p99 within deadline.
         if report.loss_rate < 0.01 && report.p99_us <= deadline_us {
@@ -494,9 +513,36 @@ fn main() {
         lifecycle_qps, baseline.p999_us, swapped.swaps, swapped.p999_us, swapped.final_version,
     );
 
+    // Observability overhead: the same seeded offered load with the
+    // tracing plane off and on. The documented budget (README/DESIGN
+    // "Observability"): tracing-on p99 must stay within 5× the
+    // tracing-off p99 plus a 5 ms allowance — generous because both
+    // arms are single short seeded windows on a shared host, where
+    // scheduler noise dwarfs the hooks' relaxed-atomic cost.
+    let obs_qps = sz.levels[sz.levels.len() / 2];
+    let (obs_off, _) = run_level(&sz, model, obs_qps, 0x0B5_0FF, false);
+    let (obs_on, plane) = run_level(&sz, model, obs_qps, 0x0B5_0FF, true);
+    let plane = plane.expect("obs arm returns its plane");
+    assert!(plane.books_balance(), "span accounting must balance");
+    let drift_recorded = plane.drift().summary().recorded;
+    let bound_p99_us = 5 * obs_off.p99_us + 5_000;
+    let within_bound = obs_on.p99_us <= bound_p99_us;
+    println!(
+        "\nobs overhead @ {:.0} qps: off p50 {}us p99 {}us | on p50 {}us p99 {}us | {} spans, {} drift pairs | bound p99 <= {}us: {}",
+        obs_qps,
+        obs_off.p50_us,
+        obs_off.p99_us,
+        obs_on.p50_us,
+        obs_on.p99_us,
+        plane.sink().spans_opened(),
+        drift_recorded,
+        bound_p99_us,
+        if within_bound { "ok" } else { "EXCEEDED" },
+    );
+
     let levels: Vec<String> = reports.iter().map(LevelReport::json).collect();
     let json = format!(
-        "{{\"bench\":\"serving\",\"mode\":\"{}\",\"host_parallelism\":{},\"docs_per_query\":{},\"features\":{},\"deadline_us\":{},\"max_batch_docs\":256,\"max_wait_us\":200,\"queue_capacity\":512,\"model_base_us\":{:.3},\"model_per_doc_us\":{:.5},\"max_sustainable_qps\":{:.1},\"lifecycle\":{{\"offered_qps\":{:.1},\"no_swap\":{},\"with_swap\":{}}},\"levels\":[{}]}}\n",
+        "{{\"bench\":\"serving\",\"mode\":\"{}\",\"host_parallelism\":{},\"docs_per_query\":{},\"features\":{},\"deadline_us\":{},\"max_batch_docs\":256,\"max_wait_us\":200,\"queue_capacity\":512,\"model_base_us\":{:.3},\"model_per_doc_us\":{:.5},\"max_sustainable_qps\":{:.1},\"lifecycle\":{{\"offered_qps\":{:.1},\"no_swap\":{},\"with_swap\":{}}},\"obs\":{{\"offered_qps\":{:.1},\"off\":{{\"p50_us\":{},\"p99_us\":{}}},\"on\":{{\"p50_us\":{},\"p99_us\":{},\"spans_opened\":{},\"spans_dropped\":{},\"drift_recorded\":{}}},\"bound\":\"p99_on <= 5*p99_off + 5000us\",\"bound_p99_us\":{},\"within_bound\":{}}},\"levels\":[{}]}}\n",
         sz.mode,
         host,
         sz.docs,
@@ -508,6 +554,16 @@ fn main() {
         lifecycle_qps,
         baseline.json(),
         swapped.json(),
+        obs_qps,
+        obs_off.p50_us,
+        obs_off.p99_us,
+        obs_on.p50_us,
+        obs_on.p99_us,
+        plane.sink().spans_opened(),
+        plane.sink().spans_dropped(),
+        drift_recorded,
+        bound_p99_us,
+        within_bound,
         levels.join(",")
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");

@@ -258,6 +258,15 @@ pub enum ServerFault {
     /// Collapse this batch's propagated deadline budget to zero, as if
     /// every request in it arrived already out of time.
     DeadlineStorm,
+    /// Flood the observability trace sink with a burst of synthetic
+    /// spans before this batch executes, forcing its rings to wrap. A
+    /// well-built sink overwrites its oldest spans without ever blocking
+    /// or reordering the dispatcher, so the batch's own requests are
+    /// answered normally and the span accounting still balances.
+    TracePressure {
+        /// Synthetic spans to record before the batch executes.
+        spans: u32,
+    },
 }
 
 /// Shared tallies of injected server faults (cloneable handle).
@@ -273,6 +282,8 @@ pub struct ServerFaultCounters {
     pub batch_panics: AtomicU64,
     /// Injected deadline storms.
     pub deadline_storms: AtomicU64,
+    /// Injected trace-pressure span bursts.
+    pub trace_pressure: AtomicU64,
 }
 
 impl ServerFaultCounters {
@@ -282,6 +293,7 @@ impl ServerFaultCounters {
             + self.slow_consumers.load(Ordering::Relaxed)
             + self.batch_panics.load(Ordering::Relaxed)
             + self.deadline_storms.load(Ordering::Relaxed)
+            + self.trace_pressure.load(Ordering::Relaxed)
     }
 }
 
@@ -400,6 +412,7 @@ impl ServerFaultPlan {
             ServerFault::SlowConsumer(_) => &self.counters.slow_consumers,
             ServerFault::BatchPanic => &self.counters.batch_panics,
             ServerFault::DeadlineStorm => &self.counters.deadline_storms,
+            ServerFault::TracePressure { .. } => &self.counters.trace_pressure,
         };
         counter.fetch_add(1, Ordering::Relaxed);
         fault
@@ -584,6 +597,25 @@ mod tests {
         assert_eq!(counters.slow_consumers.load(Ordering::Relaxed), 1);
         assert_eq!(counters.clean.load(Ordering::Relaxed), 4);
         assert_eq!(counters.total_faults(), 4);
+    }
+
+    #[test]
+    fn trace_pressure_is_schedule_only_and_counted() {
+        let mut p = ServerFaultPlan::from_schedule(vec![
+            ServerFault::TracePressure { spans: 500 },
+            ServerFault::None,
+        ]);
+        let counters = p.counters();
+        assert_eq!(p.next_fault(), ServerFault::TracePressure { spans: 500 });
+        assert_eq!(p.next_fault(), ServerFault::None);
+        assert_eq!(counters.trace_pressure.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.total_faults(), 1);
+        // The seeded generator never draws trace pressure — it exists to
+        // script sink-wrap tests exactly.
+        let mut seeded = ServerFaultPlan::seeded(11, ServerFaultConfig::default());
+        assert!((0..200)
+            .map(|_| seeded.next_fault())
+            .all(|f| !matches!(f, ServerFault::TracePressure { .. })));
     }
 
     #[test]

@@ -161,6 +161,63 @@ pub fn par_bwqs(
     )
 }
 
+/// [`par_gemm`] recording a `kernel-gemm` span into `obs` (when given)
+/// for the duration of the product. A `None` obs is a branch-free
+/// passthrough, so callers can thread an optional plane unconditionally.
+///
+/// # Errors
+/// [`PoolError::WorkerPanicked`] if a worker panicked.
+///
+/// # Panics
+/// Panics when slice lengths disagree with `(m, pb.k(), pb.n())`.
+pub fn par_gemm_obs(
+    pool: &WorkPool,
+    m: usize,
+    a: &[f32],
+    pb: &PrepackedB,
+    c: &mut [f32],
+    obs: Option<&dlr_obs::Obs>,
+) -> Result<(), PoolError> {
+    let _scope = obs.map(|o| o.scope(dlr_obs::Stage::KernelGemm));
+    par_gemm(pool, m, a, pb, c)
+}
+
+/// [`par_spmm`] recording a `kernel-sdmm` span into `obs` (when given).
+///
+/// # Errors
+/// [`PoolError::WorkerPanicked`] if a worker panicked.
+///
+/// # Panics
+/// Panics when shapes disagree.
+pub fn par_spmm_obs(
+    pool: &WorkPool,
+    a: &CsrMatrix,
+    pb: &PackedB,
+    c: &mut [f32],
+    obs: Option<&dlr_obs::Obs>,
+) -> Result<(), PoolError> {
+    let _scope = obs.map(|o| o.scope(dlr_obs::Stage::KernelSdmm));
+    par_spmm(pool, a, pb, c)
+}
+
+/// [`par_bwqs`] recording a `kernel-vqs` span into `obs` (when given).
+///
+/// # Errors
+/// [`PoolError::WorkerPanicked`] if a worker panicked.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn par_bwqs_obs(
+    pool: &WorkPool,
+    bw: &BlockwiseQuickScorer,
+    features: &[f32],
+    out: &mut [f32],
+    obs: Option<&dlr_obs::Obs>,
+) -> Result<(), PoolError> {
+    let _scope = obs.map(|o| o.scope(dlr_obs::Stage::KernelVqs));
+    par_bwqs(pool, bw, features, out)
+}
+
 /// Median wall-clock seconds of `f` over `reps` runs (after one warm-up).
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     f(); // warm-up

@@ -14,6 +14,7 @@ use dlr_nn::{HybridMlp, Mlp, MlpWorkspace};
 use dlr_quickscorer::{
     BlockwiseQuickScorer, QsError, QuickScorer, VectorizedQuickScorer, WideQuickScorer,
 };
+use std::sync::Arc;
 
 /// A named document scorer over raw (unnormalized) feature rows.
 pub trait DocumentScorer {
@@ -71,6 +72,7 @@ pub struct QuickScorerScorer {
     variant: QsVariant,
     num_features: usize,
     label: String,
+    obs: Option<Arc<dlr_obs::Obs>>,
 }
 
 impl QuickScorerScorer {
@@ -101,6 +103,7 @@ impl QuickScorerScorer {
             variant,
             num_features: nf,
             label: label.into(),
+            obs: None,
         })
     }
 
@@ -118,6 +121,7 @@ impl QuickScorerScorer {
             variant: QsVariant::Blockwise(bw),
             num_features: ensemble.num_features(),
             label: label.into(),
+            obs: None,
         })
     }
 
@@ -134,6 +138,7 @@ impl QuickScorerScorer {
             variant: QsVariant::Vectorized(v),
             num_features: ensemble.num_features(),
             label: label.into(),
+            obs: None,
         })
     }
 
@@ -167,6 +172,13 @@ impl QuickScorerScorer {
     pub fn compile_vectorized(ensemble: &Ensemble, label: impl Into<String>) -> QuickScorerScorer {
         Self::try_compile_vectorized(ensemble, label).unwrap_or_else(|e| panic!("vQS compile: {e}"))
     }
+
+    /// Record a `kernel-vqs` span — attributed to the dispatcher's
+    /// current trace — around every batch scored through this wrapper.
+    pub fn with_obs(mut self, obs: Arc<dlr_obs::Obs>) -> QuickScorerScorer {
+        self.obs = Some(obs);
+        self
+    }
 }
 
 impl DocumentScorer for QuickScorerScorer {
@@ -175,6 +187,10 @@ impl DocumentScorer for QuickScorerScorer {
     }
 
     fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        let _scope = self
+            .obs
+            .as_deref()
+            .map(|o| o.scope(dlr_obs::Stage::KernelVqs));
         match &mut self.variant {
             QsVariant::Plain(qs, buf) => {
                 for (row, o) in rows.chunks_exact(self.num_features).zip(out.iter_mut()) {
@@ -204,6 +220,7 @@ pub struct MlpScorer {
     ws: MlpWorkspace,
     norm_buf: Vec<f32>,
     label: String,
+    obs: Option<Arc<dlr_obs::Obs>>,
 }
 
 impl MlpScorer {
@@ -219,7 +236,15 @@ impl MlpScorer {
             ws: MlpWorkspace::default(),
             norm_buf: Vec::new(),
             label: label.into(),
+            obs: None,
         }
+    }
+
+    /// Record a `kernel-gemm` span — attributed to the dispatcher's
+    /// current trace — around every batch scored through this wrapper.
+    pub fn with_obs(mut self, obs: Arc<dlr_obs::Obs>) -> MlpScorer {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -229,6 +254,10 @@ impl DocumentScorer for MlpScorer {
     }
 
     fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        let _scope = self
+            .obs
+            .as_deref()
+            .map(|o| o.scope(dlr_obs::Stage::KernelGemm));
         self.norm_buf.clear();
         self.norm_buf.extend_from_slice(rows);
         self.normalizer.apply_matrix(&mut self.norm_buf);
@@ -249,6 +278,7 @@ pub struct HybridScorer {
     ws: HybridWorkspace,
     norm_buf: Vec<f32>,
     label: String,
+    obs: Option<Arc<dlr_obs::Obs>>,
 }
 
 impl HybridScorer {
@@ -264,7 +294,15 @@ impl HybridScorer {
             ws: HybridWorkspace::default(),
             norm_buf: Vec::new(),
             label: label.into(),
+            obs: None,
         }
+    }
+
+    /// Record a `kernel-sdmm` span — attributed to the dispatcher's
+    /// current trace — around every batch scored through this wrapper.
+    pub fn with_obs(mut self, obs: Arc<dlr_obs::Obs>) -> HybridScorer {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -274,6 +312,10 @@ impl DocumentScorer for HybridScorer {
     }
 
     fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        let _scope = self
+            .obs
+            .as_deref()
+            .map(|o| o.scope(dlr_obs::Stage::KernelSdmm));
         self.norm_buf.clear();
         self.norm_buf.extend_from_slice(rows);
         self.normalizer.apply_matrix(&mut self.norm_buf);

@@ -31,6 +31,7 @@
 
 use crate::scoring::DocumentScorer;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Typed failure modes of robust scoring.
@@ -179,6 +180,8 @@ pub struct LatencyHistogram {
     /// (bucket 0 is exactly 0µs; the last bucket absorbs the open tail).
     counts: [u64; LatencyHistogram::BUCKETS],
     total: u64,
+    /// Saturating sum of recorded µs, for mean reporting.
+    sum_us: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -186,6 +189,7 @@ impl Default for LatencyHistogram {
         LatencyHistogram {
             counts: [0; LatencyHistogram::BUCKETS],
             total: 0,
+            sum_us: 0,
         }
     }
 }
@@ -197,11 +201,23 @@ impl LatencyHistogram {
         ((u64::BITS - us.leading_zeros()) as usize).min(Self::BUCKETS - 1)
     }
 
-    /// Record one served batch.
+    fn bucket_upper_bound(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one served batch. Counts saturate instead of wrapping, so
+    /// a histogram that has absorbed `u64::MAX` samples stays a valid
+    /// (if pinned) summary rather than corrupting its percentiles.
     pub fn record(&mut self, latency: Duration) {
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.counts[Self::bucket(us)] += 1;
-        self.total += 1;
+        let b = Self::bucket(us);
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        self.sum_us = self.sum_us.saturating_add(us);
     }
 
     /// Batches recorded so far.
@@ -209,33 +225,58 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Saturating sum of recorded latencies in µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Mean recorded latency in µs, or `None` when nothing was recorded.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum_us as f64 / self.total as f64)
+        }
+    }
+
     /// Fold `other`'s samples into this histogram. Buckets align exactly
     /// (same power-of-two layout), so merging histograms recorded
     /// separately — e.g. one per model version — yields the same counts
     /// as recording every sample into one histogram, and percentile
-    /// queries on the merge bound the combined population.
+    /// queries on the merge bound the combined population. Merging an
+    /// empty histogram is a no-op; bucket counts saturate like
+    /// [`record`](Self::record).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
     }
 
     /// Upper bound (µs) of the bucket holding the `p`-quantile sample
-    /// (`0.0 < p <= 1.0`), or `None` when nothing was recorded.
+    /// (`0.0 < p <= 1.0`), or `None` when nothing was recorded. When
+    /// saturation has pinned `total` above the per-bucket sum (so the
+    /// requested rank walks off the end), the last non-empty bucket's
+    /// bound is returned — a conservative tail estimate instead of a
+    /// spurious `None` on a non-empty histogram.
     pub fn percentile_us(&self, p: f64) -> Option<u64> {
         if self.total == 0 {
             return None;
         }
         let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
+        let mut last_nonempty = None;
         for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
+            if c > 0 {
+                last_nonempty = Some(b);
+            }
+            seen = seen.saturating_add(c);
             if seen >= rank {
-                return Some(if b == 0 { 0 } else { (1u64 << b) - 1 });
+                return Some(Self::bucket_upper_bound(b));
             }
         }
-        None
+        last_nonempty.map(Self::bucket_upper_bound)
     }
 
     /// Median batch latency in µs.
@@ -374,6 +415,30 @@ enum Mode {
     },
 }
 
+/// Pre-registered observability handles for the robust layer. Built once
+/// in [`RobustScorer::with_obs`], so the hot path pays one `Option`
+/// branch plus relaxed atomic increments — never a registry lookup.
+struct RobustObsHooks {
+    obs: Arc<dlr_obs::Obs>,
+    deadline_misses: dlr_obs::Counter,
+    forecast_degrades: dlr_obs::Counter,
+    fallback_activations: dlr_obs::Counter,
+    recoveries: dlr_obs::Counter,
+    probes: dlr_obs::Counter,
+    panics_caught: dlr_obs::Counter,
+    rescued_outputs: dlr_obs::Counter,
+}
+
+impl RobustObsHooks {
+    /// Record an instantaneous event span (`start == end == now`)
+    /// attributed to the trace the dispatcher is currently executing.
+    fn mark(&self, stage: dlr_obs::Stage) {
+        let now = self.obs.now_nanos();
+        self.obs
+            .record_span(self.obs.current_trace(), stage, None, now, now);
+    }
+}
+
 /// A serving wrapper that never panics, never blows the budget twice in a
 /// row, and never returns a non-finite score. See the module docs.
 pub struct RobustScorer<P, F> {
@@ -388,6 +453,7 @@ pub struct RobustScorer<P, F> {
     stats: ServeStats,
     label: String,
     clean_rows: Vec<f32>,
+    obs: Option<RobustObsHooks>,
 }
 
 impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
@@ -420,6 +486,7 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
             stats: ServeStats::default(),
             label: label.into(),
             clean_rows: Vec::new(),
+            obs: None,
         })
     }
 
@@ -449,6 +516,23 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
     /// (`Send` so a robust scorer can serve as a server batch engine.)
     pub fn with_forecaster(mut self, forecaster: impl LatencyForecaster + Send + 'static) -> Self {
         self.forecaster = Some(Box::new(forecaster));
+        self
+    }
+
+    /// Publish degradation counters, `degrade`/`rescue` event spans, and
+    /// forecast-vs-actual drift samples into `obs`. Handles are resolved
+    /// once here; every hot-path hook is a branch plus a relaxed atomic.
+    pub fn with_obs(mut self, obs: Arc<dlr_obs::Obs>) -> Self {
+        self.obs = Some(RobustObsHooks {
+            deadline_misses: obs.counter("robust_deadline_misses_total"),
+            forecast_degrades: obs.counter("robust_forecast_degrades_total"),
+            fallback_activations: obs.counter("robust_fallback_activations_total"),
+            recoveries: obs.counter("robust_recoveries_total"),
+            probes: obs.counter("robust_probes_total"),
+            panics_caught: obs.counter("robust_panics_caught_total"),
+            rescued_outputs: obs.counter("robust_rescued_outputs_total"),
+            obs,
+        });
         self
     }
 
@@ -535,6 +619,9 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
             Mode::Primary { .. } => {
                 if zero_budget || self.forecast_exceeds_deadline(n, effective) {
                     self.stats.forecast_degrades += 1;
+                    if let Some(h) = &self.obs {
+                        h.forecast_degrades.inc();
+                    }
                     false
                 } else {
                     true
@@ -549,6 +636,9 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
         let served_by = if run_primary {
             if let Mode::Degraded { .. } = self.mode {
                 self.stats.probes += 1;
+                if let Some(h) = &self.obs {
+                    h.probes.inc();
+                }
             }
             self.stats.primary_batches += 1;
             let started = Instant::now();
@@ -563,16 +653,35 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
                 catch_unwind(AssertUnwindSafe(|| primary.score_batch(rows, out)))
             };
             let elapsed = started.elapsed();
+            if let (Some(h), Some(f)) = (&self.obs, &self.forecaster) {
+                // Predicted (Eq. 3/5 cost model) vs. measured primary
+                // latency for this batch size feeds the drift tracker.
+                if let Some(predicted) = f.forecast(n) {
+                    h.obs.record_drift(
+                        predicted.as_nanos().min(u64::MAX as u128) as u64,
+                        elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                }
+            }
             let mut healthy = true;
             if outcome.is_err() {
                 self.stats.panics_caught += 1;
+                if let Some(h) = &self.obs {
+                    h.panics_caught.inc();
+                }
                 healthy = false;
             } else if !out.iter().all(|s| s.is_finite()) {
                 // NaN scores or a short write left sentinel values behind.
                 self.stats.rescued_outputs += 1;
+                if let Some(h) = &self.obs {
+                    h.rescued_outputs.inc();
+                }
                 healthy = false;
             }
             if !healthy {
+                if let Some(h) = &self.obs {
+                    h.mark(dlr_obs::Stage::Rescue);
+                }
                 self.run_fallback(rows.original, use_scratch, out);
             }
             self.note_primary_result(healthy, elapsed, effective);
@@ -614,6 +723,9 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
         // under panics_caught.
         if elapsed > policy.deadline {
             self.stats.deadline_misses += 1;
+            if let Some(h) = &self.obs {
+                h.deadline_misses.inc();
+            }
         }
         match &mut self.mode {
             Mode::Primary { consecutive_misses } => {
@@ -627,6 +739,10 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
                             probe_successes: 0,
                         };
                         self.stats.fallback_activations += 1;
+                        if let Some(h) = &self.obs {
+                            h.fallback_activations.inc();
+                            h.mark(dlr_obs::Stage::Degrade);
+                        }
                     }
                 }
             }
@@ -641,6 +757,9 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
                             consecutive_misses: 0,
                         };
                         self.stats.recoveries += 1;
+                        if let Some(h) = &self.obs {
+                            h.recoveries.inc();
+                        }
                     } else {
                         // Probe again on the next batch.
                         *batches_until_probe = 0;
@@ -667,6 +786,9 @@ impl<P: DocumentScorer, F: DocumentScorer> RobustScorer<P, F> {
         let outcome = catch_unwind(AssertUnwindSafe(|| fallback.score_batch(rows, out)));
         if outcome.is_err() {
             self.stats.panics_caught += 1;
+            if let Some(h) = &self.obs {
+                h.panics_caught.inc();
+            }
         }
         // Last line of defense: whatever happened, emit finite scores.
         for s in out.iter_mut() {

@@ -1,0 +1,54 @@
+//! The observability plane's only notion of time.
+//!
+//! Every span and drift sample carries *server nanos*: a `u64` read from
+//! an injected [`NanoClock`]. The serving stack hands [`crate::Obs`] the
+//! same clock it runs on (`dlr-serve`'s `Clock`, monotonic in production,
+//! manual in tests), so recorded traces are bit-reproducible under a
+//! manual clock. This module is deliberately the *only* file in the
+//! crate allowed to touch ambient time — the recording paths
+//! (`sink`/`metrics`/`drift`/`export`) are inside the repository's
+//! determinism lint fence and never read a clock themselves.
+
+use std::time::Instant;
+
+/// A monotonic nanosecond source. The observability plane never
+/// interprets the values beyond ordering and subtraction, so any
+/// monotonically non-decreasing `u64` works — wall time, a manual test
+/// clock, or a simulation step counter.
+pub trait NanoClock: Send + Sync {
+    /// Current server time in nanoseconds.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Default production clock: nanoseconds since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl NanoClock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::default();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+}

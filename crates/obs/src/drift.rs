@@ -1,0 +1,192 @@
+//! Predictor-drift tracking: is the paper's cost model still honest?
+//!
+//! The Eq. 3/5 scoring-time predictors (`LatencyForecaster` /
+//! `BudgetForecast`) are calibrated once per host, then trusted by
+//! admission control and the degradation state machine. [`DriftTracker`]
+//! turns that trust into a monitored invariant: every scored batch
+//! contributes a `(predicted, actual)` nanosecond pair to a fixed
+//! rolling window, from which two statistics fall out:
+//!
+//! * **drift ratio** — `Σ actual / Σ predicted` over the window. 1.0
+//!   means the model is calibrated; > 1.0 means it underforecasts
+//!   (dangerous: admission control admits work it cannot finish);
+//!   < 1.0 means it overforecasts (sheds traffic it could have served).
+//! * **sign-error rate** — the fraction of batches whose actual latency
+//!   exceeded the prediction, regardless of magnitude.
+//!
+//! The window is a fixed-capacity overwrite-oldest ring, so memory is
+//! constant and the statistics follow regime changes instead of
+//! averaging them away.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One forecast comparison, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Sample {
+    predicted_nanos: u64,
+    actual_nanos: u64,
+}
+
+struct Window {
+    samples: Vec<Sample>,
+    next: usize,
+    capacity: usize,
+    recorded: u64,
+}
+
+/// Rolling predicted-vs-actual latency tracker. See the module docs.
+pub struct DriftTracker {
+    window: Mutex<Window>,
+}
+
+/// Point-in-time drift statistics over the rolling window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSummary {
+    /// Pairs currently in the window.
+    pub window_len: usize,
+    /// Pairs recorded over the tracker's lifetime.
+    pub recorded: u64,
+    /// Σ predicted nanos over the window.
+    pub predicted_sum_nanos: u64,
+    /// Σ actual nanos over the window.
+    pub actual_sum_nanos: u64,
+    /// `Σ actual / Σ predicted`; `None` when empty or the predictions
+    /// sum to zero.
+    pub drift_ratio: Option<f64>,
+    /// Fraction of windowed pairs with `actual > predicted`; `None`
+    /// when the window is empty.
+    pub sign_error_rate: Option<f64>,
+}
+
+fn lock_window(tracker: &DriftTracker) -> MutexGuard<'_, Window> {
+    // Samples are plain pairs; recover from poison and keep tracking.
+    tracker
+        .window
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DriftTracker {
+    /// A tracker windowing the most recent `window` pairs (≥ 1).
+    pub fn new(window: usize) -> DriftTracker {
+        let capacity = window.max(1);
+        DriftTracker {
+            window: Mutex::new(Window {
+                samples: Vec::with_capacity(capacity),
+                next: 0,
+                capacity,
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Record one `(predicted, actual)` pair in nanoseconds.
+    pub fn record(&self, predicted_nanos: u64, actual_nanos: u64) {
+        let mut w = lock_window(self);
+        w.recorded = w.recorded.saturating_add(1);
+        let sample = Sample {
+            predicted_nanos,
+            actual_nanos,
+        };
+        if w.samples.len() < w.capacity {
+            w.samples.push(sample);
+        } else {
+            let slot = w.next;
+            if let Some(old) = w.samples.get_mut(slot) {
+                *old = sample;
+            }
+            w.next = (slot + 1) % w.capacity;
+        }
+    }
+
+    /// `Σ actual / Σ predicted` over the window.
+    pub fn drift_ratio(&self) -> Option<f64> {
+        self.summary().drift_ratio
+    }
+
+    /// Fraction of windowed pairs whose actual exceeded the prediction.
+    pub fn sign_error_rate(&self) -> Option<f64> {
+        self.summary().sign_error_rate
+    }
+
+    /// All drift statistics in one consistent snapshot.
+    pub fn summary(&self) -> DriftSummary {
+        let w = lock_window(self);
+        let mut predicted = 0u64;
+        let mut actual = 0u64;
+        let mut under = 0u64;
+        for s in &w.samples {
+            predicted = predicted.saturating_add(s.predicted_nanos);
+            actual = actual.saturating_add(s.actual_nanos);
+            if s.actual_nanos > s.predicted_nanos {
+                under += 1;
+            }
+        }
+        let n = w.samples.len();
+        DriftSummary {
+            window_len: n,
+            recorded: w.recorded,
+            predicted_sum_nanos: predicted,
+            actual_sum_nanos: actual,
+            drift_ratio: if n == 0 || predicted == 0 {
+                None
+            } else {
+                Some(actual as f64 / predicted as f64)
+            },
+            sign_error_rate: if n == 0 {
+                None
+            } else {
+                Some(under as f64 / n as f64)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_none() {
+        let t = DriftTracker::new(8);
+        assert_eq!(t.drift_ratio(), None);
+        assert_eq!(t.sign_error_rate(), None);
+        assert_eq!(t.summary().window_len, 0);
+    }
+
+    #[test]
+    fn exact_ratio_and_sign_errors() {
+        let t = DriftTracker::new(8);
+        t.record(20_000, 30_000); // under-forecast
+        t.record(20_000, 30_000); // under-forecast
+        t.record(40_000, 20_000); // over-forecast
+                                  // 80_000 / 80_000 = 1.0 exactly; 2 of 3 under.
+        assert_eq!(t.drift_ratio(), Some(1.0));
+        let rate = t.sign_error_rate().expect("non-empty");
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.summary().recorded, 3);
+    }
+
+    #[test]
+    fn window_overwrites_oldest() {
+        let t = DriftTracker::new(2);
+        t.record(1, 100); // evicted below
+        t.record(10, 10);
+        t.record(10, 30);
+        let s = t.summary();
+        assert_eq!(s.window_len, 2);
+        assert_eq!(s.recorded, 3);
+        assert_eq!(s.predicted_sum_nanos, 20);
+        assert_eq!(s.actual_sum_nanos, 40);
+        assert_eq!(s.drift_ratio, Some(2.0));
+        assert_eq!(s.sign_error_rate, Some(0.5));
+    }
+
+    #[test]
+    fn zero_predictions_disable_the_ratio_only() {
+        let t = DriftTracker::new(4);
+        t.record(0, 500);
+        assert_eq!(t.drift_ratio(), None);
+        assert_eq!(t.sign_error_rate(), Some(1.0));
+    }
+}

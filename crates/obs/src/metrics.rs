@@ -1,0 +1,335 @@
+//! Named counters, gauges and log2 histograms behind cheap handles.
+//!
+//! [`MetricsRegistry`] interns metric names once, at registration time,
+//! and hands back handles ([`Counter`], [`Gauge`], [`Histogram`]) that
+//! record through plain relaxed atomics — no lock, no allocation, no
+//! name lookup on the hot path. Registration is idempotent by name, so
+//! two subsystems asking for `serve_batches_total` share one cell. The
+//! registry keeps insertion order (a `Vec`, not a hash map), so
+//! snapshots enumerate deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Number of power-of-two buckets, matching
+/// `dlr_core::serve::LatencyHistogram`'s layout: bucket `b` holds values
+/// whose bit length is `b` (bucket 0 is exactly 0; the last bucket
+/// absorbs the open tail).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+fn bucket(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / high-water gauge handle.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to at least `v` (high-water semantics).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared storage of one log2 histogram.
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log2 histogram handle; the unit is whatever the registrant's name
+/// says (`*_us` by convention on the serving path).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        let cells = &self.0;
+        if let Some(b) = cells.buckets.get(bucket(value)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        cells.total.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the cells for percentile queries.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; HISTOGRAM_BUCKETS];
+        for (c, b) in counts.iter_mut().zip(self.0.buckets.iter()) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            total: self.0.total.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram's buckets.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (power-of-two layout).
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+    /// Total recorded values.
+    pub total: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket holding the `p`-quantile sample, or
+    /// `None` when empty. Falls back to the last non-empty bucket if the
+    /// per-bucket counts lag the total (a concurrent-recording snapshot
+    /// can be transiently short).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut last_nonempty = None;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                last_nonempty = Some(b);
+            }
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(bucket_upper_bound(b));
+            }
+        }
+        last_nonempty.map(bucket_upper_bound)
+    }
+
+    /// Mean recorded value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+}
+
+fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// One registered metric family, in insertion order.
+enum Entry {
+    Counter(String, Counter),
+    Gauge(String, Gauge),
+    Histogram(String, Histogram),
+}
+
+/// The process-wide (per-[`crate::Obs`]) metric name space.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn lock_entries(registry: &MetricsRegistry) -> MutexGuard<'_, Vec<Entry>> {
+    // Registration only pushes fully-built entries; recover from poison.
+    registry
+        .entries
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// Counter handle for `name`, creating it on first sight.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut entries = lock_entries(self);
+        for e in entries.iter() {
+            if let Entry::Counter(n, c) = e {
+                if n == name {
+                    return c.clone();
+                }
+            }
+        }
+        let c = Counter(Arc::new(AtomicU64::new(0)));
+        entries.push(Entry::Counter(name.to_string(), c.clone()));
+        c
+    }
+
+    /// Gauge handle for `name`, creating it on first sight.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut entries = lock_entries(self);
+        for e in entries.iter() {
+            if let Entry::Gauge(n, g) = e {
+                if n == name {
+                    return g.clone();
+                }
+            }
+        }
+        let g = Gauge(Arc::new(AtomicU64::new(0)));
+        entries.push(Entry::Gauge(name.to_string(), g.clone()));
+        g
+    }
+
+    /// Histogram handle for `name`, creating it on first sight.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut entries = lock_entries(self);
+        for e in entries.iter() {
+            if let Entry::Histogram(n, h) = e {
+                if n == name {
+                    return h.clone();
+                }
+            }
+        }
+        let cells = HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        };
+        let h = Histogram(Arc::new(cells));
+        entries.push(Entry::Histogram(name.to_string(), h.clone()));
+        h
+    }
+
+    /// Every metric's current value, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = lock_entries(self);
+        let mut snap = MetricsSnapshot::default();
+        for e in entries.iter() {
+            match e {
+                Entry::Counter(n, c) => snap.counters.push((n.clone(), c.get())),
+                Entry::Gauge(n, g) => snap.gauges.push((n.clone(), g.get())),
+                Entry::Histogram(n, h) => snap.histograms.push((n.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time values of every registered metric.
+#[derive(Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for each counter, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for each gauge, in registration order.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` for each histogram, in registration order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_by_name() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("x_total");
+        let b = reg.counter("x_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counters, vec![("x_total".to_string(), 3)]);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let reg = MetricsRegistry::default();
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_percentiles_and_mean() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("lat_us");
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total, 100);
+        assert_eq!(snap.percentile(0.5), Some(15));
+        assert_eq!(snap.percentile(0.99), Some(1023));
+        let mean = snap.mean().expect("non-empty");
+        assert!((mean - 109.0).abs() < 1e-9);
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("empty");
+        assert_eq!(h.snapshot().percentile(0.999), None);
+        assert_eq!(h.snapshot().mean(), None);
+    }
+
+    #[test]
+    fn zero_lands_in_the_exact_zero_bucket() {
+        let reg = MetricsRegistry::default();
+        let h = reg.histogram("z");
+        h.record(0);
+        assert_eq!(h.snapshot().percentile(0.999), Some(0));
+    }
+
+    #[test]
+    fn snapshot_keeps_registration_order() {
+        let reg = MetricsRegistry::default();
+        reg.counter("b_total");
+        reg.counter("a_total");
+        reg.gauge("g");
+        reg.histogram("h");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["b_total", "a_total"]);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms.len(), 1);
+    }
+}

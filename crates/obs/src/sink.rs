@@ -1,0 +1,259 @@
+//! Fixed-capacity, overwrite-oldest span storage.
+//!
+//! [`TraceSink`] is the hot-path destination for [`Span`]s: a small
+//! fixed set of shards, each a mutex-guarded ring. Recording takes one
+//! short lock on the shard selected by the span's trace id, writes one
+//! slot, and returns — it never allocates after construction, never
+//! blocks on a full ring (the oldest span in the shard is overwritten
+//! instead), and never reorders the recorder. The accounting identity
+//!
+//! ```text
+//! spans_opened == spans_resident + spans_dropped
+//! ```
+//!
+//! holds at every quiescent point: each `record` either grows the
+//! resident set by one or evicts exactly one older span.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Which stage of the request path a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Admission → taken by the dispatcher.
+    QueueWait,
+    /// Micro-batch formation (take → rows assembled).
+    Batch,
+    /// Batch handed to the engine → scores delivered-ready.
+    Dispatch,
+    /// Dense GEMM kernel execution.
+    KernelGemm,
+    /// Sparse-dense (SDMM/SpMM) kernel execution.
+    KernelSdmm,
+    /// Vectorized QuickScorer forest traversal.
+    KernelVqs,
+    /// Off-path shadow scoring of a staged model.
+    Shadow,
+    /// Canary-split scoring of a candidate model.
+    Canary,
+    /// The robust layer degraded this batch to the fallback.
+    Degrade,
+    /// The robust layer rescued a bad primary output.
+    Rescue,
+    /// Admission control refused the request (predicted deadline miss).
+    Shed,
+    /// The deadline expired while the request was queued.
+    Expired,
+    /// The batch failed (engine error or isolated panic).
+    Failed,
+    /// Synthetic span from the trace-pressure fault injector.
+    Synthetic,
+}
+
+impl Stage {
+    /// Stable label used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue-wait",
+            Stage::Batch => "batch",
+            Stage::Dispatch => "dispatch",
+            Stage::KernelGemm => "kernel-gemm",
+            Stage::KernelSdmm => "kernel-sdmm",
+            Stage::KernelVqs => "kernel-vqs",
+            Stage::Shadow => "shadow",
+            Stage::Canary => "canary",
+            Stage::Degrade => "degrade",
+            Stage::Rescue => "rescue",
+            Stage::Shed => "shed",
+            Stage::Expired => "expired",
+            Stage::Failed => "failed",
+            Stage::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// One closed interval of one stage, attributed to one trace (request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace id: the server's request id (0 is reserved for synthetic
+    /// and unattributed spans).
+    pub id: u64,
+    /// The stage this span measures.
+    pub stage: Stage,
+    /// Model version that served it, when known.
+    pub version: Option<std::sync::Arc<str>>,
+    /// Stage entry, in server nanos.
+    pub start_nanos: u64,
+    /// Stage exit, in server nanos.
+    pub end_nanos: u64,
+}
+
+impl Span {
+    /// Span length in nanos (saturating; a manual clock can be frozen).
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+}
+
+/// One shard's ring: insertion order wraps, so `next` always points at
+/// the oldest slot once the ring is full.
+struct Ring {
+    spans: Vec<Span>,
+    next: usize,
+    capacity: usize,
+}
+
+/// Sharded, bounded span storage. See the module docs.
+pub struct TraceSink {
+    shards: Vec<Mutex<Ring>>,
+    opened: AtomicU64,
+    dropped: AtomicU64,
+}
+
+fn lock_ring(shard: &Mutex<Ring>) -> MutexGuard<'_, Ring> {
+    // A poisoned ring still holds structurally valid spans; recording
+    // must keep working on the serving path.
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl TraceSink {
+    /// A sink of `shards` rings holding `spans_per_shard` spans each
+    /// (both clamped to ≥ 1).
+    pub fn new(shards: usize, spans_per_shard: usize) -> TraceSink {
+        let shards = shards.max(1);
+        let capacity = spans_per_shard.max(1);
+        TraceSink {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        spans: Vec::with_capacity(capacity),
+                        next: 0,
+                        capacity,
+                    })
+                })
+                .collect(),
+            opened: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one span. Constant-time, never blocks on capacity: a full
+    /// shard overwrites its oldest span and counts the eviction.
+    pub fn record(&self, span: Span) {
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        let idx = (span.id as usize) % self.shards.len();
+        let mut ring = match self.shards.get(idx) {
+            Some(shard) => lock_ring(shard),
+            None => return,
+        };
+        if ring.spans.len() < ring.capacity {
+            ring.spans.push(span);
+        } else {
+            let slot = ring.next;
+            if let Some(old) = ring.spans.get_mut(slot) {
+                *old = span;
+            }
+            ring.next = (slot + 1) % ring.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Spans ever recorded.
+    pub fn spans_opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Spans evicted by ring wrap.
+    pub fn spans_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently resident across all shards.
+    pub fn spans_resident(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock_ring(s).spans.len() as u64)
+            .sum()
+    }
+
+    /// Snapshot every resident span, oldest-first within each shard.
+    /// Allocation happens here, never in [`record`](Self::record).
+    pub fn spans(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let ring = lock_ring(shard);
+            if ring.spans.len() == ring.capacity {
+                out.extend_from_slice(&ring.spans[ring.next..]);
+                out.extend_from_slice(&ring.spans[..ring.next]);
+            } else {
+                out.extend_from_slice(&ring.spans);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, start: u64) -> Span {
+        Span {
+            id,
+            stage: Stage::Dispatch,
+            version: None,
+            start_nanos: start,
+            end_nanos: start + 10,
+        }
+    }
+
+    #[test]
+    fn books_balance_without_wrap() {
+        let sink = TraceSink::new(2, 4);
+        for i in 0..5 {
+            sink.record(span(i, i));
+        }
+        assert_eq!(sink.spans_opened(), 5);
+        assert_eq!(sink.spans_dropped(), 0);
+        assert_eq!(sink.spans_resident(), 5);
+        assert_eq!(sink.spans().len(), 5);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_evictions() {
+        let sink = TraceSink::new(1, 3);
+        for i in 0..7 {
+            sink.record(span(0, i));
+        }
+        assert_eq!(sink.spans_opened(), 7);
+        assert_eq!(sink.spans_dropped(), 4);
+        assert_eq!(sink.spans_resident(), 3);
+        // Oldest-first snapshot holds exactly the last three spans.
+        let starts: Vec<u64> = sink.spans().iter().map(|s| s.start_nanos).collect();
+        assert_eq!(starts, vec![4, 5, 6]);
+        assert_eq!(
+            sink.spans_opened(),
+            sink.spans_resident() + sink.spans_dropped()
+        );
+    }
+
+    #[test]
+    fn shards_partition_by_trace_id() {
+        let sink = TraceSink::new(2, 2);
+        // Ids 0/2 land in shard 0, ids 1/3 in shard 1: no cross-shard
+        // eviction even though each shard only holds two spans.
+        for id in [0u64, 1, 2, 3] {
+            sink.record(span(id, id));
+        }
+        assert_eq!(sink.spans_dropped(), 0);
+        assert_eq!(sink.spans_resident(), 4);
+    }
+
+    #[test]
+    fn stage_labels_are_stable() {
+        assert_eq!(Stage::QueueWait.as_str(), "queue-wait");
+        assert_eq!(Stage::KernelSdmm.as_str(), "kernel-sdmm");
+        assert_eq!(Stage::Synthetic.as_str(), "synthetic");
+        assert_eq!(span(1, 5).duration_nanos(), 10);
+    }
+}

@@ -100,6 +100,20 @@ impl BudgetForecast {
         Duration::from_secs_f64(self.forecast_batch_secs(num_docs).max(0.0))
     }
 
+    /// Predicted nanoseconds to score a batch of `num_docs`, saturating
+    /// at `u64::MAX`. Observability planes compare this integer against
+    /// measured span durations, so offering it here keeps the
+    /// prediction/measurement units identical without a lossy round-trip
+    /// through `Duration` at every call site.
+    pub fn forecast_batch_nanos(&self, num_docs: usize) -> u64 {
+        let nanos = self.forecast_batch_secs(num_docs).max(0.0) * 1e9;
+        if nanos >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            nanos as u64
+        }
+    }
+
     /// Whether a batch of `num_docs` is predicted to fit `budget`.
     pub fn fits(&self, num_docs: usize, budget: Duration) -> bool {
         self.forecast_batch(num_docs) <= budget
@@ -174,6 +188,16 @@ mod tests {
         // The forecaster closure keeps the thread term.
         let hook = forecast().with_threads(4).into_forecaster();
         assert_eq!(hook(n), Some(parallel.forecast_batch(n)));
+    }
+
+    #[test]
+    fn nanos_forecast_matches_the_duration_forecast() {
+        let f = forecast();
+        let nanos = f.forecast_batch_nanos(100);
+        let dur = f.forecast_batch(100).as_nanos() as u64;
+        let diff = nanos.abs_diff(dur);
+        assert!(diff <= 1, "nanos {nanos} vs duration {dur}");
+        assert_eq!(f.forecast_batch_nanos(0), 0);
     }
 
     #[test]

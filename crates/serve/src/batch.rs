@@ -120,6 +120,7 @@ mod tests {
 
     fn item(docs: usize, deadline_nanos: Option<u64>) -> Admitted {
         Admitted {
+            id: 1,
             docs,
             request: ScoreRequest::new((0..docs).map(|d| d as f32).collect()),
             deadline_nanos,

@@ -36,6 +36,22 @@ impl Clock for MonotonicClock {
     }
 }
 
+// The observability plane reads the same server-nanos timeline as the
+// dispatcher, so traces recorded under `ManualClock` are bit-reproducible.
+// (The orphan rule rules out a blanket `impl NanoClock for T: Clock`, so
+// the two production clocks bridge explicitly.)
+impl dlr_obs::NanoClock for MonotonicClock {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
+impl dlr_obs::NanoClock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        Clock::now_nanos(self)
+    }
+}
+
 /// A hand-advanced clock for deterministic tests.
 #[derive(Debug, Default)]
 pub struct ManualClock {

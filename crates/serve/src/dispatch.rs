@@ -22,10 +22,57 @@ use crate::queue::{AdmissionQueue, Admitted, Ready};
 use crate::request::{Delivery, Response};
 use crate::stats::ServerStats;
 use dlr_core::fault::{ServerFault, ServerFaultPlan};
-use dlr_core::serve::ServedBy;
+use dlr_core::serve::{LatencyForecaster, ServedBy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Pre-registered observability handles: one registry lookup per name at
+/// server start, then every hot-path hook is an `Option` branch plus a
+/// relaxed atomic. `None` on [`Shared::obs`] makes the whole plane a
+/// branch-cheap no-op.
+pub(crate) struct ObsHooks {
+    pub(crate) obs: Arc<dlr_obs::Obs>,
+    pub(crate) submitted: dlr_obs::Counter,
+    pub(crate) admitted: dlr_obs::Counter,
+    pub(crate) rejected_full: dlr_obs::Counter,
+    pub(crate) shed: dlr_obs::Counter,
+    pub(crate) rejected_shutdown: dlr_obs::Counter,
+    pub(crate) malformed: dlr_obs::Counter,
+    pub(crate) batches: dlr_obs::Counter,
+    pub(crate) batch_panics: dlr_obs::Counter,
+    pub(crate) scored_primary: dlr_obs::Counter,
+    pub(crate) scored_fallback: dlr_obs::Counter,
+    pub(crate) expired: dlr_obs::Counter,
+    pub(crate) failed: dlr_obs::Counter,
+    pub(crate) queue_depth_max: dlr_obs::Gauge,
+    pub(crate) queue_wait_us: dlr_obs::Histogram,
+    pub(crate) execute_us: dlr_obs::Histogram,
+}
+
+impl ObsHooks {
+    pub(crate) fn new(obs: Arc<dlr_obs::Obs>) -> ObsHooks {
+        ObsHooks {
+            submitted: obs.counter("serve_submitted_total"),
+            admitted: obs.counter("serve_admitted_total"),
+            rejected_full: obs.counter("serve_rejected_full_total"),
+            shed: obs.counter("serve_shed_total"),
+            rejected_shutdown: obs.counter("serve_rejected_shutdown_total"),
+            malformed: obs.counter("serve_malformed_total"),
+            batches: obs.counter("serve_batches_total"),
+            batch_panics: obs.counter("serve_batch_panics_total"),
+            scored_primary: obs.counter("serve_scored_primary_total"),
+            scored_fallback: obs.counter("serve_scored_fallback_total"),
+            expired: obs.counter("serve_expired_total"),
+            failed: obs.counter("serve_failed_total"),
+            queue_depth_max: obs.gauge("serve_queue_depth_max"),
+            queue_wait_us: obs.histogram("serve_queue_wait_us"),
+            execute_us: obs.histogram("serve_execute_us"),
+            obs,
+        }
+    }
+}
 
 /// State shared between the submitting front-end and the dispatcher.
 pub(crate) struct Shared {
@@ -34,7 +81,15 @@ pub(crate) struct Shared {
     /// Lifetime counters; the dispatcher and submitters both write here.
     pub(crate) stats: Mutex<ServerStats>,
     /// The server's one clock (all other modules see only its nanos).
-    pub(crate) clock: Box<dyn Clock>,
+    pub(crate) clock: Arc<dyn Clock>,
+    /// Admission-control forecaster, shared with the dispatcher so it can
+    /// pair each batch's forecast with its measured execute time (the
+    /// predictor-drift signal).
+    pub(crate) admission: Option<Box<dyn LatencyForecaster + Send + Sync>>,
+    /// Trace-id source for admitted requests (1-based; 0 is synthetic).
+    pub(crate) next_id: AtomicU64,
+    /// The observability plane, when enabled.
+    pub(crate) obs: Option<ObsHooks>,
 }
 
 /// Lock the stats, recovering from poison: counters are plain integers,
@@ -108,14 +163,42 @@ fn execute<E: BatchEngine>(
     }
 
     let now = shared.clock.now_nanos();
+    if let ServerFault::TracePressure { spans } = fault {
+        // Injected: a synthetic span burst forces the trace ring to wrap
+        // mid-dispatch, proving overwrite-oldest never blocks this loop.
+        if let Some(h) = &shared.obs {
+            for _ in 0..spans {
+                h.obs
+                    .record_span(0, dlr_obs::Stage::Synthetic, None, now, now);
+            }
+        }
+    }
     let (live, expired) = split_expired(items, now);
     if !expired.is_empty() {
         let mut stats = lock_stats(shared);
         for item in &expired {
             stats.expired += 1;
-            stats.record_latency(now.saturating_sub(item.queued_nanos));
+            let waited = now.saturating_sub(item.queued_nanos);
+            stats.record_latency(waited);
+            stats.record_queue_wait(waited);
         }
         drop(stats);
+        if let Some(h) = &shared.obs {
+            for item in &expired {
+                let waited = now.saturating_sub(item.queued_nanos);
+                h.expired.inc();
+                h.queue_wait_us.record(waited / 1_000);
+                h.obs.record_span(
+                    item.id,
+                    dlr_obs::Stage::QueueWait,
+                    None,
+                    item.queued_nanos,
+                    now,
+                );
+                h.obs
+                    .record_span(item.id, dlr_obs::Stage::Expired, None, now, now);
+            }
+        }
         for item in expired {
             let latency_nanos = now.saturating_sub(item.queued_nanos);
             item.slot.deliver(Delivery {
@@ -145,6 +228,18 @@ fn execute<E: BatchEngine>(
         })
         .collect();
     let mut out = vec![0.0f32; docs];
+    // Batch-formation timestamp: only read when the plane is on — the
+    // disabled path pays zero extra clock reads.
+    let assembled = match &shared.obs {
+        Some(h) => {
+            // Kernel scope guards deep in the engine attribute to the
+            // batch's lead request.
+            h.obs
+                .set_current_trace(live.first().map_or(0, |item| item.id));
+            shared.clock.now_nanos()
+        }
+        None => now,
+    };
     let poisoned = fault == ServerFault::BatchPanic;
     let result = catch_unwind(AssertUnwindSafe(|| {
         if poisoned {
@@ -177,6 +272,10 @@ fn execute<E: BatchEngine>(
             stats.failed += live.len() as u64;
         }
     }
+    for item in &live {
+        stats.record_queue_wait(now.saturating_sub(item.queued_nanos));
+        stats.record_execute(done.saturating_sub(now));
+    }
     if let (Some(version), Ok(Ok(served_by))) = (&version, &result) {
         let row = stats.version_mut(version);
         row.batches += 1;
@@ -196,6 +295,57 @@ fn execute<E: BatchEngine>(
         }
     }
     drop(stats);
+
+    if let Some(h) = &shared.obs {
+        // All spans and drift land before any delivery, so a test that
+        // observed a response sees the full waterfall of that request.
+        h.batches.inc();
+        match &result {
+            Ok(Ok(ServedBy::Primary)) => h.scored_primary.add(live.len() as u64),
+            Ok(Ok(ServedBy::Fallback)) => h.scored_fallback.add(live.len() as u64),
+            Ok(Err(_)) => h.failed.add(live.len() as u64),
+            Err(_) => {
+                h.batch_panics.inc();
+                h.failed.add(live.len() as u64);
+            }
+        }
+        let failed = !matches!(&result, Ok(Ok(_)));
+        for item in &live {
+            h.queue_wait_us
+                .record(now.saturating_sub(item.queued_nanos) / 1_000);
+            h.execute_us.record(done.saturating_sub(now) / 1_000);
+            h.obs.record_span(
+                item.id,
+                dlr_obs::Stage::QueueWait,
+                None,
+                item.queued_nanos,
+                now,
+            );
+            h.obs
+                .record_span(item.id, dlr_obs::Stage::Batch, None, now, assembled);
+            h.obs.record_span(
+                item.id,
+                dlr_obs::Stage::Dispatch,
+                version.clone(),
+                assembled,
+                done,
+            );
+            if failed {
+                h.obs
+                    .record_span(item.id, dlr_obs::Stage::Failed, None, done, done);
+            }
+        }
+        if let Some(forecaster) = &shared.admission {
+            // Predicted (Eq. 3/5 cost model) vs. measured dispatch time
+            // for this batch size: the drift the future auto-tuner reads.
+            if let Some(predicted) = forecaster.forecast(docs) {
+                h.obs.record_drift(
+                    u64::try_from(predicted.as_nanos()).unwrap_or(u64::MAX),
+                    done.saturating_sub(assembled),
+                );
+            }
+        }
+    }
 
     match result {
         Ok(Ok(served_by)) => {

@@ -34,6 +34,10 @@ pub enum Backpressure {
 /// One admitted request, timestamped and carrying its completion slot.
 #[derive(Debug)]
 pub(crate) struct Admitted {
+    /// Trace id assigned at submission (1-based; 0 is reserved for
+    /// synthetic spans), tying this request's queue/batch/dispatch spans
+    /// together in the observability plane.
+    pub id: u64,
     /// Documents in this request.
     pub docs: usize,
     /// The request (features + relative deadline, kept for accounting).
@@ -242,6 +246,7 @@ mod tests {
 
     fn item(docs: usize, queued_nanos: u64) -> Admitted {
         Admitted {
+            id: queued_nanos + 1,
             docs,
             request: ScoreRequest::new(vec![0.0; docs]),
             deadline_nanos: None,

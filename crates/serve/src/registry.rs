@@ -62,7 +62,7 @@ use dlr_core::serve::{LatencyHistogram, ScoreError, ServedBy};
 use dlr_metrics::{ndcg_at, promotion_gate, GateConfig, GateDecision, NdcgConfig};
 use dlr_nn::{read_mlp_bytes, Mlp, MlpWorkspace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Rollout policy: traffic fractions, health thresholds, and the
@@ -430,11 +430,41 @@ struct LifecycleState {
     last_report: Option<CandidateReport>,
 }
 
+/// Pre-registered observability handles for the model lifecycle,
+/// attached once via [`ModelRegistry::attach_obs`].
+struct RegistryObsHooks {
+    obs: Arc<dlr_obs::Obs>,
+    shadow_batches: dlr_obs::Counter,
+    canary_batches: dlr_obs::Counter,
+    rescues: dlr_obs::Counter,
+    promotions: dlr_obs::Counter,
+    rollbacks: dlr_obs::Counter,
+    loads_rejected: dlr_obs::Counter,
+}
+
+impl RegistryObsHooks {
+    /// Record a span of `stage` for `version` ending now and lasting
+    /// `duration_nanos`, attributed to the dispatcher's current trace.
+    /// The registry clock and the obs clock are the same injected server
+    /// clock, so under `ManualClock` the bounds are exact.
+    fn span_ending_now(&self, stage: dlr_obs::Stage, version: &Arc<str>, duration_nanos: u64) {
+        let end = self.obs.now_nanos();
+        self.obs.record_span(
+            self.obs.current_trace(),
+            stage,
+            Some(Arc::clone(version)),
+            end.saturating_sub(duration_nanos),
+            end,
+        );
+    }
+}
+
 struct RegistryShared {
     num_features: usize,
     config: RolloutConfig,
     clock: Arc<dyn Clock>,
     state: Mutex<LifecycleState>,
+    obs: OnceLock<RegistryObsHooks>,
 }
 
 fn lock_state(shared: &RegistryShared) -> MutexGuard<'_, LifecycleState> {
@@ -503,6 +533,7 @@ impl ModelRegistry {
             num_features,
             config,
             clock,
+            obs: OnceLock::new(),
             state: Mutex::new(LifecycleState {
                 active: entry,
                 previous: None,
@@ -549,6 +580,9 @@ impl ModelRegistry {
             Ok(scorer) => self.load_scorer(version, scorer, artifact.to_vec()),
             Err(err) => {
                 let mut state = lock_state(&self.shared);
+                if let Some(h) = self.shared.obs.get() {
+                    h.loads_rejected.inc();
+                }
                 state.events.push(LifecycleEvent::LoadRejected {
                     version: version.to_string(),
                     reason: err.to_string(),
@@ -582,6 +616,9 @@ impl ModelRegistry {
                     self.shared.num_features
                 ),
             };
+            if let Some(h) = self.shared.obs.get() {
+                h.loads_rejected.inc();
+            }
             state.events.push(LifecycleEvent::LoadRejected {
                 version: version.to_string(),
                 reason: err.to_string(),
@@ -694,6 +731,9 @@ impl ModelRegistry {
                 if let Some(cand) = state.candidate.as_mut() {
                     cand.stage = Stage::Hold;
                 }
+                if let Some(h) = self.shared.obs.get() {
+                    h.promotions.inc();
+                }
                 state
                     .events
                     .push(LifecycleEvent::Promoted { version, replaced });
@@ -725,7 +765,7 @@ impl ModelRegistry {
     pub fn rollback(&self) -> Result<(), LifecycleError> {
         let mut state = lock_state(&self.shared);
         if state.candidate.is_some() {
-            roll_back_candidate(&mut state, RollbackReason::Manual);
+            roll_back_candidate(&mut state, RollbackReason::Manual, self.shared.obs.get());
             return Ok(());
         }
         let Some(previous) = state.previous.take() else {
@@ -733,6 +773,9 @@ impl ModelRegistry {
         };
         let displaced = std::mem::replace(&mut state.active, previous);
         let restored = state.active.version.to_string();
+        if let Some(h) = self.shared.obs.get() {
+            h.rollbacks.inc();
+        }
         state.events.push(LifecycleEvent::RolledBack {
             version: displaced.version.to_string(),
             restored,
@@ -740,6 +783,24 @@ impl ModelRegistry {
         });
         state.previous = Some(displaced);
         Ok(())
+    }
+
+    /// Publish lifecycle counters and shadow/canary spans into `obs`.
+    /// Share the same `Arc` with the [`ServerConfig`]'s plane so registry
+    /// spans land in the same traces as the dispatcher's. Attaching is
+    /// once-only; later calls are ignored.
+    ///
+    /// [`ServerConfig`]: crate::server::ServerConfig
+    pub fn attach_obs(&self, obs: Arc<dlr_obs::Obs>) {
+        let _ = self.shared.obs.set(RegistryObsHooks {
+            shadow_batches: obs.counter("registry_shadow_batches_total"),
+            canary_batches: obs.counter("registry_canary_batches_total"),
+            rescues: obs.counter("registry_rescues_total"),
+            promotions: obs.counter("registry_promotions_total"),
+            rollbacks: obs.counter("registry_rollbacks_total"),
+            loads_rejected: obs.counter("registry_loads_rejected_total"),
+            obs,
+        });
     }
 
     /// The version currently answering live traffic.
@@ -902,10 +963,17 @@ fn watchdog_verdict(stats: &CandidateStats, config: &RolloutConfig) -> Option<Ro
 /// End the in-flight candidate's journey as rolled back: restore the
 /// reference as active when the candidate held the active slot, emit
 /// the event, and file the report.
-fn roll_back_candidate(state: &mut LifecycleState, reason: RollbackReason) {
+fn roll_back_candidate(
+    state: &mut LifecycleState,
+    reason: RollbackReason,
+    hooks: Option<&RegistryObsHooks>,
+) {
     let Some(cand) = state.candidate.take() else {
         return;
     };
+    if let Some(h) = hooks {
+        h.rollbacks.inc();
+    }
     let restored = Arc::clone(&cand.reference);
     if cand.stage == Stage::Hold {
         state.active = Arc::clone(&restored);
@@ -925,13 +993,17 @@ fn roll_back_candidate(state: &mut LifecycleState, reason: RollbackReason) {
 }
 
 /// Run the watchdog and the Hold settle check after an observed batch.
-fn after_observed_batch(state: &mut LifecycleState, config: &RolloutConfig) {
+fn after_observed_batch(
+    state: &mut LifecycleState,
+    config: &RolloutConfig,
+    hooks: Option<&RegistryObsHooks>,
+) {
     let verdict = state
         .candidate
         .as_ref()
         .and_then(|c| watchdog_verdict(&c.stats, config));
     if let Some(reason) = verdict {
-        roll_back_candidate(state, reason);
+        roll_back_candidate(state, reason, hooks);
         return;
     }
     let settled = state
@@ -1019,6 +1091,7 @@ impl BatchEngine for RegistryEngine {
         }
         let clock = Arc::clone(&self.shared.clock);
         let config = self.shared.config;
+        let hooks = self.shared.obs.get();
         // The registry's one lock is held for the whole batch: control-
         // plane swaps land between micro-batches, never inside one.
         let mut guard = lock_state(&self.shared);
@@ -1044,11 +1117,21 @@ impl BatchEngine for RegistryEngine {
                 if fire(&mut cand.shadow_acc, config.shadow_fraction) {
                     cand.stats.shadow_batches += 1;
                     cand.stats.shadow_docs += out.len() as u64;
+                    if let Some(h) = hooks {
+                        h.shadow_batches.inc();
+                    }
                     self.scratch.clear();
                     self.scratch.resize(out.len(), 0.0);
                     match guarded_timed_score(&*clock, &cand.entry, rows, &mut self.scratch) {
                         None => cand.stats.shadow_panics += 1,
                         Some(candidate_nanos) => {
+                            if let Some(h) = hooks {
+                                h.span_ending_now(
+                                    dlr_obs::Stage::Shadow,
+                                    &cand.entry.version,
+                                    candidate_nanos,
+                                );
+                            }
                             cand.stats
                                 .incumbent_latency
                                 .record(Duration::from_nanos(incumbent_nanos));
@@ -1086,12 +1169,22 @@ impl BatchEngine for RegistryEngine {
             Stage::Canary => {
                 if fire(&mut cand.canary_acc, config.canary_fraction) {
                     cand.stats.canary_batches += 1;
+                    if let Some(h) = hooks {
+                        h.canary_batches.inc();
+                    }
                     self.scratch.clear();
                     self.scratch.resize(out.len(), 0.0);
                     let outcome =
                         guarded_timed_score(&*clock, &cand.entry, rows, &mut self.scratch);
                     let healthy = outcome.is_some() && self.scratch.iter().all(|s| s.is_finite());
                     if let Some(candidate_nanos) = outcome {
+                        if let Some(h) = hooks {
+                            h.span_ending_now(
+                                dlr_obs::Stage::Canary,
+                                &cand.entry.version,
+                                candidate_nanos,
+                            );
+                        }
                         cand.stats
                             .candidate_latency
                             .record(Duration::from_nanos(candidate_nanos));
@@ -1106,6 +1199,10 @@ impl BatchEngine for RegistryEngine {
                     } else {
                         // Rescue: the incumbent rescores and answers.
                         cand.stats.rescues += 1;
+                        if let Some(h) = hooks {
+                            h.rescues.inc();
+                            h.span_ending_now(dlr_obs::Stage::Rescue, &active.version, 0);
+                        }
                         let incumbent_nanos = timed_score(&*clock, &active, rows, out);
                         cand.stats
                             .incumbent_latency
@@ -1165,6 +1262,10 @@ impl BatchEngine for RegistryEngine {
                     ServedBy::Primary
                 } else {
                     cand.stats.rescues += 1;
+                    if let Some(h) = hooks {
+                        h.rescues.inc();
+                        h.span_ending_now(dlr_obs::Stage::Rescue, &cand.reference.version, 0);
+                    }
                     let reference_nanos = timed_score(&*clock, &cand.reference, rows, out);
                     cand.stats
                         .incumbent_latency
@@ -1174,7 +1275,7 @@ impl BatchEngine for RegistryEngine {
                 }
             }
         };
-        after_observed_batch(state, &config);
+        after_observed_batch(state, &config, hooks);
         Ok(served)
     }
 

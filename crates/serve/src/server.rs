@@ -9,8 +9,8 @@
 //! responses).
 
 use crate::batch::shed_verdict;
-use crate::clock::MonotonicClock;
-use crate::dispatch::{self, lock_stats, Shared};
+use crate::clock::{Clock, MonotonicClock};
+use crate::dispatch::{self, lock_stats, ObsHooks, Shared};
 use crate::engine::BatchEngine;
 use crate::queue::{AdmissionQueue, Admitted, Backpressure};
 use crate::request::{ResponseHandle, ScoreRequest, Slot, SubmitError};
@@ -18,6 +18,7 @@ use crate::stats::ServerStats;
 use crate::BatchConfig;
 use dlr_core::fault::ServerFaultPlan;
 use dlr_core::serve::LatencyForecaster;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -38,6 +39,15 @@ pub struct ServerConfig {
     /// Injected server faults, drawn once per taken batch. `None` in
     /// production.
     pub faults: Option<ServerFaultPlan>,
+    /// The server-nanos source. `None` uses a fresh [`MonotonicClock`];
+    /// tests inject a [`ManualClock`](crate::ManualClock) to drive the
+    /// queue, batcher, and every trace span deterministically.
+    pub clock: Option<Arc<dyn Clock>>,
+    /// The observability plane. `None` (production default until opted
+    /// in) makes every hook a branch-cheap no-op; share the same `Arc`
+    /// with the engine's `with_obs` builders to get kernel spans in the
+    /// same traces.
+    pub obs: Option<Arc<dlr_obs::Obs>>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +58,8 @@ impl Default for ServerConfig {
             backpressure: Backpressure::Reject,
             admission: None,
             faults: None,
+            clock: None,
+            obs: None,
         }
     }
 }
@@ -57,7 +69,6 @@ pub struct Server<E: BatchEngine + 'static> {
     shared: Arc<Shared>,
     num_features: usize,
     policy: Backpressure,
-    admission: Option<Box<dyn LatencyForecaster + Send + Sync>>,
     dispatcher: Option<JoinHandle<E>>,
 }
 
@@ -69,7 +80,12 @@ impl<E: BatchEngine + 'static> Server<E> {
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(config.queue_capacity),
             stats: Mutex::new(ServerStats::default()),
-            clock: Box::new(MonotonicClock::default()),
+            clock: config
+                .clock
+                .unwrap_or_else(|| Arc::new(MonotonicClock::default())),
+            admission: config.admission,
+            next_id: AtomicU64::new(1),
+            obs: config.obs.map(ObsHooks::new),
         });
         let batch = config.batch;
         let faults = config.faults;
@@ -84,7 +100,6 @@ impl<E: BatchEngine + 'static> Server<E> {
             shared,
             num_features,
             policy: config.backpressure,
-            admission: config.admission,
             dispatcher: Some(dispatcher),
         }
     }
@@ -105,9 +120,15 @@ impl<E: BatchEngine + 'static> Server<E> {
     /// per queue state.
     pub fn submit(&self, request: ScoreRequest) -> Result<ResponseHandle, SubmitError> {
         lock_stats(&self.shared).submitted += 1;
+        if let Some(h) = &self.shared.obs {
+            h.submitted.inc();
+        }
         let len = request.features.len();
         if len == 0 || !len.is_multiple_of(self.num_features) {
             lock_stats(&self.shared).malformed += 1;
+            if let Some(h) = &self.shared.obs {
+                h.malformed.inc();
+            }
             return Err(SubmitError::BadShape {
                 num_features: self.num_features,
                 features_len: len,
@@ -122,14 +143,16 @@ impl<E: BatchEngine + 'static> Server<E> {
         let handle = ResponseHandle {
             slot: Arc::clone(&slot),
         };
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let item = Admitted {
+            id,
             docs,
             request,
             deadline_nanos,
             queued_nanos: now,
             slot,
         };
-        let admission = self.admission.as_deref();
+        let admission = self.shared.admission.as_deref();
         let outcome = self.shared.queue.admit(item, self.policy, |queued_docs| {
             shed_verdict(admission, queued_docs, docs, budget)
         });
@@ -139,6 +162,11 @@ impl<E: BatchEngine + 'static> Server<E> {
                 stats.admitted += 1;
                 stats.max_queue_depth = stats.max_queue_depth.max(depth as u64);
                 stats.max_queued_docs = stats.max_queued_docs.max(queued_docs as u64);
+                drop(stats);
+                if let Some(h) = &self.shared.obs {
+                    h.admitted.inc();
+                    h.queue_depth_max.record_max(depth as u64);
+                }
                 Ok(handle)
             }
             Err(err) => {
@@ -148,6 +176,20 @@ impl<E: BatchEngine + 'static> Server<E> {
                     SubmitError::Shed { .. } => stats.shed += 1,
                     SubmitError::ShuttingDown => stats.rejected_shutdown += 1,
                     SubmitError::BadShape { .. } => stats.malformed += 1,
+                }
+                drop(stats);
+                if let Some(h) = &self.shared.obs {
+                    match &err {
+                        SubmitError::QueueFull => h.rejected_full.inc(),
+                        SubmitError::Shed { .. } => {
+                            h.shed.inc();
+                            // A shed request has exactly one span: the
+                            // refusal itself, at submit time.
+                            h.obs.record_span(id, dlr_obs::Stage::Shed, None, now, now);
+                        }
+                        SubmitError::ShuttingDown => h.rejected_shutdown.inc(),
+                        SubmitError::BadShape { .. } => h.malformed.inc(),
+                    }
                 }
                 Err(err)
             }

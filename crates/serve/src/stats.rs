@@ -96,6 +96,12 @@ pub struct ServerStats {
     pub max_queued_docs: u64,
     /// Admission→delivery latency of every answered request.
     pub latency: LatencyHistogram,
+    /// Queue-wait slice of the request latency (admission → batch take),
+    /// recorded for every answered request including expired ones.
+    pub queue_wait: LatencyHistogram,
+    /// Batch-execute slice (batch take → delivery), recorded for every
+    /// request that reached the engine.
+    pub execute: LatencyHistogram,
     /// Per-model-version breakdown of the scored counters, in the order
     /// versions first answered traffic. Empty unless the engine serves
     /// versioned models.
@@ -126,6 +132,17 @@ impl ServerStats {
     /// Record a response delivery's latency.
     pub(crate) fn record_latency(&mut self, nanos: u64) {
         self.latency.record(std::time::Duration::from_nanos(nanos));
+    }
+
+    /// Record the queue-wait slice of a request's latency.
+    pub(crate) fn record_queue_wait(&mut self, nanos: u64) {
+        self.queue_wait
+            .record(std::time::Duration::from_nanos(nanos));
+    }
+
+    /// Record the batch-execute slice of a request's latency.
+    pub(crate) fn record_execute(&mut self, nanos: u64) {
+        self.execute.record(std::time::Duration::from_nanos(nanos));
     }
 
     /// The row for `version`, created at the back on first sight.
@@ -207,6 +224,18 @@ impl std::fmt::Display for ServerStats {
                 self.latency.count()
             )?;
         }
+        for (label, h) in [
+            ("queue-wait", &self.queue_wait),
+            ("batch-execute", &self.execute),
+        ] {
+            if let (Some(mean), Some(p50), Some(p99)) = (h.mean_us(), h.p50_us(), h.p99_us()) {
+                write!(
+                    f,
+                    "\nstage {label} us: mean {mean:.1} | p50 <= {p50} | p99 <= {p99} ({} samples)",
+                    h.count()
+                )?;
+            }
+        }
         for v in &self.per_version {
             write!(
                 f,
@@ -282,6 +311,80 @@ mod tests {
         b.version_mut("v1").scored_fallback = 0;
         b.version_mut("v2");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_changes_nothing_exactly() {
+        let mut h = LatencyHistogram::default();
+        h.record(std::time::Duration::from_micros(10));
+        h.record(std::time::Duration::from_micros(100));
+        let empty = LatencyHistogram::default();
+        let before = (h.count(), h.sum_us(), h.p50_us(), h.p99_us(), h.p999_us());
+        h.merge(&empty);
+        assert_eq!(
+            (h.count(), h.sum_us(), h.p50_us(), h.p99_us(), h.p999_us()),
+            before
+        );
+        // And the mirror: an empty histogram absorbing a populated one
+        // equals the populated one exactly.
+        let mut absorbed = LatencyHistogram::default();
+        absorbed.merge(&h);
+        assert_eq!(absorbed.count(), 2);
+        assert_eq!(absorbed.sum_us(), 110);
+        assert_eq!(absorbed.p50_us(), Some(15));
+        assert_eq!(absorbed.p999_us(), Some(127));
+        // Merging empty into empty stays empty (percentiles stay None).
+        let mut e2 = LatencyHistogram::default();
+        e2.merge(&LatencyHistogram::default());
+        assert_eq!(e2.count(), 0);
+        assert_eq!(e2.p999_us(), None);
+        assert_eq!(e2.mean_us(), None);
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile_to_its_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(std::time::Duration::from_micros(10));
+        // One sample: every quantile, including p999, resolves to the
+        // sample's own bucket bound (10µs → 4-bit bucket → bound 15).
+        assert_eq!(h.p50_us(), Some(15));
+        assert_eq!(h.p95_us(), Some(15));
+        assert_eq!(h.p99_us(), Some(15));
+        assert_eq!(h.p999_us(), Some(15));
+        assert_eq!(h.mean_us(), Some(10.0));
+        // A zero-latency sample lives in bucket 0 with bound exactly 0.
+        let mut z = LatencyHistogram::default();
+        z.record(std::time::Duration::ZERO);
+        assert_eq!(z.p999_us(), Some(0));
+    }
+
+    #[test]
+    fn saturated_counts_stay_sane_instead_of_wrapping() {
+        let mut h = LatencyHistogram::default();
+        h.record(std::time::Duration::from_micros(10));
+        h.record(std::time::Duration::from_micros(1000));
+        // Self-merge doubles every cell; 63 rounds saturate the total at
+        // u64::MAX while the per-bucket counts are still exact, which
+        // must pin at the max instead of wrapping to small values.
+        for _ in 0..63 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.sum_us(), u64::MAX);
+        // Percentile queries on the saturated histogram still answer
+        // with real bucket bounds, never None and never a wrapped rank.
+        assert_eq!(h.p50_us(), Some(15));
+        assert_eq!(h.p999_us(), Some(1023));
+        assert!(h.mean_us().is_some());
+        // One more round saturates the buckets themselves; queries keep
+        // answering (mass pins to the lowest saturated bucket — a
+        // conservative answer, not a wrap or a None).
+        let snapshot = h.clone();
+        h.merge(&snapshot);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.p50_us(), Some(15));
+        assert!(h.p999_us().is_some());
     }
 
     #[test]

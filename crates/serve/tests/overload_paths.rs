@@ -16,10 +16,12 @@
 use dlr_core::fault::{ServerFault, ServerFaultPlan};
 use dlr_core::scoring::DocumentScorer;
 use dlr_core::serve::{RobustScorer, ServedBy};
+use dlr_obs::{Obs, ObsConfig};
 use dlr_serve::{
-    Backpressure, BatchConfig, PlainEngine, Response, ScoreRequest, Server, ServerConfig,
-    ServerStats, SubmitError,
+    Backpressure, BatchConfig, ManualClock, PlainEngine, Response, ScoreRequest, Server,
+    ServerConfig, ServerStats, SubmitError,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Two features per document; score = 1000·f0 + f1.
@@ -410,4 +412,162 @@ fn block_backpressure_parks_the_submitter() {
     assert_eq!(stats.admitted, 3);
     assert_eq!(stats.rejected_full, 0);
     assert_eq!(stats.scored_primary, 3);
+}
+
+/// The stages of every span recorded for one trace id, in sink order.
+fn stages_of(obs: &Obs, id: u64) -> Vec<dlr_obs::Stage> {
+    obs.spans()
+        .into_iter()
+        .filter(|s| s.id == id)
+        .map(|s| s.stage)
+        .collect()
+}
+
+/// Every refusal and failure path leaves a correctly-tagged trace: shed
+/// requests get exactly one `Shed` span at the door, expired requests a
+/// `QueueWait` + `Expired` pair, panicked batches a full waterfall
+/// capped with `Failed` — and the sink's conservation law
+/// (`spans_opened == spans_resident + spans_dropped`) holds throughout.
+#[test]
+fn overload_paths_produce_correctly_tagged_spans() {
+    use dlr_obs::Stage::{Batch, Dispatch, Expired, Failed, QueueWait, Shed};
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let clock = Arc::new(ManualClock::at(0));
+    let obs = Arc::new(Obs::with_config(
+        Arc::clone(&clock) as Arc<dyn dlr_obs::NanoClock>,
+        ObsConfig {
+            shards: 1,
+            spans_per_shard: 64,
+            drift_window: 16,
+        },
+    ));
+    // Batch #1 is the expired request (a taken batch even though nothing
+    // is scored), batch #2 the panic victim, batch #3 the healthy one.
+    let plan = ServerFaultPlan::from_schedule(vec![ServerFault::None, ServerFault::BatchPanic]);
+    let server = Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            // Forecasts only multi-doc requests, so the one-doc expiry
+            // victim below is admitted rather than shed at the door.
+            admission: Some(Box::new(|docs: usize| {
+                (docs >= 2).then(|| Duration::from_secs(10))
+            })),
+            faults: Some(plan),
+            clock: Some(Arc::clone(&clock) as Arc<dyn dlr_serve::Clock>),
+            obs: Some(Arc::clone(&obs)),
+            ..ServerConfig::default()
+        },
+    );
+
+    // id 1 — shed at submit: two docs trip the forecaster.
+    let err = server
+        .submit(ScoreRequest::new(vec![1.0, 0.0, 2.0, 0.0]).with_deadline(Duration::from_millis(1)))
+        .expect_err("predicted miss");
+    assert!(matches!(err, SubmitError::Shed { .. }));
+    // id 2 — expires in the queue: a zero deadline lapses immediately
+    // under the frozen clock.
+    let expired = server
+        .submit(req(0).with_deadline(Duration::ZERO))
+        .expect("admitted")
+        .wait();
+    assert_eq!(expired.response, Response::Expired);
+    // id 3 — its batch draws the injected panic.
+    let failed = server.submit(req(1)).expect("admitted").wait();
+    assert_eq!(failed.response, Response::Failed);
+    // id 4 — scores normally after the panic.
+    let scored = server.submit(req(2)).expect("admitted").wait();
+    std::panic::set_hook(prev);
+    assert_eq!(scored.response.scores(), Some(&[2000.0][..]));
+
+    assert_eq!(stages_of(&obs, 1), vec![Shed]);
+    assert_eq!(stages_of(&obs, 2), vec![QueueWait, Expired]);
+    assert_eq!(stages_of(&obs, 3), vec![QueueWait, Batch, Dispatch, Failed]);
+    assert_eq!(stages_of(&obs, 4), vec![QueueWait, Batch, Dispatch]);
+    assert!(obs.books_balance(), "span accounting must balance");
+    assert_eq!(obs.sink().spans_dropped(), 0, "ring never wrapped");
+
+    let (_engine, stats) = server.shutdown();
+    let expected = ServerStats {
+        submitted: 4,
+        admitted: 3,
+        shed: 1,
+        expired: 1,
+        batches: 2,
+        batched_docs: 2,
+        scored_primary: 1,
+        failed: 1,
+        batch_panics: 1,
+        max_queue_depth: 1,
+        max_queued_docs: 1,
+        ..ServerStats::default()
+    };
+    assert_books(&stats, &expected);
+    // The obs counters mirror the authoritative ServerStats exactly.
+    for (name, want) in [
+        ("serve_submitted_total", 4),
+        ("serve_shed_total", 1),
+        ("serve_expired_total", 1),
+        ("serve_failed_total", 1),
+        ("serve_batch_panics_total", 1),
+        ("serve_scored_primary_total", 1),
+        ("serve_batches_total", 2),
+    ] {
+        assert_eq!(obs.counter(name).get(), want, "{name}");
+    }
+}
+
+/// Injected **trace pressure**: a synthetic span burst wraps the ring
+/// mid-dispatch. Overwrite-oldest must never block or reorder the
+/// dispatcher — both requests still score, in order, and the
+/// conservation law accounts for every overwritten span.
+#[test]
+fn trace_pressure_wraps_the_ring_without_blocking_the_dispatcher() {
+    let clock = Arc::new(ManualClock::at(0));
+    // A deliberately tiny ring: 8 slots against a 64-span burst.
+    let obs = Arc::new(Obs::with_config(
+        Arc::clone(&clock) as Arc<dyn dlr_obs::NanoClock>,
+        ObsConfig {
+            shards: 1,
+            spans_per_shard: 8,
+            drift_window: 16,
+        },
+    ));
+    let plan = ServerFaultPlan::from_schedule(vec![ServerFault::TracePressure { spans: 64 }]);
+    let counters = plan.counters();
+    let server = Server::start(
+        PlainEngine::new(Tagged),
+        ServerConfig {
+            batch: one_doc_batches(),
+            faults: Some(plan),
+            clock: Some(Arc::clone(&clock) as Arc<dyn dlr_serve::Clock>),
+            obs: Some(Arc::clone(&obs)),
+            ..ServerConfig::default()
+        },
+    );
+    let r1 = server.submit(req(1)).expect("admitted").wait();
+    let r2 = server.submit(req(2)).expect("admitted").wait();
+    assert_eq!(r1.response.scores(), Some(&[1000.0][..]));
+    assert_eq!(r2.response.scores(), Some(&[2000.0][..]));
+
+    // 64 synthetic + 3 spans per scored request = 70 opened; the ring
+    // keeps the newest 8 and the books still balance exactly.
+    assert_eq!(obs.sink().spans_opened(), 70);
+    assert_eq!(obs.sink().spans_dropped(), 62);
+    assert!(obs.books_balance(), "wrap must not lose accounting");
+    // The survivors are the newest spans in recording order: the tail
+    // of the burst, then request 1's waterfall, then request 2's —
+    // proving the wrap reordered nothing.
+    let ids: Vec<u64> = obs.spans().iter().map(|s| s.id).collect();
+    assert_eq!(ids, vec![0, 0, 1, 1, 1, 2, 2, 2]);
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.scored_primary, 2);
+    assert_eq!(
+        counters
+            .trace_pressure
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
 }

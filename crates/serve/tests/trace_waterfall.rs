@@ -1,0 +1,182 @@
+//! Deterministic end-to-end trace test: a server driven by a
+//! `ManualClock` must produce *exact* per-request waterfalls — every
+//! stage span with exact server-nanos endpoints — and an exact
+//! predictor-drift ratio. Nothing here sleeps or tolerates jitter; a
+//! single nanosecond of disagreement is a failure, which is the
+//! determinism contract the obs plane documents.
+
+use dlr_core::scoring::DocumentScorer;
+use dlr_obs::{Obs, ObsConfig, Span, Stage};
+use dlr_serve::{BatchConfig, ManualClock, PlainEngine, ScoreRequest, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Nanos the fake kernel "runs" per batch (it advances the clock).
+const KERNEL_NANOS: u64 = 30_000;
+/// Nanos the admission forecaster predicts per batch, regardless of
+/// size — deliberately optimistic so the drift tracker has something
+/// exact to report: actual/predicted = 30_000/20_000 = 1.5.
+const PREDICTED_NANOS: u64 = 20_000;
+
+/// A scorer that performs a deterministic amount of "work": it opens a
+/// kernel scope, advances the shared manual clock by [`KERNEL_NANOS`],
+/// and sums each row. Under a manual clock this is the only place time
+/// passes, so every span endpoint is a hand-computable constant.
+struct StepKernel {
+    clock: Arc<ManualClock>,
+    obs: Arc<Obs>,
+}
+
+impl DocumentScorer for StepKernel {
+    fn num_features(&self) -> usize {
+        2
+    }
+    fn score_batch(&mut self, rows: &[f32], out: &mut [f32]) {
+        let _kernel = self.obs.scope(Stage::KernelGemm);
+        self.clock.advance(KERNEL_NANOS);
+        for (row, o) in rows.chunks_exact(2).zip(out.iter_mut()) {
+            *o = row.iter().sum();
+        }
+    }
+    fn name(&self) -> String {
+        "step-kernel".into()
+    }
+}
+
+fn span(id: u64, stage: Stage, start: u64, end: u64) -> Span {
+    Span {
+        id,
+        stage,
+        version: None,
+        start_nanos: start,
+        end_nanos: end,
+    }
+}
+
+#[test]
+fn manual_clock_yields_exact_waterfalls_and_drift_ratio() {
+    let clock = Arc::new(ManualClock::at(0));
+    // One shard so `spans()` returns a single deterministic sequence.
+    let obs = Arc::new(Obs::with_config(
+        Arc::clone(&clock) as Arc<dyn dlr_obs::NanoClock>,
+        ObsConfig {
+            shards: 1,
+            spans_per_shard: 64,
+            drift_window: 16,
+        },
+    ));
+    let engine = PlainEngine::new(StepKernel {
+        clock: Arc::clone(&clock),
+        obs: Arc::clone(&obs),
+    });
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            // One-doc batches: each request flushes immediately on size,
+            // so the frozen clock never has to drive a time-based flush.
+            batch: BatchConfig {
+                max_batch_docs: 1,
+                max_wait: Duration::from_millis(1),
+            },
+            admission: Some(Box::new(|_docs: usize| {
+                Some(Duration::from_nanos(PREDICTED_NANOS))
+            })),
+            clock: Some(Arc::clone(&clock) as Arc<dyn dlr_serve::Clock>),
+            obs: Some(Arc::clone(&obs)),
+            ..ServerConfig::default()
+        },
+    );
+
+    // Request 1 at t = 0: queued and dispatched at 0, kernel advances
+    // the clock to 30_000, so dispatch ends at exactly 30_000.
+    let r1 = server
+        .submit(ScoreRequest::new(vec![1.0, 2.0]))
+        .expect("admit r1");
+    assert_eq!(r1.wait().response.scores(), Some(&[3.0][..]));
+
+    // Request 2 at t = 100_000: same shape, shifted waterfall.
+    clock.advance(100_000 - KERNEL_NANOS);
+    let r2 = server
+        .submit(ScoreRequest::new(vec![10.0, 20.0]))
+        .expect("admit r2");
+    assert_eq!(r2.wait().response.scores(), Some(&[30.0][..]));
+
+    // Exact waterfalls. Spans land in the sink before the response is
+    // delivered, so after `wait()` the full trace is visible. Within a
+    // request the kernel span is recorded first (its scope guard drops
+    // inside the engine), then the dispatcher's bookkeeping spans.
+    let expected = vec![
+        span(1, Stage::KernelGemm, 0, KERNEL_NANOS),
+        span(1, Stage::QueueWait, 0, 0),
+        span(1, Stage::Batch, 0, 0),
+        span(1, Stage::Dispatch, 0, KERNEL_NANOS),
+        span(2, Stage::KernelGemm, 100_000, 100_000 + KERNEL_NANOS),
+        span(2, Stage::QueueWait, 100_000, 100_000),
+        span(2, Stage::Batch, 100_000, 100_000),
+        span(2, Stage::Dispatch, 100_000, 100_000 + KERNEL_NANOS),
+    ];
+    assert_eq!(obs.spans(), expected);
+    assert!(obs.books_balance());
+
+    // Exact drift: two batches, each predicted 20_000 ns but measured
+    // 30_000 ns → ratio 60_000/40_000 = 1.5 with no tolerance, and both
+    // batches under-forecast → sign-error rate exactly 1.
+    let drift = obs.drift().summary();
+    assert_eq!(drift.window_len, 2);
+    assert_eq!(drift.predicted_sum_nanos, 2 * PREDICTED_NANOS);
+    assert_eq!(drift.actual_sum_nanos, 2 * KERNEL_NANOS);
+    assert_eq!(drift.drift_ratio, Some(1.5));
+    assert_eq!(drift.sign_error_rate, Some(1.0));
+
+    // The exporters see the same numbers.
+    let prom = obs.snapshot_prometheus();
+    assert!(prom.contains("dlr_drift_ratio 1.500000"), "{prom}");
+    assert!(prom.contains("serve_batches_total 2"), "{prom}");
+    let dump = obs.trace_dump(1);
+    assert!(dump.contains("trace 1 — 30000 ns total"), "{dump}");
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.scored_primary, 2);
+    // The per-stage histograms saw exactly what the spans did: zero
+    // queue wait, 30 µs of execute, for both requests.
+    assert_eq!(stats.queue_wait.count(), 2);
+    assert_eq!(stats.execute.count(), 2);
+    assert_eq!(stats.queue_wait.p99_us(), Some(0));
+    assert_eq!(stats.execute.mean_us(), Some(30.0));
+}
+
+#[test]
+fn disabled_plane_records_nothing_and_serving_is_unchanged() {
+    let clock = Arc::new(ManualClock::at(0));
+    let obs = Arc::new(Obs::new(Arc::clone(&clock) as Arc<dyn dlr_obs::NanoClock>));
+    let engine = PlainEngine::new(StepKernel {
+        clock: Arc::clone(&clock),
+        obs: Arc::clone(&obs),
+    });
+    // The server never sees `obs`: every dispatcher hook is the `None`
+    // branch. Only the engine's own scope guard records (the kernel
+    // span is attributed to trace 0 because no dispatcher set one).
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            batch: BatchConfig {
+                max_batch_docs: 1,
+                max_wait: Duration::from_millis(1),
+            },
+            clock: Some(Arc::clone(&clock) as Arc<dyn dlr_serve::Clock>),
+            ..ServerConfig::default()
+        },
+    );
+    let handle = server
+        .submit(ScoreRequest::new(vec![1.0, 2.0]))
+        .expect("admit");
+    assert_eq!(handle.wait().response.scores(), Some(&[3.0][..]));
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.scored_primary, 1);
+    assert_eq!(
+        obs.spans(),
+        vec![span(0, Stage::KernelGemm, 0, KERNEL_NANOS)]
+    );
+    assert_eq!(obs.drift().summary().recorded, 0);
+    assert_eq!(obs.metrics().snapshot().counters.len(), 0);
+}

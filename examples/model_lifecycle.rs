@@ -31,8 +31,9 @@ use distilled_ltr::core::fault::{
 use distilled_ltr::core::scoring::DocumentScorer;
 use distilled_ltr::metrics::GateConfig;
 use distilled_ltr::nn::{write_mlp, Mlp};
+use distilled_ltr::obs::Obs;
 use distilled_ltr::serve::{
-    BatchConfig, LifecycleEvent, ModelRegistry, MonotonicClock, RegistryEngine, Response,
+    BatchConfig, Clock, LifecycleEvent, ModelRegistry, MonotonicClock, RegistryEngine, Response,
     ResponseHandle, RolloutConfig, ScoreRequest, Server, ServerConfig,
 };
 use rand::rngs::StdRng;
@@ -157,13 +158,16 @@ fn main() {
         },
         ..RolloutConfig::default()
     };
-    let (registry, engine) = ModelRegistry::new(
-        "v1",
-        artifact(seed, 1),
-        config,
-        Arc::new(MonotonicClock::default()),
-    )
-    .expect("v1 artifact is valid");
+    // One clock feeds the registry, the server, and the obs plane, so
+    // shadow/canary spans share the dispatcher waterfall's time base.
+    let clock = Arc::new(MonotonicClock::default());
+    let obs = Arc::new(Obs::new(
+        Arc::clone(&clock) as Arc<dyn distilled_ltr::obs::NanoClock>
+    ));
+    let (registry, engine) =
+        ModelRegistry::new("v1", artifact(seed, 1), config, Arc::clone(&clock) as _)
+            .expect("v1 artifact is valid");
+    registry.attach_obs(Arc::clone(&obs));
 
     let faults = ServerFaultPlan::seeded(
         seed ^ 0xFA017,
@@ -186,6 +190,8 @@ fn main() {
             },
             queue_capacity: 64,
             faults: Some(faults),
+            clock: Some(Arc::clone(&clock) as Arc<dyn Clock>),
+            obs: Some(Arc::clone(&obs)),
             ..ServerConfig::default()
         },
     );
@@ -321,6 +327,27 @@ fn main() {
         fault_counters.deadline_storms.load(Ordering::Relaxed),
     );
     println!("\nserver stats after drain:\n{stats}");
+
+    // Shutdown snapshot: the scrape a monitoring system would have seen,
+    // plus the slowest request waterfalls. The registry's lifecycle
+    // counters must agree exactly with the event log audited above.
+    println!("\n--- obs snapshot (json) ---");
+    println!("{}", obs.snapshot_json());
+    println!("--- slowest request waterfalls ---");
+    print!("{}", obs.trace_dump(2));
+    assert!(obs.books_balance(), "span accounting must balance");
+    assert_eq!(
+        obs.counter("registry_promotions_total").get(),
+        promoted as u64
+    );
+    assert_eq!(
+        obs.counter("registry_rollbacks_total").get(),
+        rolled_back as u64
+    );
+    assert_eq!(
+        obs.counter("registry_loads_rejected_total").get(),
+        rejected as u64
+    );
 
     // Drain-exact identities, across ten hot swaps and a rollback:
     // every admitted request answered exactly once...

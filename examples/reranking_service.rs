@@ -15,8 +15,12 @@
 //! cargo run --release --example reranking_service
 //! ```
 
+use distilled_ltr::obs::Obs;
 use distilled_ltr::prelude::*;
-use distilled_ltr::serve::{BatchConfig, Response, ScoreRequest, Server, ServerConfig};
+use distilled_ltr::serve::{
+    BatchConfig, Clock, MonotonicClock, Response, ScoreRequest, Server, ServerConfig,
+};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -86,12 +90,21 @@ fn main() {
     println!("(micro-batching + admission control + deadline propagation)");
     println!("with injected scorer AND server faults (net primary, forest fallback)...\n");
     silence_injected_panic_messages();
+    // One clock for the server and the observability plane, so spans,
+    // drift pairs, and queue timestamps share a time base. Everything
+    // below publishes into this one `Obs`: the kernel scope guards, the
+    // robust engine's lifecycle markers, and the dispatcher's waterfall.
+    let clock = Arc::new(MonotonicClock::default());
+    let obs = Arc::new(Obs::new(
+        Arc::clone(&clock) as Arc<dyn distilled_ltr::obs::NanoClock>
+    ));
     let faulty_net = FaultInjectingScorer::seeded(
         HybridScorer::new(
             student.hybrid.clone(),
             student.dense.normalizer.clone(),
             "net/sparse-L1",
-        ),
+        )
+        .with_obs(Arc::clone(&obs)),
         42,
         FaultConfig {
             p_spike: 0.10,
@@ -117,7 +130,8 @@ fn main() {
         "net/robust",
     )
     .with_sanitize(SanitizePolicy::clamp())
-    .with_forecaster(engine_forecast.into_forecaster());
+    .with_forecaster(engine_forecast.into_forecaster())
+    .with_obs(Arc::clone(&obs));
 
     let server_faults = ServerFaultPlan::seeded(
         7,
@@ -141,6 +155,8 @@ fn main() {
             queue_capacity: 16,
             admission: Some(Box::new(admission_forecast.into_forecaster())),
             faults: Some(server_faults),
+            clock: Some(Arc::clone(&clock) as Arc<dyn Clock>),
+            obs: Some(Arc::clone(&obs)),
             ..ServerConfig::default()
         },
     );
@@ -203,6 +219,16 @@ fn main() {
         server_counters.deadline_storms.load(Ordering::Relaxed),
     );
     println!("\nrobust engine stats after drain:\n{}", engine.stats());
+
+    // The shutdown dump: the same snapshot a scraper would pull from a
+    // live process, plus waterfalls of the three slowest requests.
+    println!("\n--- obs snapshot (prometheus text) ---");
+    print!("{}", obs.snapshot_prometheus());
+    println!("--- obs snapshot (json) ---");
+    println!("{}", obs.snapshot_json());
+    println!("--- slowest request waterfalls ---");
+    print!("{}", obs.trace_dump(3));
+    assert!(obs.books_balance(), "span accounting must balance");
 
     // The drain guarantee, checked: every admitted request was answered
     // exactly once, whatever the injected chaos did.

@@ -25,6 +25,7 @@
 //! | [`simd`] | Runtime-dispatched SSE2/AVX2 micro-kernels with scalar fallback |
 //! | [`core`] | The end-to-end methodology, Pareto frontiers, scenarios |
 //! | [`serve`] | Overload-safe serving: micro-batching, admission control, drain |
+//! | [`obs`] | Tracing & metrics plane: per-stage spans, predictor drift, exporters |
 //!
 //! ## Quickstart
 //!
@@ -61,6 +62,7 @@ pub use dlr_distill as distill;
 pub use dlr_gbdt as gbdt;
 pub use dlr_metrics as metrics;
 pub use dlr_nn as nn;
+pub use dlr_obs as obs;
 pub use dlr_predictor as predictor;
 pub use dlr_prune as prune;
 pub use dlr_quickscorer as quickscorer;
