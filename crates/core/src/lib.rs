@@ -29,6 +29,7 @@ pub mod prelude;
 pub mod scenario;
 pub mod scoring;
 pub mod serve;
+mod sync;
 pub mod timing;
 
 pub use cascade::CascadeScorer;

@@ -31,9 +31,10 @@
 //! [`WorkPool::run_chunks`] hands each chunk index a disjoint sub-slice of
 //! one output buffer, so no two workers alias.
 
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::thread::JoinHandle;
+use std::sync::{Arc, PoisonError};
 
 /// Typed failures of a pool dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,7 +147,7 @@ impl WorkPool {
         let mut handles = Vec::with_capacity(threads - 1);
         for index in 1..threads {
             let shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name(format!("dlr-pool-{index}"))
                 .spawn(move || worker_loop(&shared, index));
             match spawned {

@@ -1,0 +1,17 @@
+//! Synchronization primitive aliases for the pool.
+//!
+//! With the `mc` feature on, the work-pool's mutex/condvar/thread
+//! primitives resolve to `dlr-mc`'s schedule-controlled shims so the
+//! model checker can exhaustively explore the job-slot handoff; without
+//! it (every release and bench build) they are plain `std` types and
+//! this module compiles to nothing but re-exports.
+
+#[cfg(feature = "mc")]
+pub(crate) use dlr_mc::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(feature = "mc")]
+pub(crate) use dlr_mc::thread;
+
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::thread;

@@ -1,0 +1,1104 @@
+//! Concurrency-correctness passes: lock ordering, atomics discipline,
+//! dispatcher blocking, and guards held across unwind boundaries.
+//!
+//! These passes build a lightweight *brace-tree model* on top of the
+//! token stream — function spans (`fn` ident → matched body braces) and
+//! a per-function guard-liveness walk — rather than a full parser. A
+//! guard becomes live at `let g = ….lock()…;` (or a call to a same-file
+//! helper returning `MutexGuard`) and dies at `drop(g)` or the end of
+//! its enclosing block. Same-file call summaries are propagated to a
+//! fixpoint, so `f` holding a guard while calling `g`, which locks a
+//! second mutex three helpers deep, is still seen.
+//!
+//! What each pass flags:
+//!
+//! * **LOCK_ORDER** — a second acquisition while a guard on a
+//!   *different* mutex is live (a lock-order edge; the workspace level
+//!   assembles all edges and reports cycles), or on the *same* label
+//!   (a self-deadlock with `std::sync::Mutex`).
+//! * **ATOMIC_ORDERING** — `Ordering::Relaxed` on an atomic whose name
+//!   matches a configured publish/ready/shutdown pattern. Relaxed is
+//!   fine for pure counters; it is wrong for flags that publish other
+//!   memory.
+//! * **BLOCKING_IN_DISPATCHER** — condvar waits, joins, sleeps, file
+//!   I/O or formatting in the configured dispatcher batch-execution /
+//!   kernel hot-path functions.
+//! * **GUARD_ACROSS_AWAITABLE** — a `MutexGuard` held across
+//!   `catch_unwind` or a user-scorer callback (`.score_batch(…)`):
+//!   either can run arbitrary model code, and an unwind with the lock
+//!   held poisons it on the serving path.
+//!
+//! The model is deliberately conservative: liveness extends to the end
+//! of the enclosing block even past early returns, and call summaries
+//! are same-file only (cross-file edges would need type information a
+//! token-level tool does not have). Deliberate violations carry
+//! `[[allow]]` entries in `lint.toml` with their justification.
+
+use crate::diag::{Diagnostic, LintId};
+use crate::lexer::{in_ranges, Lexed, TokKind};
+use std::collections::BTreeSet;
+
+fn diag(out: &mut Vec<Diagnostic>, file: &str, line: u32, lint: LintId, message: String) {
+    out.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        lint,
+        message,
+    });
+}
+
+/// One directed lock-acquisition edge (`from` held while `to` is
+/// acquired), for the workspace-level cycle check. Nodes are
+/// `file::label`, so the graph stays meaningful when two files use the
+/// same field name for different mutexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Held lock, as `file::label`.
+    pub from: String,
+    /// Acquired lock, as `file::label`.
+    pub to: String,
+    /// File the acquisition happens in.
+    pub file: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+// ---------------------------------------------------------------------
+// Brace-tree model: function spans over the token stream.
+
+/// One `fn` item: its name and the token range of its body braces.
+struct FnSpan {
+    name: String,
+    /// Token indices of the body's `{` and its matching `}`.
+    body: (usize, usize),
+    line: u32,
+}
+
+/// Token index of the `}` matching the `{` at `open`.
+fn match_brace(lx: &Lexed<'_>, open: usize) -> usize {
+    let toks = &lx.tokens;
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Every `fn` with a body. `fn(` function-pointer types and bodyless
+/// trait-method declarations are skipped.
+fn fn_spans(lx: &Lexed<'_>) -> Vec<FnSpan> {
+    let toks = &lx.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `fn(` pointer type
+        }
+        // Find the body `{` — or a `;` first (trait declaration).
+        let mut j = i + 2;
+        let mut body = None;
+        while let Some(t) = toks.get(j) {
+            match t.text {
+                "{" => {
+                    body = Some((j, match_brace(lx, j)));
+                    break;
+                }
+                ";" => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(body) = body {
+            out.push(FnSpan {
+                name: name_tok.text.to_string(),
+                body,
+                line: toks[i].line,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Acquisition / call / awaitable event detection.
+
+/// What a token position means to the guard walk.
+enum Event {
+    /// `.lock()` on a receiver, or a call to a guard-returning helper.
+    Acquire { label: String, line: u32 },
+    /// Call to another same-file `fn` (summaries propagate through it).
+    Call { name: String, line: u32 },
+    /// `catch_unwind(…)` or a user-scorer callback `.score_batch(…)`.
+    Awaitable { what: &'static str, line: u32 },
+}
+
+/// Final field name of the receiver ending at token `i` (exclusive):
+/// `self.shared.stats.lock()` → `stats`; `ACTIVE.load(..)` → `ACTIVE`.
+fn receiver_label(lx: &Lexed<'_>, dot: usize) -> String {
+    match dot.checked_sub(1).and_then(|j| lx.tokens.get(j)) {
+        Some(t) if t.kind == TokKind::Ident || t.kind == TokKind::Int => t.text.to_string(),
+        _ => "<expr>".to_string(),
+    }
+}
+
+/// The event starting at token `i`, if any. `helpers` maps same-file
+/// guard-returning helper names to the lock label they acquire; `fns`
+/// is every same-file fn name.
+fn event_at(
+    lx: &Lexed<'_>,
+    i: usize,
+    helpers: &[(String, String)],
+    fns: &BTreeSet<String>,
+) -> Option<Event> {
+    let toks = &lx.tokens;
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let prev = i.checked_sub(1).and_then(|j| toks.get(j)).map(|t| t.text);
+    let next = toks.get(i + 1).map(|t| t.text);
+    let line = t.line;
+    // `.lock()` — the std / shim Mutex acquisition shape.
+    if t.text == "lock" && prev == Some(".") && next == Some("(") {
+        if toks.get(i + 2).map(|t| t.text) == Some(")") {
+            return Some(Event::Acquire {
+                label: receiver_label(lx, i - 1),
+                line,
+            });
+        }
+        return None;
+    }
+    if next == Some("(") && prev != Some(".") && prev != Some("fn") {
+        // Free-function call: a guard-returning helper is an acquisition
+        // with that helper's label; any other same-file fn is a call the
+        // summaries walk through.
+        if let Some((_, label)) = helpers.iter().find(|(n, _)| n == t.text) {
+            return Some(Event::Acquire {
+                label: label.clone(),
+                line,
+            });
+        }
+        if t.text == "catch_unwind" {
+            return Some(Event::Awaitable {
+                what: "catch_unwind",
+                line,
+            });
+        }
+        if fns.contains(t.text) {
+            return Some(Event::Call {
+                name: t.text.to_string(),
+                line,
+            });
+        }
+        return None;
+    }
+    // User-scorer callback: `.score_batch(…)` / `.score_batch_meta(…)`
+    // runs arbitrary model code.
+    if (t.text == "score_batch" || t.text == "score_batch_meta")
+        && prev == Some(".")
+        && next == Some("(")
+    {
+        return Some(Event::Awaitable {
+            what: "a user-scorer callback",
+            line,
+        });
+    }
+    None
+}
+
+/// Per-fn summary used by the fixpoint: every lock label the fn may
+/// acquire (transitively, same file) and whether it may reach an
+/// unwind boundary / scorer callback.
+#[derive(Default, Clone)]
+struct FnSummary {
+    labels: BTreeSet<String>,
+    calls: BTreeSet<String>,
+    awaits: bool,
+}
+
+/// Same-file guard-returning helpers: a `fn` whose signature mentions
+/// `MutexGuard` maps to the label of the first `.lock()` in its body.
+fn helper_map(lx: &Lexed<'_>, spans: &[FnSpan]) -> Vec<(String, String)> {
+    let toks = &lx.tokens;
+    let mut out = Vec::new();
+    for (k, s) in spans.iter().enumerate() {
+        // Signature = tokens between the fn name and the body brace,
+        // bounded below by the previous span to avoid scanning the file.
+        let sig_start = spans
+            .get(k.wrapping_sub(1))
+            .filter(|_| k > 0)
+            .map_or(0, |p| p.body.1);
+        let returns_guard = toks[sig_start..s.body.0]
+            .iter()
+            .rev()
+            .take_while(|t| t.text != ")")
+            .any(|t| t.text == "MutexGuard");
+        if !returns_guard {
+            continue;
+        }
+        let label = toks[s.body.0..=s.body.1]
+            .iter()
+            .enumerate()
+            .find_map(|(off, t)| {
+                let i = s.body.0 + off;
+                if t.text == "lock"
+                    && toks.get(i.wrapping_sub(1)).map(|p| p.text) == Some(".")
+                    && toks.get(i + 1).map(|n| n.text) == Some("(")
+                {
+                    Some(receiver_label(lx, i - 1))
+                } else {
+                    None
+                }
+            });
+        if let Some(label) = label {
+            out.push((s.name.clone(), label));
+        }
+    }
+    out
+}
+
+/// Direct summaries for every fn, then the same-file call fixpoint.
+fn summarize(lx: &Lexed<'_>, spans: &[FnSpan], helpers: &[(String, String)]) -> Vec<FnSummary> {
+    let names: BTreeSet<String> = spans.iter().map(|s| s.name.clone()).collect();
+    let mut sums: Vec<FnSummary> = spans
+        .iter()
+        .map(|s| {
+            let mut sum = FnSummary::default();
+            for i in s.body.0..=s.body.1 {
+                match event_at(lx, i, helpers, &names) {
+                    Some(Event::Acquire { label, .. }) => {
+                        sum.labels.insert(label);
+                    }
+                    Some(Event::Call { name, .. }) => {
+                        sum.calls.insert(name);
+                    }
+                    Some(Event::Awaitable { .. }) => sum.awaits = true,
+                    None => {}
+                }
+            }
+            sum
+        })
+        .collect();
+    // Fixpoint over same-file calls. Bounded: each round either adds a
+    // label/flag or terminates, and the lattice is finite.
+    loop {
+        let mut changed = false;
+        for i in 0..sums.len() {
+            let callee_names: Vec<String> = sums[i].calls.iter().cloned().collect();
+            for callee in callee_names {
+                for (j, s) in spans.iter().enumerate() {
+                    if s.name != callee {
+                        continue;
+                    }
+                    let (labels, awaits) = (sums[j].labels.clone(), sums[j].awaits);
+                    let before = sums[i].labels.len();
+                    sums[i].labels.extend(labels);
+                    if sums[i].labels.len() != before || (awaits && !sums[i].awaits) {
+                        changed = true;
+                    }
+                    sums[i].awaits |= awaits;
+                }
+            }
+        }
+        if !changed {
+            return sums;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The guard-liveness walk (LOCK_ORDER + GUARD_ACROSS_AWAITABLE).
+
+/// A live `MutexGuard` binding.
+struct LiveGuard {
+    name: String,
+    label: String,
+    depth: i64,
+}
+
+/// **Passes — lock discipline.** Walks every fn body tracking live
+/// guards; emits LOCK_ORDER on nested acquisitions (and records the
+/// edge) and GUARD_ACROSS_AWAITABLE when a guard is live across an
+/// unwind boundary or scorer callback. See the module docs.
+pub fn lock_discipline(
+    lx: &Lexed<'_>,
+    file: &str,
+    tests: &[(u32, u32)],
+    edges: &mut Vec<LockEdge>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let spans = fn_spans(lx);
+    let helpers = helper_map(lx, &spans);
+    let names: BTreeSet<String> = spans.iter().map(|s| s.name.clone()).collect();
+    let sums = summarize(lx, &spans, &helpers);
+    for span in &spans {
+        if in_ranges(tests, span.line) {
+            continue;
+        }
+        walk_fn(lx, file, span, &helpers, &names, &spans, &sums, edges, out);
+    }
+}
+
+/// Report a nested acquisition of `to` (at `line`) under the live
+/// guards, recording edges. `via` names an intervening same-file call.
+#[allow(clippy::too_many_arguments)]
+fn report_nested(
+    file: &str,
+    line: u32,
+    guards: &[LiveGuard],
+    to: &str,
+    via: Option<&str>,
+    edges: &mut Vec<LockEdge>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut held: Vec<&str> = Vec::new();
+    for g in guards {
+        if held.contains(&g.label.as_str()) {
+            continue;
+        }
+        held.push(&g.label);
+        edges.push(LockEdge {
+            from: format!("{file}::{}", g.label),
+            to: format!("{file}::{to}"),
+            file: file.to_string(),
+            line,
+        });
+    }
+    let same = held.contains(&to);
+    let route = via.map_or(String::new(), |f| format!(" (via `{f}`)"));
+    let message = if same {
+        format!(
+            "acquires `{to}`{route} while a guard on `{to}` is already live in this fn: \
+             self-deadlock with std::sync::Mutex; drop the guard first"
+        )
+    } else {
+        format!(
+            "acquires `{to}`{route} while holding `{}`: nested locks need a documented \
+             order (this edge joins the workspace lock graph; a justified [[allow]] \
+             records the hierarchy)",
+            held.join("`, `")
+        )
+    };
+    diag(out, file, line, LintId::LockOrder, message);
+}
+
+/// Walk one fn body. See [`lock_discipline`].
+#[allow(clippy::too_many_arguments)]
+fn walk_fn(
+    lx: &Lexed<'_>,
+    file: &str,
+    span: &FnSpan,
+    helpers: &[(String, String)],
+    names: &BTreeSet<String>,
+    spans: &[FnSpan],
+    sums: &[FnSummary],
+    edges: &mut Vec<LockEdge>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lx.tokens;
+    let (open, close) = span.body;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0i64;
+    let mut i = open;
+    while i <= close {
+        let t = toks[i];
+        match t.text {
+            "{" => {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            "}" => {
+                guards.retain(|g| g.depth != depth);
+                depth -= 1;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        // `drop(name)` ends a guard's liveness early.
+        if t.kind == TokKind::Ident && t.text == "drop" {
+            if let (Some(p1), Some(p2), Some(p3)) =
+                (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3))
+            {
+                if p1.text == "(" && p2.kind == TokKind::Ident && p3.text == ")" {
+                    guards.retain(|g| g.name != p2.text);
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        // `let` statement (or `if let` / `while let` condition): scan to
+        // its terminator, process events inside, and bind a guard when
+        // the initializer acquires one.
+        if t.kind == TokKind::Ident && t.text == "let" {
+            let is_cond = i
+                .checked_sub(1)
+                .and_then(|j| toks.get(j))
+                .is_some_and(|p| p.text == "if" || p.text == "while");
+            // `let x = { … };` — a block-expression initializer scopes
+            // any guard it creates to the block, so process it
+            // token-by-token (inner bindings then die at the block's
+            // `}`) instead of treating the statement opaquely.
+            if !is_cond && block_initializer(lx, i + 1, close) {
+                i += 1;
+                continue;
+            }
+            let (end, brace_terminated) = stmt_end(lx, i + 1, close, is_cond);
+            let mut first_label: Option<String> = None;
+            for k in i + 1..end {
+                process_event(
+                    lx,
+                    file,
+                    k,
+                    helpers,
+                    names,
+                    spans,
+                    sums,
+                    &guards,
+                    edges,
+                    out,
+                    Some(&mut first_label),
+                );
+            }
+            if let Some(label) = first_label {
+                let name = toks[i + 1..end]
+                    .iter()
+                    .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+                    .map_or("_", |t| t.text)
+                    .to_string();
+                // A condition-bound guard lives inside the block that
+                // follows; a plain binding lives in the current block.
+                let at = if brace_terminated { depth + 1 } else { depth };
+                guards.push(LiveGuard {
+                    name,
+                    label,
+                    depth: at,
+                });
+            }
+            i = if brace_terminated { end } else { end + 1 };
+            continue;
+        }
+        process_event(
+            lx, file, i, helpers, names, spans, sums, &guards, edges, out, None,
+        );
+        i += 1;
+    }
+}
+
+/// Does the `let` statement starting at `from` (just past `let`) have a
+/// block-expression initializer (`= { … }`)? The `==` operator is one
+/// fused token, so a bare `=` at nesting level 0 is the initializer.
+fn block_initializer(lx: &Lexed<'_>, from: usize, close: usize) -> bool {
+    let toks = &lx.tokens;
+    let mut d = 0i64;
+    let mut k = from;
+    while k <= close {
+        let text = toks[k].text;
+        if d == 0 {
+            if text == "=" {
+                return toks.get(k + 1).map(|t| t.text) == Some("{");
+            }
+            if text == ";" {
+                return false;
+            }
+        }
+        match text {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Find the end of a `let` statement starting after the `let` keyword:
+/// the `;` at nesting level 0, or — for `if let` / `while let` — the
+/// block `{`. Returns (token index, terminated-by-brace).
+fn stmt_end(lx: &Lexed<'_>, from: usize, close: usize, is_cond: bool) -> (usize, bool) {
+    let toks = &lx.tokens;
+    let mut d = 0i64;
+    let mut k = from;
+    while k <= close {
+        let text = toks[k].text;
+        if d == 0 {
+            if text == ";" {
+                return (k, false);
+            }
+            if is_cond && text == "{" {
+                return (k, true);
+            }
+        }
+        match text {
+            "(" | "[" | "{" => d += 1,
+            ")" | "]" | "}" => d -= 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    (close, false)
+}
+
+/// Handle one token position during the walk: nested-acquisition and
+/// across-awaitable checks against the live guards. When `bind` is
+/// given (inside a `let` initializer) the first acquisition's label is
+/// reported back so the caller can create the binding.
+#[allow(clippy::too_many_arguments)]
+fn process_event(
+    lx: &Lexed<'_>,
+    file: &str,
+    i: usize,
+    helpers: &[(String, String)],
+    names: &BTreeSet<String>,
+    spans: &[FnSpan],
+    sums: &[FnSummary],
+    guards: &[LiveGuard],
+    edges: &mut Vec<LockEdge>,
+    out: &mut Vec<Diagnostic>,
+    bind: Option<&mut Option<String>>,
+) {
+    match event_at(lx, i, helpers, names) {
+        Some(Event::Acquire { label, line }) => {
+            if !guards.is_empty() {
+                report_nested(file, line, guards, &label, None, edges, out);
+            }
+            if let Some(slot) = bind {
+                if slot.is_none() {
+                    *slot = Some(label);
+                }
+            }
+        }
+        Some(Event::Call { name, line }) => {
+            if guards.is_empty() {
+                return;
+            }
+            let Some(j) = spans.iter().position(|s| s.name == name) else {
+                return;
+            };
+            for label in &sums[j].labels {
+                report_nested(file, line, guards, label, Some(&name), edges, out);
+            }
+            if sums[j].awaits {
+                diag(
+                    out,
+                    file,
+                    line,
+                    LintId::GuardAcrossAwaitable,
+                    format!(
+                        "MutexGuard held across call to `{name}`, which reaches \
+                         catch_unwind or a user-scorer callback; an unwind with the \
+                         lock held poisons it on the serving path"
+                    ),
+                );
+            }
+        }
+        Some(Event::Awaitable { what, line }) if !guards.is_empty() => {
+            diag(
+                out,
+                file,
+                line,
+                LintId::GuardAcrossAwaitable,
+                format!(
+                    "MutexGuard held across {what}; arbitrary model code runs (and \
+                     may unwind) while the lock is held"
+                ),
+            );
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace-level lock-order cycle detection.
+
+/// **Pass — lock-order cycles.** Assembles every recorded edge into one
+/// directed graph and reports each elementary cycle once. A cycle means
+/// two code paths acquire the same locks in opposite orders — the
+/// deadlock the per-file findings only hint at — so cycles are *not*
+/// allowlistable; break the cycle instead.
+pub fn lock_cycles(edges: &[LockEdge], out: &mut Vec<Diagnostic>) {
+    let mut nodes: Vec<&str> = Vec::new();
+    for e in edges {
+        if !nodes.contains(&e.from.as_str()) {
+            nodes.push(&e.from);
+        }
+        if !nodes.contains(&e.to.as_str()) {
+            nodes.push(&e.to);
+        }
+    }
+    nodes.sort_unstable();
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in &nodes {
+        let mut path: Vec<&str> = vec![start];
+        dfs_cycles(start, start, edges, &mut path, &mut seen, out);
+    }
+}
+
+fn dfs_cycles<'a>(
+    start: &str,
+    at: &str,
+    edges: &'a [LockEdge],
+    path: &mut Vec<&'a str>,
+    seen: &mut BTreeSet<Vec<String>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for e in edges {
+        // Self-loops are the per-file same-label re-lock finding's job;
+        // the graph pass reports genuine multi-lock inversions.
+        if e.from != at || e.from == e.to {
+            continue;
+        }
+        if e.to == start {
+            // Canonicalize: rotate so the smallest node leads, and report
+            // each cycle exactly once.
+            let mut cycle: Vec<String> = path.iter().map(|s| s.to_string()).collect();
+            let min = cycle
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.cmp(b.1))
+                .map_or(0, |(i, _)| i);
+            cycle.rotate_left(min);
+            if seen.insert(cycle.clone()) {
+                out.push(Diagnostic {
+                    file: e.file.clone(),
+                    line: e.line,
+                    lint: LintId::LockOrder,
+                    message: format!(
+                        "lock-order cycle: {} -> {}; two paths acquire these locks in \
+                         opposite orders and can deadlock — break the cycle (this \
+                         finding is not allowlistable)",
+                        cycle.join(" -> "),
+                        cycle[0]
+                    ),
+                });
+            }
+            continue;
+        }
+        if path.contains(&e.to.as_str()) || e.to.as_str() < start {
+            continue; // visit each cycle from its smallest node only
+        }
+        path.push(&e.to);
+        dfs_cycles(start, &e.to, edges, path, seen, out);
+        path.pop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// ATOMIC_ORDERING.
+
+/// Atomic RMW/load/store method names an `Ordering::` argument rides on.
+const ATOMIC_METHODS: [&str; 12] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// **Pass — ATOMIC_ORDERING.** Flags `Ordering::Relaxed` on atomics
+/// whose receiver name matches a configured publish/ready/shutdown
+/// pattern (case-insensitive substring). Relaxed counters are exempt by
+/// construction: only matching names are checked, and a deliberate
+/// value-only cell takes an `[[allow]]` with its reason.
+pub fn atomic_ordering(
+    lx: &Lexed<'_>,
+    file: &str,
+    tests: &[(u32, u32)],
+    publish: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    if publish.is_empty() {
+        return;
+    }
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        // `::` lexes as two `:` tokens.
+        let is_relaxed = toks[i].text == "Ordering"
+            && toks.get(i + 1).map(|t| t.text) == Some(":")
+            && toks.get(i + 2).map(|t| t.text) == Some(":")
+            && toks.get(i + 3).map(|t| t.text) == Some("Relaxed");
+        if !is_relaxed || in_ranges(tests, toks[i].line) {
+            continue;
+        }
+        // Walk back a short window for the method call this ordering
+        // argument belongs to: `recv.method(…, Ordering::Relaxed)`.
+        let floor = i.saturating_sub(12);
+        let found = (floor..i).rev().find(|&m| {
+            toks[m].kind == TokKind::Ident
+                && ATOMIC_METHODS.contains(&toks[m].text)
+                && m >= 1
+                && toks[m - 1].text == "."
+                && toks.get(m + 1).map(|t| t.text) == Some("(")
+        });
+        let Some(m) = found else { continue };
+        let recv = receiver_label(lx, m - 1);
+        let lower = recv.to_ascii_lowercase();
+        if let Some(pat) = publish
+            .iter()
+            .find(|p| lower.contains(&p.to_ascii_lowercase()))
+        {
+            diag(
+                out,
+                file,
+                toks[i].line,
+                LintId::AtomicOrdering,
+                format!(
+                    "`Ordering::Relaxed` on `{recv}.{}` — the name matches publish/ready \
+                     pattern `{pat}` from lint.toml; a flag that publishes other memory \
+                     needs Release/Acquire (a pure counter or value-only cell takes a \
+                     justified [[allow]])",
+                    toks[m].text
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// BLOCKING_IN_DISPATCHER.
+
+/// Blocking/alloc-heavy method calls banned in dispatcher hot paths.
+const BANNED_METHODS: [&str; 3] = ["wait", "wait_timeout", "join"];
+/// Banned free calls (`sleep(…)`, incl. `thread::sleep`).
+const BANNED_CALLS: [&str; 1] = ["sleep"];
+/// Banned path heads (`File::open`, `OpenOptions::new`, `fs::…`).
+const BANNED_PATHS: [&str; 3] = ["File", "OpenOptions", "fs"];
+/// Banned macros (I/O or allocation-heavy formatting).
+const BANNED_MACROS: [&str; 5] = ["println", "eprintln", "print", "dbg", "format"];
+
+/// **Pass — BLOCKING_IN_DISPATCHER.** Within the configured
+/// `[dispatcher]` functions of this file (`fns` holds bare fn names),
+/// flags condvar waits, thread joins, sleeps, file I/O, and formatting
+/// macros: the batch-execution region and kernel hot paths must never
+/// deschedule or allocate for I/O while a batch is in flight.
+pub fn blocking_in_dispatcher(
+    lx: &Lexed<'_>,
+    file: &str,
+    tests: &[(u32, u32)],
+    fns: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    if fns.is_empty() {
+        return;
+    }
+    let toks = &lx.tokens;
+    for span in fn_spans(lx) {
+        if !fns.contains(&span.name) || in_ranges(tests, span.line) {
+            continue;
+        }
+        for i in span.body.0..=span.body.1 {
+            let t = toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev = i.checked_sub(1).and_then(|j| toks.get(j)).map(|t| t.text);
+            let next = toks.get(i + 1).map(|t| t.text);
+            let what = if BANNED_METHODS.contains(&t.text) && prev == Some(".") && next == Some("(")
+            {
+                format!("`.{}()` blocks", t.text)
+            } else if BANNED_CALLS.contains(&t.text) && prev != Some(".") && next == Some("(") {
+                format!("`{}()` deschedules the dispatcher", t.text)
+            } else if BANNED_PATHS.contains(&t.text)
+                && next == Some(":")
+                && toks.get(i + 2).map(|t| t.text) == Some(":")
+            {
+                format!("`{}::` file I/O blocks on the kernel", t.text)
+            } else if BANNED_MACROS.contains(&t.text) && next == Some("!") {
+                format!("`{}!` does I/O or allocates for formatting", t.text)
+            } else {
+                continue;
+            };
+            diag(
+                out,
+                file,
+                t.line,
+                LintId::BlockingInDispatcher,
+                format!(
+                    "{what} inside dispatcher/kernel hot path `fn {}`; move it off the \
+                     batch-execution path (or add a justified [[allow]] for an injected \
+                     test fault)",
+                    span.name
+                ),
+            );
+        }
+    }
+}
+
+/// Bare fn names configured for `file` from `[dispatcher]` entries of
+/// the form `path/to/file.rs::fn_name`.
+pub fn dispatcher_fns_for(file: &str, entries: &[String]) -> Vec<String> {
+    entries
+        .iter()
+        .filter_map(|e| {
+            let (path, name) = e.split_once("::")?;
+            (path == file).then(|| name.to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_mod_ranges};
+
+    fn run_discipline(src: &str) -> (Vec<Diagnostic>, Vec<LockEdge>) {
+        let lx = lex(src);
+        let tests = test_mod_ranges(&lx);
+        let mut out = Vec::new();
+        let mut edges = Vec::new();
+        lock_discipline(&lx, "f.rs", &tests, &mut edges, &mut out);
+        (out, edges)
+    }
+
+    #[test]
+    fn nested_lock_in_one_fn_flags_and_records_the_edge() {
+        let src = "fn f(a: &M, b: &M) {\n    let g = a.inner.lock().unwrap();\n    let h = b.other.lock().unwrap();\n}\n";
+        let (d, e) = run_discipline(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::LockOrder);
+        assert_eq!(d[0].line, 3);
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].from, "f.rs::inner");
+        assert_eq!(e[0].to, "f.rs::other");
+    }
+
+    #[test]
+    fn dropped_guard_ends_liveness() {
+        let src = "fn f(a: &M, b: &M) {\n    let g = a.inner.lock().unwrap();\n    drop(g);\n    let h = b.other.lock().unwrap();\n}\n";
+        let (d, e) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn block_scope_ends_liveness() {
+        let src = "fn f(a: &M, b: &M) {\n    {\n        let g = a.inner.lock().unwrap();\n    }\n    let h = b.other.lock().unwrap();\n}\n";
+        let (d, _) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn block_expression_initializer_scopes_its_guard() {
+        // The worker-loop shape: the guard lives inside the block that
+        // computes `job`, not in the binding itself.
+        let src = "fn f(s: &S) {\n    let job = {\n        let mut slot = s.slot.lock().unwrap();\n        slot.take()\n    };\n    let r = catch_unwind(|| job());\n    let mut slot = s.slot.lock().unwrap();\n}\n";
+        let (d, _) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn same_label_relock_is_a_self_deadlock() {
+        let src = "fn f(a: &M) {\n    let g = a.state.lock().unwrap();\n    let h = a.state.lock().unwrap();\n}\n";
+        let (d, _) = run_discipline(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("self-deadlock"), "{d:?}");
+    }
+
+    #[test]
+    fn helper_returning_guard_counts_as_acquisition() {
+        let src = "fn lock_state(s: &S) -> MutexGuard<'_, T> {\n    s.state.lock().unwrap()\n}\nfn f(s: &S, b: &M) {\n    let g = lock_state(s);\n    let h = b.other.lock().unwrap();\n}\n";
+        let (d, e) = run_discipline(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(e[0].from, "f.rs::state");
+    }
+
+    #[test]
+    fn call_summary_propagates_through_same_file_fns() {
+        let src = "fn inner_lock(b: &M) {\n    let h = b.other.lock().unwrap();\n    h.use_it();\n}\nfn f(a: &M, b: &M) {\n    let g = a.state.lock().unwrap();\n    inner_lock(b);\n}\n";
+        let (d, e) = run_discipline(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("via `inner_lock`"), "{d:?}");
+        assert_eq!(e[0].from, "f.rs::state");
+        assert_eq!(e[0].to, "f.rs::other");
+    }
+
+    #[test]
+    fn guard_across_catch_unwind_flags() {
+        let src = "fn f(a: &M) {\n    let g = a.state.lock().unwrap();\n    let r = catch_unwind(|| score());\n}\n";
+        let (d, _) = run_discipline(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::GuardAcrossAwaitable);
+    }
+
+    #[test]
+    fn guard_across_scorer_callback_flags() {
+        let src = "fn f(a: &M, rows: &[f32], out: &mut [f32]) {\n    let mut s = a.scorer.lock().unwrap();\n    s.score_batch(rows, out);\n}\n";
+        let (d, _) = run_discipline(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::GuardAcrossAwaitable);
+    }
+
+    #[test]
+    fn catch_unwind_without_guard_is_fine() {
+        let src = "fn f() {\n    let r = catch_unwind(|| score());\n}\n";
+        let (d, _) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn condvar_wait_reassignment_keeps_liveness_without_new_edge() {
+        let src = "fn f(q: &Q) {\n    let mut state = q.state.lock().unwrap();\n    while state.empty {\n        state = q.cv.wait(state).unwrap();\n    }\n}\n";
+        let (d, _) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_mod_fns_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &M, b: &M) {\n        let g = a.x.lock().unwrap();\n        let h = b.y.lock().unwrap();\n    }\n}\n";
+        let (d, _) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn raw_string_lock_text_does_not_fire() {
+        let src = "fn f() {\n    let s = r#\"a.lock() b.lock()\"#;\n    let t = \".lock()\";\n}\n";
+        let (d, e) = run_discipline(src);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn cycle_between_two_files_is_reported_once() {
+        let edges = vec![
+            LockEdge {
+                from: "a.rs::m1".into(),
+                to: "a.rs::m2".into(),
+                file: "a.rs".into(),
+                line: 10,
+            },
+            LockEdge {
+                from: "a.rs::m2".into(),
+                to: "a.rs::m1".into(),
+                file: "a.rs".into(),
+                line: 20,
+            },
+        ];
+        let mut out = Vec::new();
+        lock_cycles(&edges, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].lint, LintId::LockOrder);
+        assert!(out[0].message.contains("cycle"), "{out:?}");
+    }
+
+    #[test]
+    fn acyclic_hierarchy_reports_no_cycle() {
+        let edges = vec![LockEdge {
+            from: "a.rs::state".into(),
+            to: "a.rs::scorer".into(),
+            file: "a.rs".into(),
+            line: 10,
+        }];
+        let mut out = Vec::new();
+        lock_cycles(&edges, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    fn run_atomics(src: &str, pats: &[&str]) -> Vec<Diagnostic> {
+        let lx = lex(src);
+        let tests = test_mod_ranges(&lx);
+        let pats: Vec<String> = pats.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        atomic_ordering(&lx, "f.rs", &tests, &pats, &mut out);
+        out
+    }
+
+    #[test]
+    fn relaxed_on_publish_flag_flags() {
+        let src = "fn f(s: &S) { s.ready.store(true, Ordering::Relaxed); }\n";
+        let d = run_atomics(src, &["ready"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, LintId::AtomicOrdering);
+    }
+
+    #[test]
+    fn relaxed_on_counter_is_exempt() {
+        let src = "fn f(s: &S) { s.opened.fetch_add(1, Ordering::Relaxed); }\n";
+        let d = run_atomics(src, &["ready", "active"]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn seqcst_on_publish_flag_is_fine() {
+        let src = "fn f(s: &S) { s.ready.store(true, Ordering::SeqCst); }\n";
+        let d = run_atomics(src, &["ready"]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn match_is_case_insensitive_static_names() {
+        let src = "fn f() { ACTIVE.store(1, Ordering::Relaxed); }\n";
+        let d = run_atomics(src, &["active"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ACTIVE"), "{d:?}");
+    }
+
+    fn run_blocking(src: &str, fns: &[&str]) -> Vec<Diagnostic> {
+        let lx = lex(src);
+        let tests = test_mod_ranges(&lx);
+        let fns: Vec<String> = fns.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        blocking_in_dispatcher(&lx, "f.rs", &tests, &fns, &mut out);
+        out
+    }
+
+    #[test]
+    fn sleep_and_format_in_dispatcher_fn_flag() {
+        let src = "fn execute() {\n    std::thread::sleep(d);\n    let s = format!(\"x\");\n}\nfn other() { std::thread::sleep(d); }\n";
+        let d = run_blocking(src, &["execute"]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.lint == LintId::BlockingInDispatcher));
+        assert!(d.iter().all(|x| x.message.contains("fn execute")));
+    }
+
+    #[test]
+    fn condvar_wait_in_dispatcher_fn_flags() {
+        let src = "fn execute(q: &Q, g: G) {\n    let g = q.cv.wait(g).unwrap();\n}\n";
+        let d = run_blocking(src, &["execute"]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("blocks"), "{d:?}");
+    }
+
+    #[test]
+    fn unconfigured_fns_are_not_checked() {
+        let src = "fn helper() { std::thread::sleep(d); }\n";
+        let d = run_blocking(src, &["execute"]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn dispatcher_entries_parse_file_scoped_names() {
+        let entries = vec![
+            "crates/serve/src/dispatch.rs::execute".to_string(),
+            "crates/simd/src/gemm.rs::micro_kernel_8x8".to_string(),
+        ];
+        assert_eq!(
+            dispatcher_fns_for("crates/serve/src/dispatch.rs", &entries),
+            vec!["execute".to_string()]
+        );
+        assert!(dispatcher_fns_for("crates/serve/src/queue.rs", &entries).is_empty());
+    }
+}

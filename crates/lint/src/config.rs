@@ -54,6 +54,17 @@ pub struct Config {
     /// SIMD kernel files: the only place `#[target_feature]` may appear,
     /// and where each such fn must be unsafe, private and SAFETY-documented.
     pub simd: Vec<String>,
+    /// Concurrency-critical files: lock-order and guard-across-awaitable
+    /// lints apply here (and feed the workspace lock graph).
+    pub concurrency: Vec<String>,
+    /// Case-insensitive name substrings marking an atomic as a
+    /// publish/ready/shutdown flag: `Ordering::Relaxed` on a matching
+    /// receiver is flagged (everywhere; pure counters don't match).
+    pub atomics_publish: Vec<String>,
+    /// Dispatcher batch-execution / kernel hot-path fns, as
+    /// `path/to/file.rs::fn_name`: blocking and formatting are banned
+    /// inside them.
+    pub dispatcher_fns: Vec<String>,
     /// Allowlist entries.
     pub allow: Vec<AllowEntry>,
 }
@@ -128,6 +139,9 @@ impl Config {
             Deterministic,
             Kernels,
             Simd,
+            Concurrency,
+            Atomics,
+            Dispatcher,
             Allow,
         }
         let mut section = Section::None;
@@ -150,6 +164,9 @@ impl Config {
                     "deterministic" => Section::Deterministic,
                     "kernels" => Section::Kernels,
                     "simd" => Section::Simd,
+                    "concurrency" => Section::Concurrency,
+                    "atomics" => Section::Atomics,
+                    "dispatcher" => Section::Dispatcher,
                     other => return Err(err(lineno, format!("unknown section `[{other}]`"))),
                 };
                 continue;
@@ -208,6 +225,25 @@ impl Config {
                 }
                 (Section::Simd, "files") => {
                     cfg.simd = items.ok_or_else(|| err(lineno, "files must be an array"))?;
+                }
+                (Section::Concurrency, "files") => {
+                    cfg.concurrency = items.ok_or_else(|| err(lineno, "files must be an array"))?;
+                }
+                (Section::Atomics, "publish") => {
+                    cfg.atomics_publish =
+                        items.ok_or_else(|| err(lineno, "publish must be an array"))?;
+                }
+                (Section::Dispatcher, "fns") => {
+                    let fns = items.ok_or_else(|| err(lineno, "fns must be an array"))?;
+                    for f in &fns {
+                        if !f.contains("::") {
+                            return Err(err(
+                                lineno,
+                                format!("dispatcher fn `{f}` must be `path/to/file.rs::fn_name`"),
+                            ));
+                        }
+                    }
+                    cfg.dispatcher_fns = fns;
                 }
                 (Section::Allow, k @ ("lint" | "file" | "pattern" | "reason")) => {
                     let entry = cfg
@@ -344,6 +380,28 @@ reason = "documented legacy wrapper"
         assert!(!in_set("crates/dense/srcx/foo.rs", &set));
         assert!(!in_set("src/lib2.rs", &set));
         assert!(!in_set("crates/dense/src", &set));
+    }
+
+    #[test]
+    fn concurrency_atomics_and_dispatcher_sections_parse() {
+        let cfg = Config::parse(
+            "[concurrency]\nfiles = [\"crates/serve/src/queue.rs\"]\n\
+             [atomics]\npublish = [\"ready\", \"active\"]\n\
+             [dispatcher]\nfns = [\"crates/serve/src/dispatch.rs::execute\"]\n",
+        )
+        .expect("parse");
+        assert_eq!(cfg.concurrency, vec!["crates/serve/src/queue.rs"]);
+        assert_eq!(cfg.atomics_publish, vec!["ready", "active"]);
+        assert_eq!(
+            cfg.dispatcher_fns,
+            vec!["crates/serve/src/dispatch.rs::execute"]
+        );
+    }
+
+    #[test]
+    fn dispatcher_fn_without_file_scope_is_rejected() {
+        let e = Config::parse("[dispatcher]\nfns = [\"execute\"]\n").expect_err("must fail");
+        assert!(e.message.contains("file.rs::fn_name"), "{e}");
     }
 
     #[test]

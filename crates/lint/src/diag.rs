@@ -27,6 +27,18 @@ pub enum LintId {
     SimdTargetFeature,
     /// Allowlist entry that matched nothing (stale config).
     UnusedAllow,
+    /// Nested lock acquisition without a documented order, a same-label
+    /// re-lock (self-deadlock), or a cycle in the workspace lock graph.
+    LockOrder,
+    /// `Ordering::Relaxed` on an atomic whose name matches a configured
+    /// publish/ready/shutdown pattern.
+    AtomicOrdering,
+    /// Condvar wait, join, sleep, file I/O or formatting in a configured
+    /// dispatcher batch-execution / kernel hot-path fn.
+    BlockingInDispatcher,
+    /// `MutexGuard` held across `catch_unwind` or a user-scorer
+    /// callback.
+    GuardAcrossAwaitable,
 }
 
 impl LintId {
@@ -42,11 +54,15 @@ impl LintId {
             LintId::FloatEq => "FLOAT_EQ",
             LintId::SimdTargetFeature => "SIMD_TARGET_FEATURE",
             LintId::UnusedAllow => "UNUSED_ALLOW",
+            LintId::LockOrder => "LOCK_ORDER",
+            LintId::AtomicOrdering => "ATOMIC_ORDERING",
+            LintId::BlockingInDispatcher => "BLOCKING_IN_DISPATCHER",
+            LintId::GuardAcrossAwaitable => "GUARD_ACROSS_AWAITABLE",
         }
     }
 
     /// Every ID, for documentation and config validation.
-    pub const ALL: [LintId; 9] = [
+    pub const ALL: [LintId; 13] = [
         LintId::HotpathPanic,
         LintId::HotpathIndex,
         LintId::UnsafeNoSafety,
@@ -56,6 +72,10 @@ impl LintId {
         LintId::FloatEq,
         LintId::SimdTargetFeature,
         LintId::UnusedAllow,
+        LintId::LockOrder,
+        LintId::AtomicOrdering,
+        LintId::BlockingInDispatcher,
+        LintId::GuardAcrossAwaitable,
     ];
 }
 

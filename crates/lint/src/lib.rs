@@ -7,7 +7,7 @@
 //! never panics. Those invariants used to live in tests and reviewer
 //! memory; this crate makes them machine-checked on every commit.
 //!
-//! Four passes, configured by `lint.toml` at the workspace root:
+//! The passes, configured by `lint.toml` at the workspace root:
 //!
 //! | Lint ID | What it enforces |
 //! |---|---|
@@ -18,7 +18,18 @@
 //! | `NONDETERMINISM` | No wall clock / hash-order / unseeded RNG in deterministic paths |
 //! | `FLOAT_CAST` | No bare `as` float casts in kernels (use `dlr-num`) |
 //! | `FLOAT_EQ` | No float `==` against literals outside tests |
+//! | `SIMD_TARGET_FEATURE` | `#[target_feature]` fns live in `[simd]`, unsafe, private, SAFETY-documented |
 //! | `UNUSED_ALLOW` | Allowlist entries must match something |
+//! | `LOCK_ORDER` | Nested lock acquisitions follow a documented order; the workspace lock graph is acyclic |
+//! | `ATOMIC_ORDERING` | No `Ordering::Relaxed` on publish/ready/shutdown flags (counters exempt) |
+//! | `BLOCKING_IN_DISPATCHER` | No waits/joins/sleeps/file I/O/formatting in dispatcher + kernel hot paths |
+//! | `GUARD_ACROSS_AWAITABLE` | No `MutexGuard` held across `catch_unwind` or user-scorer callbacks |
+//!
+//! The concurrency passes ([`concurrency`]) build a lightweight
+//! brace-tree model — fn spans and a guard-liveness walk over the token
+//! stream, with same-file call summaries to a fixpoint — rather than a
+//! full parser; see that module's docs for the model and its deliberate
+//! limits.
 //!
 //! The container has no registry access, so there is no `syn` here: a
 //! [`lexer`] strips strings/chars/comments and hands the passes plain
@@ -35,6 +46,7 @@
 //! pass-selection by path), [`lint_workspace`] (the full sweep with
 //! allowlist filtering and cross-file checks).
 
+pub mod concurrency;
 pub mod config;
 pub mod diag;
 pub mod lexer;
@@ -43,4 +55,6 @@ pub mod workspace;
 
 pub use config::{AllowEntry, Config, ConfigError};
 pub use diag::{Diagnostic, LintId};
-pub use workspace::{apply_allowlist, collect_files, lint_file, lint_workspace, Report};
+pub use workspace::{
+    apply_allowlist, collect_files, lint_file, lint_file_with_edges, lint_workspace, Report,
+};

@@ -5,6 +5,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::concurrency::{self, LockEdge};
 use crate::config::{in_set, Config};
 use crate::diag::{Diagnostic, LintId};
 use crate::lexer::{lex, test_mod_ranges, TokKind};
@@ -26,6 +27,18 @@ pub struct Report {
 /// Returns raw findings — allowlist filtering happens in
 /// [`lint_workspace`] (or [`apply_allowlist`] directly).
 pub fn lint_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let mut edges = Vec::new();
+    lint_file_with_edges(rel_path, source, cfg, &mut edges)
+}
+
+/// [`lint_file`], additionally appending this file's lock-acquisition
+/// edges to `edges` for the workspace-level cycle check.
+pub fn lint_file_with_edges(
+    rel_path: &str,
+    source: &str,
+    cfg: &Config,
+    edges: &mut Vec<LockEdge>,
+) -> Vec<Diagnostic> {
     let lx = lex(source);
     let raw_lines: Vec<&str> = source.lines().collect();
     let mut tests = test_mod_ranges(&lx);
@@ -54,6 +67,14 @@ pub fn lint_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> 
         passes::float_casts(&lx, rel_path, &tests, &mut out);
     }
     passes::float_eq(&lx, rel_path, &tests, &mut out);
+    if in_set(rel_path, &cfg.concurrency) {
+        concurrency::lock_discipline(&lx, rel_path, &tests, edges, &mut out);
+    }
+    // Always runs: a Relaxed publish flag is wrong wherever it lives —
+    // only the name patterns come from config.
+    concurrency::atomic_ordering(&lx, rel_path, &tests, &cfg.atomics_publish, &mut out);
+    let dispatcher = concurrency::dispatcher_fns_for(rel_path, &cfg.dispatcher_fns);
+    concurrency::blocking_in_dispatcher(&lx, rel_path, &tests, &dispatcher, &mut out);
     out.sort_by_key(|d| d.line);
     out
 }
@@ -153,9 +174,10 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
     let mut used = vec![false; cfg.allow.len()];
     // crate root dir (e.g. "crates/dense") -> has any `unsafe` token.
     let mut crates: Vec<(String, bool)> = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
-        let raw = lint_file(rel, &source, cfg);
+        let raw = lint_file_with_edges(rel, &source, cfg, &mut edges);
         let (kept, suppressed) = apply_allowlist(raw, &source, cfg, &mut used);
         report.suppressed += suppressed;
         report.diagnostics.extend(kept);
@@ -198,6 +220,10 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
             });
         }
     }
+    // Lock-order cycles are assembled from every file's edges —
+    // including edges whose per-file finding was allowlisted: an
+    // [[allow]] documents one nesting, it does not license a cycle.
+    concurrency::lock_cycles(&edges, &mut report.diagnostics);
     for (i, a) in cfg.allow.iter().enumerate() {
         if !used[i] {
             report.diagnostics.push(Diagnostic {

@@ -1,0 +1,249 @@
+//! Fixture tests for the concurrency passes, mirroring `fixtures.rs`:
+//! one positive case per lint asserting the exact `file:line`, one
+//! allowlisted (or out-of-set) negative case proving suppression, plus
+//! lexer blind-spot fixtures — raw strings containing `lock(` /
+//! `unsafe`, nested block comments straddling `#[cfg(test)]`, and
+//! char-literal braces — that a naive regex pass would trip over.
+
+use dlr_lint::{apply_allowlist, lint_file, lint_file_with_edges, Config, LintId};
+
+const BASE_CFG: &str = r#"
+[scan]
+include = ["crates"]
+exclude = []
+
+[concurrency]
+files = ["crates/conc/src/"]
+
+[atomics]
+publish = ["ready", "active", "shutdown"]
+
+[dispatcher]
+fns = ["crates/conc/src/dispatch.rs::execute"]
+"#;
+
+fn cfg() -> Config {
+    Config::parse(BASE_CFG).expect("base fixture config parses")
+}
+
+fn cfg_with_allow(lint: &str, file: &str, pattern: &str) -> Config {
+    let toml = format!(
+        "{BASE_CFG}\n[[allow]]\nlint = \"{lint}\"\nfile = \"{file}\"\npattern = \"{pattern}\"\nreason = \"fixture\"\n"
+    );
+    Config::parse(&toml).expect("allow fixture config parses")
+}
+
+// ---------------------------------------------------------------------
+// LOCK_ORDER
+
+#[test]
+fn lock_order_flags_nested_acquisition_with_exact_location() {
+    let src = "pub fn f(a: &A, b: &B) {\n    let g = a.state.lock().unwrap();\n    let h = b.stats.lock().unwrap();\n}\n";
+    let diags = lint_file("crates/conc/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::LockOrder);
+    assert_eq!(diags[0].file, "crates/conc/src/lib.rs");
+    assert_eq!(diags[0].line, 3);
+    assert_eq!(
+        diags[0].to_string(),
+        format!(
+            "crates/conc/src/lib.rs:3: [LOCK_ORDER] {}",
+            diags[0].message
+        )
+    );
+}
+
+#[test]
+fn lock_order_records_the_edge_for_the_workspace_graph() {
+    let src = "pub fn f(a: &A, b: &B) {\n    let g = a.state.lock().unwrap();\n    let h = b.stats.lock().unwrap();\n}\n";
+    let mut edges = Vec::new();
+    let _ = lint_file_with_edges("crates/conc/src/lib.rs", src, &cfg(), &mut edges);
+    assert_eq!(edges.len(), 1, "{edges:?}");
+    assert_eq!(edges[0].from, "crates/conc/src/lib.rs::state");
+    assert_eq!(edges[0].to, "crates/conc/src/lib.rs::stats");
+}
+
+#[test]
+fn lock_order_out_of_set_and_allowlist_negatives() {
+    let src = "pub fn f(a: &A, b: &B) {\n    let g = a.state.lock().unwrap();\n    let h = b.stats.lock().unwrap();\n}\n";
+    // Out of the [concurrency] set: pass does not run.
+    assert!(lint_file("crates/other/src/lib.rs", src, &cfg()).is_empty());
+    // In set, allowlisted: finding suppressed and entry marked used.
+    let cfg = cfg_with_allow("LOCK_ORDER", "crates/conc/src/lib.rs", "stats.lock()");
+    let raw = lint_file("crates/conc/src/lib.rs", src, &cfg);
+    assert_eq!(raw.len(), 1);
+    let mut used = vec![false; cfg.allow.len()];
+    let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(suppressed, 1);
+    assert_eq!(used, vec![true]);
+}
+
+// ---------------------------------------------------------------------
+// ATOMIC_ORDERING
+
+#[test]
+fn atomic_ordering_flags_relaxed_publish_flag_with_exact_location() {
+    let src = "pub fn f(s: &S) {\n    s.ready.store(true, Ordering::Relaxed);\n}\n";
+    // Runs on every scanned file — no set membership needed.
+    let diags = lint_file("crates/anywhere/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::AtomicOrdering);
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("ready"), "{diags:?}");
+}
+
+#[test]
+fn atomic_ordering_spares_counters_and_honors_the_allowlist() {
+    // `opened` matches no publish pattern: a pure counter stays Relaxed.
+    let counter = "pub fn f(s: &S) {\n    s.opened.fetch_add(1, Ordering::Relaxed);\n}\n";
+    assert!(lint_file("crates/anywhere/src/lib.rs", counter, &cfg()).is_empty());
+
+    let src = "pub fn f() {\n    ACTIVE.store(1, Ordering::Relaxed);\n}\n";
+    let cfg = cfg_with_allow(
+        "ATOMIC_ORDERING",
+        "crates/anywhere/src/lib.rs",
+        "Ordering::Relaxed",
+    );
+    let raw = lint_file("crates/anywhere/src/lib.rs", src, &cfg);
+    assert_eq!(raw.len(), 1);
+    let mut used = vec![false; cfg.allow.len()];
+    let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(suppressed, 1);
+    assert_eq!(used, vec![true]);
+}
+
+// ---------------------------------------------------------------------
+// BLOCKING_IN_DISPATCHER
+
+#[test]
+fn blocking_in_dispatcher_flags_sleep_with_exact_location() {
+    let src = "pub fn execute() {\n    std::thread::sleep(d);\n}\npub fn helper() {\n    std::thread::sleep(d);\n}\n";
+    let diags = lint_file("crates/conc/src/dispatch.rs", src, &cfg());
+    // Only the configured fn is checked; `helper` sleeps freely.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::BlockingInDispatcher);
+    assert_eq!(diags[0].line, 2);
+    assert!(diags[0].message.contains("fn execute"), "{diags:?}");
+}
+
+#[test]
+fn blocking_in_dispatcher_wrong_file_and_allowlist_negatives() {
+    let src = "pub fn execute() {\n    std::thread::sleep(d);\n}\n";
+    // Same fn name in an unconfigured file: not a dispatcher.
+    assert!(lint_file("crates/conc/src/lib.rs", src, &cfg()).is_empty());
+    let cfg = cfg_with_allow(
+        "BLOCKING_IN_DISPATCHER",
+        "crates/conc/src/dispatch.rs",
+        "thread::sleep(",
+    );
+    let raw = lint_file("crates/conc/src/dispatch.rs", src, &cfg);
+    assert_eq!(raw.len(), 1);
+    let mut used = vec![false; cfg.allow.len()];
+    let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(suppressed, 1);
+    assert_eq!(used, vec![true]);
+}
+
+// ---------------------------------------------------------------------
+// GUARD_ACROSS_AWAITABLE
+
+#[test]
+fn guard_across_awaitable_flags_catch_unwind_with_exact_location() {
+    let src = "pub fn f(a: &A) {\n    let g = a.state.lock().unwrap();\n    let r = std::panic::catch_unwind(|| g.run());\n}\n";
+    let diags = lint_file("crates/conc/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::GuardAcrossAwaitable);
+    assert_eq!(diags[0].line, 3);
+}
+
+#[test]
+fn guard_across_awaitable_dropped_guard_and_allowlist_negatives() {
+    // Guard dropped before the unwind boundary: clean.
+    let dropped = "pub fn f(a: &A) {\n    let g = a.state.lock().unwrap();\n    drop(g);\n    let r = std::panic::catch_unwind(|| run());\n}\n";
+    assert!(lint_file("crates/conc/src/lib.rs", dropped, &cfg()).is_empty());
+
+    let src = "pub fn f(a: &A, rows: &[f32], out: &mut [f32]) {\n    let mut s = a.scorer.lock().unwrap();\n    s.score_batch(rows, out);\n}\n";
+    let cfg = cfg_with_allow(
+        "GUARD_ACROSS_AWAITABLE",
+        "crates/conc/src/lib.rs",
+        "score_batch(",
+    );
+    let raw = lint_file("crates/conc/src/lib.rs", src, &cfg);
+    assert_eq!(raw.len(), 1);
+    let mut used = vec![false; cfg.allow.len()];
+    let (kept, suppressed) = apply_allowlist(raw, src, &cfg, &mut used);
+    assert!(kept.is_empty(), "{kept:?}");
+    assert_eq!(suppressed, 1);
+    assert_eq!(used, vec![true]);
+}
+
+// ---------------------------------------------------------------------
+// Lexer blind spots: text that defeats naive regex scanning.
+
+#[test]
+fn raw_string_containing_lock_calls_is_not_an_acquisition() {
+    // `.lock()` inside string literals — raw, raw-with-hashes, plain —
+    // must not create guards or edges.
+    let src = "pub fn f(b: &B) {\n    let doc = r#\"a.state.lock() then b.stats.lock()\"#;\n    let plain = \"x.state.lock()\";\n    let h = b.stats.lock().unwrap();\n}\n";
+    let mut edges = Vec::new();
+    let diags = lint_file_with_edges("crates/conc/src/lib.rs", src, &cfg(), &mut edges);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert!(edges.is_empty(), "{edges:?}");
+}
+
+#[test]
+fn raw_string_containing_unsafe_does_not_defeat_forbid_check_tokens() {
+    // The token stream sees no `unsafe` ident here; a raw string spelling
+    // it is data. (The workspace FORBID_UNSAFE_MISSING check keys off the
+    // same token stream.)
+    let src = "pub fn f() -> &'static str {\n    r#\"unsafe { lock( } \"#\n}\n";
+    let lx_has_unsafe = src.contains("unsafe"); // raw text does…
+    assert!(lx_has_unsafe);
+    let diags = lint_file("crates/conc/src/lib.rs", src, &cfg());
+    assert!(diags.is_empty(), "{diags:?}"); // …but the lexer strips it
+}
+
+#[test]
+fn nested_block_comment_straddling_cfg_test_keeps_exemption_honest() {
+    // The `#[cfg(test)]` inside a nested block comment must NOT open a
+    // test-exemption range: the nested lock after it is production code
+    // and must still be flagged.
+    let src = "/* outer /* #[cfg(test)] mod tests { */ still comment */\npub fn f(a: &A, b: &B) {\n    let g = a.state.lock().unwrap();\n    let h = b.stats.lock().unwrap();\n}\n";
+    let diags = lint_file("crates/conc/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].lint, LintId::LockOrder);
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn real_cfg_test_module_after_nested_comment_is_still_exempt() {
+    // Dual of the previous fixture: a real test module following the
+    // tricky comment still gets its exemption.
+    let src = "/* /* #[cfg(test)] */ */\n#[cfg(test)]\nmod tests {\n    fn f(a: &A, b: &B) {\n        let g = a.state.lock().unwrap();\n        let h = b.stats.lock().unwrap();\n    }\n}\n";
+    let diags = lint_file("crates/conc/src/lib.rs", src, &cfg());
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn char_literal_braces_do_not_derail_the_brace_tree() {
+    // '{' and '}' as char literals must not corrupt fn-span matching:
+    // the nested lock below them still gets its exact line.
+    let src = "pub fn f(a: &A, b: &B) {\n    let open = '{';\n    let close = '}';\n    let g = a.state.lock().unwrap();\n    let h = b.stats.lock().unwrap();\n}\n";
+    let diags = lint_file("crates/conc/src/lib.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn char_literal_braces_inside_dispatcher_fn_keep_blocking_scoped() {
+    // If the brace tree broke on '{', the sleep in `helper` would appear
+    // to be inside `execute` (or execute's sleep would be missed).
+    let src = "pub fn execute() {\n    let b = '}';\n    std::thread::sleep(d);\n}\npub fn helper() {\n    let b = '{';\n    std::thread::sleep(d);\n}\n";
+    let diags = lint_file("crates/conc/src/dispatch.rs", src, &cfg());
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("fn execute"), "{diags:?}");
+}

@@ -1,0 +1,557 @@
+//! The schedule controller: the heart of the model checker.
+//!
+//! Under exploration exactly one *model task* runs at a time. Every model
+//! task is a real OS thread, but all of them are parked on the
+//! controller's condvar except the one the schedule says is `current`.
+//! Every shim operation (`lock`, `unlock`, condvar wait/notify, atomic
+//! access, spawn, join) funnels through [`Controller::reschedule`], which
+//! is therefore the *only* place interleaving decisions happen — making
+//! an execution a pure function of the decision sequence, replayable
+//! from the recorded index list (the "seed").
+//!
+//! Scheduling decisions are recorded only at points with more than one
+//! candidate task; forced moves do not consume a decision. Switching
+//! away from a still-runnable task costs one *preemption*; the explorer
+//! bounds total preemptions per execution (CHESS-style iterative context
+//! bounding), which keeps the schedule space tractable while still
+//! catching the vast majority of real interleaving bugs at small bounds.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Panic payload used to abort an execution after a failure is recorded.
+/// The thread wrappers and the explorer swallow it; it never escapes to
+/// the user.
+pub(crate) struct ScheduleAborted;
+
+/// Why an execution failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No task can make progress and at least one has not finished.
+    Deadlock {
+        /// Human-readable description of each stuck task.
+        blocked: Vec<String>,
+    },
+    /// A model task panicked (assertion failure, index error, ...).
+    Panic {
+        /// Task id of the panicking thread.
+        task: usize,
+        /// Rendered panic message.
+        message: String,
+    },
+    /// The execution exceeded the per-schedule step budget (livelock
+    /// guard: e.g. a timed wait that keeps firing without progress).
+    StepLimit,
+}
+
+/// A failing schedule: the kind, the decision seed that reproduces it,
+/// and (when recorded) the step-by-step event list.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Decision indices reproducing the failure via `Explorer::replay`.
+    pub schedule: Vec<usize>,
+    /// Per-step event log (`"t1 lock m0"`), filled in by a recording
+    /// replay of the failing seed.
+    pub steps: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FailureKind::Deadlock { blocked } => writeln!(f, "deadlock: {}", blocked.join(", "))?,
+            FailureKind::Panic { task, message } => writeln!(f, "panic in t{task}: {message}")?,
+            FailureKind::StepLimit => writeln!(f, "step limit exceeded (livelock?)")?,
+        }
+        writeln!(f, "schedule seed: {:?}", self.schedule)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  step {i:>3}: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Scheduling state of one model task. Blocked states carry the stable
+/// per-execution object id they are blocked on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TaskState {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedCondvar(u64),
+    /// In a timed condvar wait: schedulable at any time (scheduling it
+    /// fires the timeout), or woken early by a notify.
+    TimedWait(u64),
+    BlockedJoin(usize),
+    /// The root task waiting for every spawned task to finish.
+    JoinAll,
+    Finished,
+}
+
+struct Task {
+    state: TaskState,
+    /// Set when a `TimedWait` was resolved by the scheduler firing the
+    /// timeout rather than by a notification.
+    timed_out: bool,
+}
+
+/// One recorded decision point.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    pub candidates: usize,
+    pub chosen: usize,
+    /// True when the previously-running task was still runnable, i.e.
+    /// choosing any candidate other than index 0 is a preemption.
+    pub preemptive: bool,
+}
+
+struct Sched {
+    tasks: Vec<Task>,
+    current: usize,
+    /// Mutex ownership: object id → owning task.
+    owners: HashMap<u64, usize>,
+    /// FIFO wait queue per condvar object id.
+    cv_waiters: HashMap<u64, Vec<usize>>,
+    /// Stable per-execution object numbering (first-touch order), so
+    /// step logs and deadlock reports are deterministic under replay.
+    object_ids: HashMap<usize, u64>,
+    next_object: u64,
+    /// Decisions to replay; beyond its end the default (index 0) is
+    /// taken.
+    prefix: Vec<usize>,
+    decision_idx: usize,
+    trail: Vec<Decision>,
+    preemptions: usize,
+    steps: u64,
+    max_steps: u64,
+    record_steps: bool,
+    step_log: Vec<String>,
+    failure: Option<FailureKind>,
+}
+
+/// Sentinel for "no task is current" (execution finished).
+const NONE: usize = usize::MAX;
+
+pub(crate) struct Controller {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+/// Per-thread binding of a model task to its controller.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub ctl: Arc<Controller>,
+    pub tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's model-task binding, if it is part of an
+/// exploration. `None` means every shim op falls back to plain std
+/// behavior.
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+fn lock_sched(ctl: &Controller) -> std::sync::MutexGuard<'_, Sched> {
+    // The scheduler state is only mutated under this lock and every
+    // mutation leaves it consistent; recover from poison so one failed
+    // execution cannot wedge the whole explorer.
+    ctl.sched.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Controller {
+    pub(crate) fn new(prefix: Vec<usize>, max_steps: u64, record_steps: bool) -> Controller {
+        Controller {
+            sched: Mutex::new(Sched {
+                tasks: vec![Task {
+                    state: TaskState::Runnable,
+                    timed_out: false,
+                }],
+                current: 0,
+                owners: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                object_ids: HashMap::new(),
+                next_object: 0,
+                prefix,
+                decision_idx: 0,
+                trail: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                max_steps,
+                record_steps,
+                step_log: Vec::new(),
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Outcome of a finished execution, read by the explorer.
+    pub(crate) fn outcome(&self) -> (Vec<Decision>, Option<FailureKind>, Vec<String>) {
+        let s = lock_sched(self);
+        (s.trail.clone(), s.failure.clone(), s.step_log.clone())
+    }
+
+    /// Record a failure (first one wins) and wake every parked task so
+    /// the execution unwinds.
+    pub(crate) fn abort_with(&self, kind: FailureKind) {
+        let mut s = lock_sched(self);
+        if s.failure.is_none() {
+            s.failure = Some(kind);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Register a newly spawned task; it is immediately schedulable but
+    /// does not run until chosen.
+    pub(crate) fn register_task(&self) -> usize {
+        let mut s = lock_sched(self);
+        let tid = s.tasks.len();
+        s.tasks.push(Task {
+            state: TaskState::Runnable,
+            timed_out: false,
+        });
+        tid
+    }
+
+    /// First park of a freshly spawned task: wait until scheduled.
+    pub(crate) fn wait_first(&self, tid: usize) {
+        let mut s = lock_sched(self);
+        loop {
+            if s.failure.is_some() {
+                drop(s);
+                panic_any(ScheduleAborted);
+            }
+            if s.current == tid && s.tasks[tid].state == TaskState::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Mark `tid` finished, wake joiners, and hand the schedule to the
+    /// next task. Never panics (safe to call during thread exit).
+    pub(crate) fn finish_task(&self, tid: usize) {
+        let mut s = lock_sched(self);
+        s.tasks[tid].state = TaskState::Finished;
+        for i in 0..s.tasks.len() {
+            match s.tasks[i].state {
+                TaskState::BlockedJoin(t) if t == tid => s.tasks[i].state = TaskState::Runnable,
+                TaskState::JoinAll => s.tasks[i].state = TaskState::Runnable,
+                _ => {}
+            }
+        }
+        if s.record_steps {
+            let entry = format!("t{tid} finished");
+            s.step_log.push(entry);
+        }
+        if s.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut s);
+    }
+
+    /// Stable per-execution id for a sync object (first-touch order).
+    fn object_id(s: &mut Sched, addr: usize) -> u64 {
+        if let Some(&id) = s.object_ids.get(&addr) {
+            return id;
+        }
+        let id = s.next_object;
+        s.next_object += 1;
+        s.object_ids.insert(addr, id);
+        id
+    }
+
+    /// The single scheduling primitive: apply `mutate` to the schedule
+    /// state on behalf of the (still-current) calling task, pick the
+    /// next task, and park until this task is scheduled again. `mutate`
+    /// returns the step-log label (only consulted when recording).
+    ///
+    /// Panics with [`ScheduleAborted`] if the execution fails while the
+    /// task is parked (the shim wrappers catch it).
+    fn reschedule(&self, tid: usize, mutate: impl FnOnce(&mut Sched) -> String) {
+        let mut s = lock_sched(self);
+        debug_assert_eq!(s.current, tid, "only the current task may reschedule");
+        let label = mutate(&mut s);
+        s.steps += 1;
+        if s.record_steps {
+            s.step_log.push(label);
+        }
+        if s.steps > s.max_steps && s.failure.is_none() {
+            s.failure = Some(FailureKind::StepLimit);
+        }
+        if s.failure.is_some() {
+            self.cv.notify_all();
+            drop(s);
+            panic_any(ScheduleAborted);
+        }
+        self.pick_next(&mut s);
+        loop {
+            if s.failure.is_some() {
+                self.cv.notify_all();
+                drop(s);
+                panic_any(ScheduleAborted);
+            }
+            if s.current == tid && s.tasks[tid].state == TaskState::Runnable {
+                return;
+            }
+            s = self.cv.wait(s).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Choose the next task to run. Candidate order is deterministic:
+    /// the still-runnable current task first (continuing is free), then
+    /// the remaining runnable / timed-waiting tasks in ascending id
+    /// order. Only points with > 1 candidate consume a decision.
+    fn pick_next(&self, s: &mut Sched) {
+        let cur = s.current;
+        let cur_runnable = cur != NONE && s.tasks[cur].state == TaskState::Runnable;
+        let mut cands: Vec<usize> = Vec::new();
+        if cur_runnable {
+            cands.push(cur);
+        }
+        for i in 0..s.tasks.len() {
+            if cur_runnable && i == cur {
+                continue;
+            }
+            if matches!(
+                s.tasks[i].state,
+                TaskState::Runnable | TaskState::TimedWait(_)
+            ) {
+                cands.push(i);
+            }
+        }
+        if cands.is_empty() {
+            if s.tasks.iter().any(|t| t.state != TaskState::Finished) && s.failure.is_none() {
+                let blocked: Vec<String> = s
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.state != TaskState::Finished)
+                    .map(|(i, t)| match t.state {
+                        TaskState::BlockedMutex(m) => format!("t{i} blocked on mutex m{m}"),
+                        TaskState::BlockedCondvar(c) => format!("t{i} waiting on condvar cv{c}"),
+                        TaskState::BlockedJoin(t2) => format!("t{i} joining t{t2}"),
+                        TaskState::JoinAll => format!("t{i} waiting for all tasks"),
+                        _ => format!("t{i} stuck"),
+                    })
+                    .collect();
+                s.failure = Some(FailureKind::Deadlock { blocked });
+            }
+            s.current = NONE;
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if cands.len() == 1 {
+            0
+        } else {
+            let i = s.decision_idx;
+            s.decision_idx += 1;
+            let pick = s.prefix.get(i).copied().unwrap_or(0).min(cands.len() - 1);
+            s.trail.push(Decision {
+                candidates: cands.len(),
+                chosen: pick,
+                preemptive: cur_runnable,
+            });
+            if cur_runnable && pick > 0 {
+                s.preemptions += 1;
+            }
+            pick
+        };
+        let next = cands[chosen];
+        s.current = next;
+        if let TaskState::TimedWait(cv) = s.tasks[next].state {
+            // Scheduling a timed waiter fires its timeout.
+            s.tasks[next].state = TaskState::Runnable;
+            s.tasks[next].timed_out = true;
+            if let Some(q) = s.cv_waiters.get_mut(&cv) {
+                q.retain(|&t| t != next);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// A pure interleaving point: no state change, just an opportunity
+    /// for the scheduler to switch tasks.
+    pub(crate) fn yield_point(&self, tid: usize, what: &'static str) {
+        self.reschedule(tid, |_| format!("t{tid} {what}"));
+    }
+
+    /// Model-level mutex acquisition. The attempt is a scheduling point;
+    /// contention parks the task until the owner releases, and which
+    /// woken waiter wins the lock is itself a scheduling decision.
+    pub(crate) fn mutex_lock(&self, tid: usize, addr: usize) {
+        self.reschedule(tid, |s| {
+            let id = Self::object_id(s, addr);
+            format!("t{tid} tries m{id}")
+        });
+        self.acquire_loop(tid, addr);
+    }
+
+    /// Acquisition retry loop, shared by `mutex_lock` and the reacquire
+    /// half of a condvar wait (which must not insert an extra decision
+    /// point before its first attempt).
+    fn acquire_loop(&self, tid: usize, addr: usize) {
+        loop {
+            {
+                let mut s = lock_sched(self);
+                let id = Self::object_id(&mut s, addr);
+                if let std::collections::hash_map::Entry::Vacant(e) = s.owners.entry(id) {
+                    e.insert(tid);
+                    if s.record_steps {
+                        let entry = format!("t{tid} acquires m{id}");
+                        s.step_log.push(entry);
+                    }
+                    return;
+                }
+            }
+            self.reschedule(tid, |s| {
+                let id = Self::object_id(s, addr);
+                s.tasks[tid].state = TaskState::BlockedMutex(id);
+                format!("t{tid} blocks on m{id}")
+            });
+        }
+    }
+
+    /// Release a model mutex and wake every waiter (they re-contend; the
+    /// scheduler decides who wins). The release is a scheduling point.
+    pub(crate) fn mutex_unlock(&self, tid: usize, addr: usize) {
+        self.reschedule(tid, |s| {
+            let id = Self::object_id(s, addr);
+            s.owners.remove(&id);
+            for i in 0..s.tasks.len() {
+                if s.tasks[i].state == TaskState::BlockedMutex(id) {
+                    s.tasks[i].state = TaskState::Runnable;
+                }
+            }
+            format!("t{tid} unlocks m{id}")
+        });
+    }
+
+    /// Condvar wait: atomically release the mutex and join the wait
+    /// queue, park until notified (or, for `timed`, until the scheduler
+    /// fires the timeout), then reacquire the mutex. Returns whether the
+    /// wait timed out.
+    pub(crate) fn condvar_wait(
+        &self,
+        tid: usize,
+        cv_addr: usize,
+        mutex_addr: usize,
+        timed: bool,
+    ) -> bool {
+        self.reschedule(tid, |s| {
+            let cvid = Self::object_id(s, cv_addr);
+            let mid = Self::object_id(s, mutex_addr);
+            s.owners.remove(&mid);
+            for i in 0..s.tasks.len() {
+                if s.tasks[i].state == TaskState::BlockedMutex(mid) {
+                    s.tasks[i].state = TaskState::Runnable;
+                }
+            }
+            s.cv_waiters.entry(cvid).or_default().push(tid);
+            s.tasks[tid].timed_out = false;
+            s.tasks[tid].state = if timed {
+                TaskState::TimedWait(cvid)
+            } else {
+                TaskState::BlockedCondvar(cvid)
+            };
+            let how = if timed { "timed-waits" } else { "waits" };
+            format!("t{tid} {how} on cv{cvid}, releasing m{mid}")
+        });
+        let timed_out = {
+            let s = lock_sched(self);
+            s.tasks[tid].timed_out
+        };
+        self.acquire_loop(tid, mutex_addr);
+        timed_out
+    }
+
+    /// Wake the first (FIFO) waiter, or all of them. A scheduling point.
+    pub(crate) fn condvar_notify(&self, tid: usize, cv_addr: usize, all: bool) {
+        self.reschedule(tid, |s| {
+            let cvid = Self::object_id(s, cv_addr);
+            let q = s.cv_waiters.entry(cvid).or_default();
+            let woken: Vec<usize> = if all {
+                std::mem::take(q)
+            } else if q.is_empty() {
+                Vec::new()
+            } else {
+                vec![q.remove(0)]
+            };
+            for w in &woken {
+                s.tasks[*w].state = TaskState::Runnable;
+                s.tasks[*w].timed_out = false;
+            }
+            let what = if all { "notify_all" } else { "notify_one" };
+            format!("t{tid} {what} cv{cvid} wakes {woken:?}")
+        });
+    }
+
+    /// Block until `target` finishes (join).
+    pub(crate) fn join_task(&self, tid: usize, target: usize) {
+        loop {
+            {
+                let s = lock_sched(self);
+                if s.tasks[target].state == TaskState::Finished {
+                    return;
+                }
+            }
+            self.reschedule(tid, |s| {
+                if s.tasks[target].state != TaskState::Finished {
+                    s.tasks[tid].state = TaskState::BlockedJoin(target);
+                }
+                format!("t{tid} joins t{target}")
+            });
+        }
+    }
+
+    /// Root-task epilogue: keep scheduling the remaining tasks until all
+    /// of them finish (models are expected to join their threads; this
+    /// is the backstop that also surfaces orphaned-task deadlocks).
+    pub(crate) fn drain(&self, tid: usize) {
+        loop {
+            {
+                let s = lock_sched(self);
+                let done = s
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .all(|(i, t)| i == tid || t.state == TaskState::Finished);
+                if done {
+                    return;
+                }
+            }
+            self.reschedule(tid, |s| {
+                let done = s
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .all(|(i, t)| i == tid || t.state == TaskState::Finished);
+                if !done {
+                    s.tasks[tid].state = TaskState::JoinAll;
+                }
+                format!("t{tid} waits for remaining tasks")
+            });
+        }
+    }
+
+    /// Scheduling point before an atomic access (the access itself is
+    /// performed sequentially-consistently right after, while the task
+    /// is still current).
+    pub(crate) fn atomic_point(&self, tid: usize, addr: usize, op: &'static str) {
+        self.reschedule(tid, |s| {
+            let id = Self::object_id(s, addr);
+            format!("t{tid} atomic {op} a{id}")
+        });
+    }
+}

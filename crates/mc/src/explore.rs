@@ -1,0 +1,204 @@
+//! The schedule explorer: bounded-preemption DFS over the decision tree.
+//!
+//! Each execution of the model closure is driven by a *prefix* of
+//! decision indices; past the prefix the scheduler always takes the
+//! default (index 0, i.e. keep running the current task). After an
+//! execution completes, the recorded trail is scanned backwards for the
+//! deepest decision point with an untried alternative that fits the
+//! preemption budget; that alternative becomes the next prefix. The
+//! search therefore enumerates every schedule reachable with at most
+//! `preemption_bound` preemptions, exactly once.
+
+use crate::controller::{Controller, Ctx, Decision, Failure, FailureKind, ScheduleAborted};
+use crate::{controller, thread::panic_message};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Result of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct schedules (complete executions) explored.
+    pub schedules: u64,
+    /// First failure found, if any (exploration stops at the first).
+    pub failure: Option<Failure>,
+    /// True when the bounded schedule space was fully enumerated.
+    pub exhausted: bool,
+}
+
+/// Deterministic interleaving explorer. See the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct Explorer {
+    /// Maximum preemptions (context switches away from a runnable task)
+    /// per execution. 2–3 catches almost all real interleaving bugs.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules (safety valve for models whose
+    /// space outgrows the bound).
+    pub max_schedules: u64,
+    /// Per-execution step budget; exceeding it records a
+    /// [`FailureKind::StepLimit`] failure (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer {
+            preemption_bound: 2,
+            max_schedules: 1_000_000,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// Explorations are serialized process-wide: the panic hook is global
+/// state, and serial runs keep schedule counts deterministic under
+/// `cargo test`'s threaded harness.
+static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Silences panic output while an exploration is running (aborted
+/// schedules unwind via panics by design); restores the previous hook on
+/// drop.
+struct QuietPanics;
+
+impl QuietPanics {
+    fn install() -> QuietPanics {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ScheduleAborted>() {
+                return;
+            }
+            // Model assertion failures are reported through `Failure`;
+            // keep the console quiet either way. Forward only panics
+            // from threads that are not model tasks.
+            if controller::current_ctx().is_none() {
+                prev(info);
+            }
+        }));
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        // Restoring the exact previous hook would require keeping it out
+        // of the closure; installing the default is equivalent for this
+        // repo (nothing customizes the hook globally).
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Outcome of one driven execution.
+struct RunOutcome {
+    trail: Vec<Decision>,
+    failure: Option<FailureKind>,
+    steps: Vec<String>,
+}
+
+fn run_one<F: Fn()>(prefix: &[usize], max_steps: u64, record: bool, f: &F) -> RunOutcome {
+    let ctl = Arc::new(Controller::new(prefix.to_vec(), max_steps, record));
+    controller::set_ctx(Some(Ctx {
+        ctl: Arc::clone(&ctl),
+        tid: 0,
+    }));
+    let body = catch_unwind(AssertUnwindSafe(f));
+    match &body {
+        Ok(()) => {
+            // Keep scheduling any tasks the model left running until
+            // they finish (or a deadlock among them is detected).
+            let _ = catch_unwind(AssertUnwindSafe(|| ctl.drain(0)));
+        }
+        Err(p) if p.is::<ScheduleAborted>() => {}
+        Err(p) => {
+            ctl.abort_with(FailureKind::Panic {
+                task: 0,
+                message: panic_message(p.as_ref()),
+            });
+        }
+    }
+    controller::set_ctx(None);
+    let (trail, failure, steps) = ctl.outcome();
+    RunOutcome {
+        trail,
+        failure,
+        steps,
+    }
+}
+
+/// Next DFS prefix: deepest decision with an untried alternative whose
+/// preemption cost still fits the budget.
+fn next_prefix(trail: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    let mut used = vec![0usize; trail.len() + 1];
+    for (i, d) in trail.iter().enumerate() {
+        used[i + 1] = used[i] + usize::from(d.preemptive && d.chosen > 0);
+    }
+    for i in (0..trail.len()).rev() {
+        let d = &trail[i];
+        let mut c = d.chosen + 1;
+        while c < d.candidates {
+            let cost = usize::from(d.preemptive && c > 0);
+            if used[i] + cost <= bound {
+                let mut p: Vec<usize> = trail[..i].iter().map(|d| d.chosen).collect();
+                p.push(c);
+                return Some(p);
+            }
+            c += 1;
+        }
+    }
+    None
+}
+
+impl Explorer {
+    /// Exhaustively explore the model closure's schedules within the
+    /// preemption bound, stopping at the first failure. On failure the
+    /// failing seed is replayed once more with step recording on, so the
+    /// returned [`Failure`] carries a human-readable step list.
+    pub fn explore<F: Fn()>(&self, f: F) -> Report {
+        let _serial = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let _quiet = QuietPanics::install();
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules: u64 = 0;
+        loop {
+            let out = run_one(&prefix, self.max_steps, false, &f);
+            schedules += 1;
+            if let Some(kind) = out.failure {
+                let seed: Vec<usize> = out.trail.iter().map(|d| d.chosen).collect();
+                let replayed = run_one(&seed, self.max_steps, true, &f);
+                return Report {
+                    schedules,
+                    failure: Some(Failure {
+                        kind,
+                        schedule: seed,
+                        steps: replayed.steps,
+                    }),
+                    exhausted: false,
+                };
+            }
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    failure: None,
+                    exhausted: false,
+                };
+            }
+            match next_prefix(&out.trail, self.preemption_bound) {
+                Some(p) => prefix = p,
+                None => {
+                    return Report {
+                        schedules,
+                        failure: None,
+                        exhausted: true,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-run one schedule from its seed with step recording on.
+    /// Deterministic: the same seed always produces the same step list
+    /// and the same outcome.
+    pub fn replay<F: Fn()>(&self, seed: &[usize], f: F) -> (Option<FailureKind>, Vec<String>) {
+        let _serial = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let _quiet = QuietPanics::install();
+        let out = run_one(seed, self.max_steps, true, &f);
+        (out.failure, out.steps)
+    }
+}

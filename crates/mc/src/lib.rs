@@ -1,0 +1,65 @@
+#![forbid(unsafe_code)]
+//! `dlr-mc` — a dependency-free mini-loom for the serving/obs stack.
+//!
+//! The crate has two halves:
+//!
+//! * **Shim layer** ([`sync`], [`thread`]): drop-in replacements for the
+//!   `std::sync` / `std::thread` subset the repo's concurrent code uses.
+//!   Outside an exploration they delegate straight to std (one
+//!   thread-local probe per op), so production crates can compile
+//!   against them unconditionally under their `mc` cargo feature without
+//!   behavior or test changes. Inside an exploration every operation is
+//!   a *scheduling point* owned by a controller that runs exactly one
+//!   task at a time.
+//!
+//! * **Explorer** ([`Explorer`]): depth-first search over the tree of
+//!   scheduling decisions with a bounded preemption budget (CHESS-style
+//!   iterative context bounding). Each execution is a pure function of
+//!   its decision seed, so any failing schedule — deadlock, lost wakeup,
+//!   assertion failure, livelock — is replayed deterministically from
+//!   the printed seed ([`Explorer::replay`]) and rendered as a
+//!   step-by-step event list.
+//!
+//! What the model covers (and what it does not): the explorer checks
+//! *interleaving* correctness — mutual exclusion, wait/notify protocols,
+//! timed-wait races, join ordering — under sequentially consistent
+//! atomics. Memory-ordering discipline (Release/Acquire pairing for
+//! publication) is enforced statically by `dlr-lint`'s
+//! `ATOMIC_ORDERING` pass; the two tools are complementary.
+//!
+//! ```
+//! use dlr_mc::sync::{Condvar, Mutex};
+//! use dlr_mc::{thread, Explorer};
+//! use std::sync::Arc;
+//!
+//! // A correct flag handoff: explored exhaustively, no failure.
+//! let report = Explorer::default().explore(|| {
+//!     let m = Arc::new(Mutex::new(false));
+//!     let cv = Arc::new(Condvar::new());
+//!     let t = {
+//!         let (m, cv) = (Arc::clone(&m), Arc::clone(&cv));
+//!         thread::spawn(move || {
+//!             let mut g = m.lock().unwrap();
+//!             *g = true;
+//!             drop(g);
+//!             cv.notify_one();
+//!         })
+//!     };
+//!     let mut g = m.lock().unwrap();
+//!     while !*g {
+//!         g = cv.wait(g).unwrap();
+//!     }
+//!     drop(g);
+//!     t.join().unwrap();
+//! });
+//! assert!(report.failure.is_none(), "{:?}", report.failure);
+//! assert!(report.exhausted);
+//! ```
+
+mod controller;
+mod explore;
+pub mod sync;
+pub mod thread;
+
+pub use controller::{Failure, FailureKind};
+pub use explore::{Explorer, Report};

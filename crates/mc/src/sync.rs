@@ -1,0 +1,453 @@
+//! Drop-in `std::sync` replacements that become scheduling points under
+//! a model-checking controller and transparently delegate to `std` when
+//! no exploration is active.
+//!
+//! The production crates alias their primitives through a tiny
+//! `crate::sync` module (`#[cfg(feature = "mc")] use dlr_mc::sync::...`),
+//! so the same source compiles against either layer. Outside an
+//! [`Explorer`](crate::Explorer) run the shim is a thin wrapper: one
+//! thread-local probe per operation, then straight std behavior —
+//! which is what keeps the full production test-suite green when the
+//! `mc` feature happens to be unified on.
+//!
+//! Under a controller, the data still lives in a real `std::sync::Mutex`
+//! (the model serializes tasks, so it is never contended at the OS
+//! level); the *blocking protocol* — who may acquire, who is parked on a
+//! condvar, which waiter a notify wakes, whether a timed wait times out —
+//! is virtualized into the controller, where each transition is an
+//! explorable scheduling decision.
+
+use crate::controller::{self, Ctx};
+use std::sync::{LockResult, PoisonError};
+use std::time::Duration;
+
+/// Is this thread a live model task (and not currently unwinding)?
+/// During unwinds the shim falls back to raw std behavior so that guard
+/// drops in destructors never double-panic.
+fn live_ctx() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    controller::current_ctx()
+}
+
+/// A mutex whose lock/unlock become scheduling points under exploration.
+/// API-compatible with the `std::sync::Mutex` subset the repo uses.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex (const, like `std::sync::Mutex::new`).
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as *const () as usize
+    }
+
+    /// Acquire the mutex. Under a controller the attempt and any
+    /// contention are explorable scheduling decisions.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match live_ctx() {
+            None => wrap(self, None, self.inner.lock()),
+            Some(ctx) => {
+                ctx.ctl.mutex_lock(ctx.tid, self.addr());
+                // The model granted ownership; the inner std lock is at
+                // most transiently held (only during an abort unwind), so
+                // a blocking acquire here cannot deadlock.
+                wrap(self, Some(ctx), self.inner.lock())
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+fn wrap<'a, T: ?Sized>(
+    mutex: &'a Mutex<T>,
+    ctx: Option<Ctx>,
+    res: LockResult<std::sync::MutexGuard<'a, T>>,
+) -> LockResult<MutexGuard<'a, T>> {
+    match res {
+        Ok(g) => Ok(MutexGuard {
+            guard: Some(g),
+            mutex,
+            ctx,
+        }),
+        Err(p) => Err(PoisonError::new(MutexGuard {
+            guard: Some(p.into_inner()),
+            mutex,
+            ctx,
+        })),
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model-level lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    /// `Some` when this guard holds a model-level lock that must be
+    /// released through the controller.
+    ctx: Option<Ctx>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Take the guard apart without running `Drop` (used by condvar
+    /// wait, which hands the lock back through the controller itself).
+    fn dismantle(mut self) -> (&'a Mutex<T>, Option<Ctx>) {
+        self.guard = None; // releases the inner std lock
+        let mutex = self.mutex;
+        let ctx = self.ctx.take();
+        std::mem::forget(self);
+        (mutex, ctx)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock first, then the model lock: nothing can
+        // observe the window because only this task is running.
+        self.guard = None;
+        if let Some(ctx) = self.ctx.take() {
+            if !std::thread::panicking() {
+                ctx.ctl.mutex_unlock(ctx.tid, self.mutex.addr());
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]. `std`'s equivalent has no
+/// public constructor, so the shim defines its own (same API surface).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable whose wait/notify are scheduling points. Under a
+/// controller a timed wait is a *nondeterministic choice*: the explorer
+/// tries both the notified and the timed-out outcome.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Create a condvar (const, like `std::sync::Condvar::new`).
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as *const () as usize
+    }
+
+    /// Block until notified, releasing and reacquiring the guard's mutex.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.ctx.clone() {
+            None => {
+                // Fallback: hand the inner std guard straight to the std
+                // condvar (atomic release-and-wait), then rewrap.
+                let mutex = guard.mutex;
+                let std_g = guard.guard.take().expect("guard present");
+                std::mem::forget(guard);
+                wrap(mutex, None, self.inner.wait(std_g))
+            }
+            Some(ctx) => {
+                let (mutex, _) = guard.dismantle();
+                if std::thread::panicking() {
+                    // Abort unwind: behave as a spurious wakeup.
+                    return wrap(mutex, None, mutex.inner.lock());
+                }
+                ctx.ctl
+                    .condvar_wait(ctx.tid, self.addr(), mutex.addr(), false);
+                wrap(mutex, Some(ctx), mutex.inner.lock())
+            }
+        }
+    }
+
+    /// Block until notified or the timeout fires. Under a controller the
+    /// duration is ignored and the timeout is a *nondeterministic
+    /// scheduling choice* — the explorer tries both outcomes.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.ctx.clone() {
+            None => {
+                let mutex = guard.mutex;
+                let std_g = guard.guard.take().expect("guard present");
+                std::mem::forget(guard);
+                match self.inner.wait_timeout(std_g, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            guard: Some(g),
+                            mutex,
+                            ctx: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(p) => {
+                        let (g, r) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                guard: Some(g),
+                                mutex,
+                                ctx: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+            Some(ctx) => {
+                let (mutex, _) = guard.dismantle();
+                if std::thread::panicking() {
+                    let g = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    return Ok((
+                        MutexGuard {
+                            guard: Some(g),
+                            mutex,
+                            ctx: None,
+                        },
+                        WaitTimeoutResult { timed_out: true },
+                    ));
+                }
+                let timed_out = ctx
+                    .ctl
+                    .condvar_wait(ctx.tid, self.addr(), mutex.addr(), true);
+                match wrap(mutex, Some(ctx), mutex.inner.lock()) {
+                    Ok(g) => Ok((g, WaitTimeoutResult { timed_out })),
+                    Err(p) => Err(PoisonError::new((
+                        p.into_inner(),
+                        WaitTimeoutResult { timed_out },
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Wake one waiter (FIFO under a controller).
+    pub fn notify_one(&self) {
+        match live_ctx() {
+            None => self.inner.notify_one(),
+            Some(ctx) => ctx.ctl.condvar_notify(ctx.tid, self.addr(), false),
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        match live_ctx() {
+            None => self.inner.notify_all(),
+            Some(ctx) => ctx.ctl.condvar_notify(ctx.tid, self.addr(), true),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+pub mod atomic {
+    //! Atomic shims: under a controller every access is preceded by a
+    //! scheduling point and performed sequentially consistently — the
+    //! explorer checks *interleaving* correctness; memory-ordering
+    //! discipline is the `ATOMIC_ORDERING` lint's job.
+
+    use super::live_ctx;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_uint {
+        ($name:ident, $std:ty, $prim:ty) => {
+            /// Schedule-aware drop-in for the std atomic of the same name.
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Const constructor, like the std atomic.
+                pub const fn new(v: $prim) -> $name {
+                    $name {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                fn point(&self, op: &'static str) {
+                    if let Some(ctx) = live_ctx() {
+                        let addr = &self.inner as *const _ as *const () as usize;
+                        ctx.ctl.atomic_point(ctx.tid, addr, op);
+                    }
+                }
+
+                /// Load; SeqCst under exploration.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    self.point("load");
+                    let _ = order;
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Store; SeqCst under exploration.
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    self.point("store");
+                    let _ = order;
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                /// Read-modify-write add.
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    self.point("fetch_add");
+                    let _ = order;
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Read-modify-write subtract.
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    self.point("fetch_sub");
+                    let _ = order;
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Read-modify-write max.
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    self.point("fetch_max");
+                    let _ = order;
+                    self.inner.fetch_max(v, Ordering::SeqCst)
+                }
+
+                /// Unconditional exchange.
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    self.point("swap");
+                    let _ = order;
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.point("compare_exchange");
+                    let _ = (success, failure);
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+        };
+    }
+
+    atomic_uint!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    atomic_uint!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    atomic_uint!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+
+    /// Schedule-aware drop-in for `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Const constructor, like the std atomic.
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        fn point(&self, op: &'static str) {
+            if let Some(ctx) = live_ctx() {
+                let addr = &self.inner as *const _ as *const () as usize;
+                ctx.ctl.atomic_point(ctx.tid, addr, op);
+            }
+        }
+
+        /// Load; SeqCst under exploration.
+        pub fn load(&self, order: Ordering) -> bool {
+            self.point("load");
+            let _ = order;
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Store; SeqCst under exploration.
+        pub fn store(&self, v: bool, order: Ordering) {
+            self.point("store");
+            let _ = order;
+            self.inner.store(v, Ordering::SeqCst)
+        }
+
+        /// Unconditional exchange.
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            self.point("swap");
+            let _ = order;
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+}

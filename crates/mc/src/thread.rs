@@ -1,0 +1,176 @@
+//! Thread shims: spawn/join become model tasks under a controller and
+//! plain `std::thread` operations otherwise.
+//!
+//! Spawned closures run on real OS threads either way; under a
+//! controller the child first parks until the schedule picks it, and the
+//! spawn itself is a scheduling point for the parent.
+
+use crate::controller::{self, Ctx, FailureKind, ScheduleAborted};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Drop-in for `std::thread::JoinHandle` (the subset the repo uses).
+pub struct JoinHandle<T> {
+    inner: Option<std::thread::JoinHandle<std::thread::Result<T>>>,
+    /// Model task id when spawned under a controller.
+    tid: Option<usize>,
+    ctl: Option<Arc<controller::Controller>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and collect its result; panics in
+    /// the thread surface as `Err`, like std.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        if let (Some(tid), Some(ctl)) = (self.tid, self.ctl.take()) {
+            if let Some(ctx) = controller::current_ctx() {
+                if !std::thread::panicking() {
+                    ctl.join_task(ctx.tid, tid);
+                }
+            }
+        }
+        let inner = self.inner.take().expect("join consumed once");
+        match inner.join() {
+            Ok(r) => r,
+            Err(p) => Err(p),
+        }
+    }
+
+    /// Whether the thread has exited (fallback semantics).
+    pub fn is_finished(&self) -> bool {
+        self.inner
+            .as_ref()
+            .map(std::thread::JoinHandle::is_finished)
+            .unwrap_or(true)
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("JoinHandle { .. }")
+    }
+}
+
+/// Drop-in for `std::thread::Builder`.
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// New builder with no name set.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Name the thread (visible in panics and debuggers, like std).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the closure, as a schedulable model task when the calling
+    /// thread belongs to an exploration.
+    ///
+    /// # Errors
+    /// Propagates the OS-level spawn failure, like std.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(n) = &self.name {
+            builder = builder.name(n.clone());
+        }
+        match controller::current_ctx() {
+            None => {
+                let inner = builder.spawn(move || catch_unwind(AssertUnwindSafe(f)))?;
+                Ok(JoinHandle {
+                    inner: Some(inner),
+                    tid: None,
+                    ctl: None,
+                })
+            }
+            Some(ctx) => {
+                let tid = ctx.ctl.register_task();
+                let ctl = Arc::clone(&ctx.ctl);
+                let ctl2 = Arc::clone(&ctl);
+                let inner = builder.spawn(move || {
+                    controller::set_ctx(Some(Ctx {
+                        ctl: Arc::clone(&ctl2),
+                        tid,
+                    }));
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        ctl2.wait_first(tid);
+                        f()
+                    }));
+                    match &r {
+                        Ok(_) => ctl2.finish_task(tid),
+                        Err(p) if p.is::<ScheduleAborted>() => {
+                            // The execution already failed; exit quietly.
+                        }
+                        Err(p) => {
+                            ctl2.abort_with(FailureKind::Panic {
+                                task: tid,
+                                message: panic_message(p.as_ref()),
+                            });
+                            ctl2.finish_task(tid);
+                        }
+                    }
+                    controller::set_ctx(None);
+                    r
+                })?;
+                // The parent observes the spawn as a scheduling point.
+                ctx.ctl.yield_point(ctx.tid, "spawns a task");
+                Ok(JoinHandle {
+                    inner: Some(inner),
+                    tid: Some(tid),
+                    ctl: Some(ctl),
+                })
+            }
+        }
+    }
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawn an unnamed thread (drop-in for `std::thread::spawn`).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Explicit interleaving point (drop-in for `std::thread::yield_now`).
+pub fn yield_now() {
+    if std::thread::panicking() {
+        return;
+    }
+    match controller::current_ctx() {
+        None => std::thread::yield_now(),
+        Some(ctx) => ctx.ctl.yield_point(ctx.tid, "yields"),
+    }
+}
+
+/// Sleep: a pure scheduling point under a controller (model time is
+/// abstract), a real sleep otherwise.
+pub fn sleep(dur: std::time::Duration) {
+    if std::thread::panicking() {
+        return;
+    }
+    match controller::current_ctx() {
+        None => std::thread::sleep(dur),
+        Some(ctx) => ctx.ctl.yield_point(ctx.tid, "sleeps"),
+    }
+}

@@ -27,6 +27,7 @@ pub mod drift;
 pub mod export;
 pub mod metrics;
 pub mod sink;
+mod sync;
 
 pub use clock::{NanoClock, WallClock};
 pub use drift::{DriftSummary, DriftTracker};

@@ -14,8 +14,9 @@
 //! holds at every quiescent point: each `record` either grows the
 //! resident set by one or evicts exactly one older span.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use crate::sync::{AtomicU64, Mutex, MutexGuard};
+use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
 
 /// Which stage of the request path a span measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

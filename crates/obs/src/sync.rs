@@ -1,0 +1,17 @@
+//! Synchronization primitive aliases for the span ring.
+//!
+//! With the `mc` feature on, the trace sink's shard mutexes and
+//! accounting atomics resolve to `dlr-mc`'s schedule-controlled shims so
+//! the model checker can explore concurrent recording around the ring
+//! wrap; without it (every release and bench build) they are plain `std`
+//! types.
+
+#[cfg(feature = "mc")]
+pub(crate) use dlr_mc::sync::atomic::AtomicU64;
+#[cfg(feature = "mc")]
+pub(crate) use dlr_mc::sync::{Mutex, MutexGuard};
+
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::sync::atomic::AtomicU64;
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::sync::{Mutex, MutexGuard};

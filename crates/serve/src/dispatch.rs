@@ -21,11 +21,12 @@ use crate::engine::{BatchEngine, RequestMeta};
 use crate::queue::{AdmissionQueue, Admitted, Ready};
 use crate::request::{Delivery, Response};
 use crate::stats::ServerStats;
+use crate::sync::{Mutex, MutexGuard};
 use dlr_core::fault::{ServerFault, ServerFaultPlan};
 use dlr_core::serve::{LatencyForecaster, ServedBy};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicU64;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
 /// Pre-registered observability handles: one registry lookup per name at

@@ -61,6 +61,7 @@ pub mod registry;
 pub mod request;
 mod server;
 pub mod stats;
+mod sync;
 
 pub use batch::BatchConfig;
 pub use clock::{Clock, ManualClock, MonotonicClock};

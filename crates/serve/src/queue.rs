@@ -14,8 +14,9 @@
 //! [`Duration`]s from the dispatcher.
 
 use crate::request::{ScoreRequest, Slot, SubmitError};
+use crate::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
 /// What to do with a submission when the queue is full.
@@ -33,7 +34,7 @@ pub enum Backpressure {
 
 /// One admitted request, timestamped and carrying its completion slot.
 #[derive(Debug)]
-pub(crate) struct Admitted {
+pub struct Admitted {
     /// Trace id assigned at submission (1-based; 0 is reserved for
     /// synthetic spans), tying this request's queue/batch/dispatch spans
     /// together in the observability plane.
@@ -62,7 +63,7 @@ struct State {
 
 /// What the dispatcher learned from waiting on the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Ready {
+pub enum Ready {
     /// At least one item is queued.
     Items,
     /// The queue is closed and empty — the drain is complete.
@@ -70,7 +71,7 @@ pub(crate) enum Ready {
 }
 
 /// A bounded MPSC queue: many submitters, one dispatcher.
-pub(crate) struct AdmissionQueue {
+pub struct AdmissionQueue {
     state: Mutex<State>,
     /// Submitters blocked under [`Backpressure::Block`] wait here.
     not_full: Condvar,
@@ -89,7 +90,7 @@ fn lock(queue: &AdmissionQueue) -> MutexGuard<'_, State> {
 
 impl AdmissionQueue {
     /// A queue holding at most `capacity` requests (clamped to ≥ 1).
-    pub(crate) fn new(capacity: usize) -> AdmissionQueue {
+    pub fn new(capacity: usize) -> AdmissionQueue {
         AdmissionQueue {
             state: Mutex::new(State {
                 items: VecDeque::new(),
@@ -103,7 +104,7 @@ impl AdmissionQueue {
     }
 
     /// Maximum queued requests.
-    pub(crate) fn capacity(&self) -> usize {
+    pub fn capacity(&self) -> usize {
         self.capacity
     }
 
@@ -115,7 +116,7 @@ impl AdmissionQueue {
     /// On success, returns the queue depth (requests, documents) *after*
     /// the push, so the caller can maintain high-water gauges without a
     /// second lock round-trip.
-    pub(crate) fn admit(
+    pub fn admit(
         &self,
         item: Admitted,
         policy: Backpressure,
@@ -149,7 +150,7 @@ impl AdmissionQueue {
     }
 
     /// Stop admission; queued items remain for the dispatcher to drain.
-    pub(crate) fn close(&self) {
+    pub fn close(&self) {
         let mut state = lock(self);
         state.closed = true;
         drop(state);
@@ -158,13 +159,13 @@ impl AdmissionQueue {
     }
 
     /// Whether [`close`](Self::close) has been called.
-    pub(crate) fn is_closed(&self) -> bool {
+    pub fn is_closed(&self) -> bool {
         lock(self).closed
     }
 
     /// Block until at least one item is queued, or the queue is closed
     /// and empty (drain complete).
-    pub(crate) fn wait_nonempty(&self) -> Ready {
+    pub fn wait_nonempty(&self) -> Ready {
         let mut state = lock(self);
         loop {
             if !state.items.is_empty() {
@@ -181,7 +182,7 @@ impl AdmissionQueue {
     }
 
     /// Admission timestamp of the oldest queued item.
-    pub(crate) fn oldest_queued_nanos(&self) -> Option<u64> {
+    pub fn oldest_queued_nanos(&self) -> Option<u64> {
         lock(self).items.front().map(|i| i.queued_nanos)
     }
 
@@ -193,7 +194,7 @@ impl AdmissionQueue {
     /// the clock and calls again, so a trickle of admissions can never
     /// postpone a time-based flush past `max_wait`. Returns the queued
     /// document count seen last.
-    pub(crate) fn wait_docs_or_timeout(&self, target_docs: usize, timeout: Duration) -> usize {
+    pub fn wait_docs_or_timeout(&self, target_docs: usize, timeout: Duration) -> usize {
         let state = lock(self);
         if state.queued_docs >= target_docs || state.closed || timeout.is_zero() {
             return state.queued_docs;
@@ -209,7 +210,7 @@ impl AdmissionQueue {
     /// becomes its own oversized batch), then following items while the
     /// running document total stays within `max_docs`. Frees queue space
     /// and wakes blocked submitters.
-    pub(crate) fn take_batch(&self, max_docs: usize) -> Vec<Admitted> {
+    pub fn take_batch(&self, max_docs: usize) -> Vec<Admitted> {
         let mut state = lock(self);
         let mut batch = Vec::new();
         let mut docs = 0usize;
@@ -234,7 +235,7 @@ impl AdmissionQueue {
     }
 
     /// Current depth: (queued requests, queued documents).
-    pub(crate) fn depth(&self) -> (usize, usize) {
+    pub fn depth(&self) -> (usize, usize) {
         let state = lock(self);
         (state.items.len(), state.queued_docs)
     }

@@ -57,12 +57,13 @@
 
 use crate::clock::Clock;
 use crate::engine::{BatchEngine, RequestMeta};
+use crate::sync::{Mutex, MutexGuard};
 use dlr_core::scoring::DocumentScorer;
 use dlr_core::serve::{LatencyHistogram, ScoreError, ServedBy};
 use dlr_metrics::{ndcg_at, promotion_gate, GateConfig, GateDecision, NdcgConfig};
 use dlr_nn::{read_mlp_bytes, Mlp, MlpWorkspace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Rollout policy: traffic fractions, health thresholds, and the

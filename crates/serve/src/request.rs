@@ -7,8 +7,9 @@
 //! delivered; the server's drain guarantee is that every admitted
 //! request's slot is filled before shutdown returns.
 
+use crate::sync::{Condvar, Mutex};
 use dlr_core::serve::ServedBy;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
 /// One query's scoring request: `docs × num_features` row-major features
@@ -145,7 +146,7 @@ pub struct Delivery {
 /// One-shot completion slot shared between a [`ResponseHandle`] and the
 /// dispatcher.
 #[derive(Debug, Default)]
-pub(crate) struct Slot {
+pub struct Slot {
     state: Mutex<Option<Delivery>>,
     filled: Condvar,
 }
@@ -155,7 +156,7 @@ impl Slot {
     /// to the same slot would be a duplicated response — the invariant
     /// the integration suite asserts — so it is ignored (and flagged in
     /// debug builds).
-    pub(crate) fn deliver(&self, delivery: Delivery) {
+    pub fn deliver(&self, delivery: Delivery) {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         debug_assert!(state.is_none(), "duplicate delivery to a response slot");
         if state.is_none() {

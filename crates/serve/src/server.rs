@@ -15,12 +15,13 @@ use crate::engine::BatchEngine;
 use crate::queue::{AdmissionQueue, Admitted, Backpressure};
 use crate::request::{ResponseHandle, ScoreRequest, Slot, SubmitError};
 use crate::stats::ServerStats;
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, Mutex};
 use crate::BatchConfig;
 use dlr_core::fault::ServerFaultPlan;
 use dlr_core::serve::LatencyForecaster;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 
 /// Everything tunable about a server.
 ///
@@ -89,7 +90,7 @@ impl<E: BatchEngine + 'static> Server<E> {
         });
         let batch = config.batch;
         let faults = config.faults;
-        let dispatcher = std::thread::spawn({
+        let dispatcher = thread::spawn({
             let shared = Arc::clone(&shared);
             move || {
                 dispatch::run(&shared, &mut engine, batch, faults);

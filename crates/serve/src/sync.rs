@@ -1,0 +1,17 @@
+//! Synchronization primitive aliases for the serving stack.
+//!
+//! With the `mc` feature on, the admission queue, response slots,
+//! dispatcher stats, registry lifecycle mutex and the dispatcher thread
+//! resolve to `dlr-mc`'s schedule-controlled shims so the model checker
+//! can exhaustively explore their interleavings; without it (every
+//! release and bench build) they are plain `std` types.
+
+#[cfg(feature = "mc")]
+pub(crate) use dlr_mc::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(feature = "mc")]
+pub(crate) use dlr_mc::thread;
+
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "mc"))]
+pub(crate) use std::thread;
